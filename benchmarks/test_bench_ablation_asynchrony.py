@@ -1,0 +1,132 @@
+"""Ablation: asynchronous vs clock-driven (time-sliced) power manager.
+
+The paper's practicality claim against the discrete-time model of [11]:
+a per-time-slice PM "results in heavy signal traffic and heavy load on
+the system resources", while the CTMDP policy is asynchronous -- it
+acts only on state changes.
+
+This bench compares:
+
+- the CTMDP policy executed natively (asynchronously), against
+- the [11]-style policy -- solved on the no-transfer-state model, whose
+  power-down decisions live in stable states, exactly what a clocked
+  manager can act on -- executed behind a :class:`~repro.policies.
+  synchronous.SynchronousPolicyWrapper` at several slice lengths ``L``.
+
+(The CTMDP table itself cannot be clocked: its power-down decisions
+exist only at service-completion instants, which a clock never
+observes -- the sharpest form of the asynchrony argument.)
+
+Reported per manager: PM activity (decision points per generated
+request: ticks vs state-change invocations) and achieved power/delay.
+Shape: the clocked manager needs a short slice -- an order of magnitude
+more PM activity -- to approach the asynchronous metrics, and a coarse
+slice degrades both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.policies import OptimalCTMDPPolicy
+from repro.policies.synchronous import SynchronousPolicyWrapper
+from repro.sim import PoissonProcess, simulate
+
+WEIGHT = 1.0
+TIME_SLICES = (0.05, 0.5, 2.0)
+
+
+def run_pm_activity_comparison(n_requests: int, seed: int):
+    model = paper_system()
+    ctmdp_table = optimize_weighted(model, WEIGHT).policy
+    # The clocked manager's decision logic: the [11]-style model whose
+    # power-down decisions live in stable states (see module docstring).
+    lumped_model = paper_system(include_transfer_states=False)
+    lumped_table = optimize_weighted(lumped_model, WEIGHT).policy
+    rows = {}
+
+    def run(policy):
+        return simulate(
+            provider=model.provider,
+            capacity=model.capacity,
+            workload=PoissonProcess(model.requestor.rate),
+            policy=policy,
+            n_requests=n_requests,
+            seed=seed,
+        )
+
+    async_sim = run(OptimalCTMDPPolicy(ctmdp_table, model.capacity))
+    rows["asynchronous"] = {
+        "decisions_per_request": async_sim.n_pm_invocations / n_requests,
+        "power": async_sim.average_power,
+        "queue": async_sim.average_queue_length,
+    }
+    for slice_len in TIME_SLICES:
+        wrapper = SynchronousPolicyWrapper(
+            OptimalCTMDPPolicy(lumped_table, model.capacity),
+            time_slice=slice_len,
+        )
+        sim = run(wrapper)
+        rows[f"clocked(L={slice_len:g})"] = {
+            "decisions_per_request": wrapper.n_ticks / n_requests,
+            "power": sim.average_power,
+            "queue": sim.average_queue_length,
+        }
+    return rows
+
+
+_cache = ResultCache(run_pm_activity_comparison)
+
+
+@pytest.fixture(scope="module")
+def comparison(bench_n_requests, bench_seed):
+    return _cache.get(bench_n_requests, bench_seed)
+
+
+def test_bench_ablation_asynchrony(benchmark, bench_n_requests, bench_seed):
+    rows = _cache.bench(benchmark, bench_n_requests, bench_seed)
+    print()
+    for name, row in rows.items():
+        print(
+            f"{name:>16}: {row['decisions_per_request']:8.2f} decisions/request, "
+            f"power={row['power']:7.3f} W, queue={row['queue']:6.3f}"
+        )
+
+
+class TestAsynchronyShape:
+    def test_async_activity_is_modest(self, comparison):
+        # A handful of decision points per request (arrival, completion,
+        # switch completions), independent of any clock.
+        assert comparison["asynchronous"]["decisions_per_request"] < 10
+
+    def test_fine_clock_needs_order_of_magnitude_more_activity(self, comparison):
+        fine = comparison["clocked(L=0.05)"]
+        async_row = comparison["asynchronous"]
+        # To react as promptly as the asynchronous PM, the clock must
+        # tick far more often than events occur.
+        assert (
+            fine["decisions_per_request"]
+            > 10 * async_row["decisions_per_request"]
+        )
+        # And even then the asynchronous PM's weighted cost is no worse.
+        async_cost = async_row["power"] + WEIGHT * async_row["queue"]
+        fine_cost = fine["power"] + WEIGHT * fine["queue"]
+        assert async_cost <= 1.05 * fine_cost
+
+    def test_coarse_clock_degrades_weighted_cost(self, comparison):
+        coarse = comparison["clocked(L=2)"]
+        fine = comparison["clocked(L=0.05)"]
+        coarse_cost = coarse["power"] + WEIGHT * coarse["queue"]
+        fine_cost = fine["power"] + WEIGHT * fine["queue"]
+        assert coarse_cost > fine_cost
+
+    def test_activity_scales_inversely_with_slice(self, comparison):
+        activities = [
+            comparison[f"clocked(L={s:g})"]["decisions_per_request"]
+            for s in TIME_SLICES
+        ]
+        assert activities == sorted(activities, reverse=True)
+        assert activities[0] > 10 * activities[-1]

@@ -1,0 +1,78 @@
+"""Ablation: discounted vs average-cost optimization (Theorem 2.3).
+
+The paper optimizes the limiting-average criterion but develops the
+discounted criterion alongside it (Section II). Theorem 2.3 says the
+discounted-optimal policies converge to an average-optimal policy as
+the discount factor approaches zero. This bench sweeps the discount
+factor on the paper's model and reports, per factor, the average-cost
+gain of the discounted-optimal policy -- showing the convergence and
+where myopia starts to hurt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.ctmdp.discounted import discounted_policy_iteration
+from repro.ctmdp.policy import evaluate_policy
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.dpm.presets import paper_system
+
+WEIGHT = 1.0
+DISCOUNTS = (10.0, 1.0, 0.1, 0.01, 1e-3, 1e-5)
+
+
+def discount_sweep():
+    mdp = paper_system().build_ctmdp(WEIGHT)
+    optimal_gain = policy_iteration(mdp).gain
+    rows = []
+    for a in DISCOUNTS:
+        disc = discounted_policy_iteration(mdp, discount=a)
+        achieved = evaluate_policy(disc.policy).gain
+        rows.append(
+            {
+                "discount": a,
+                "achieved_gain": achieved,
+                "regret": achieved - optimal_gain,
+            }
+        )
+    return optimal_gain, rows
+
+
+_cache = ResultCache(discount_sweep)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _cache.get()
+
+
+def test_bench_ablation_discount(benchmark):
+    optimal_gain, rows = _cache.bench(benchmark)
+    print()
+    print(f"average-optimal gain: {optimal_gain:.4f} W-equivalent")
+    for row in rows:
+        print(
+            f"a={row['discount']:<8g} achieved={row['achieved_gain']:8.4f} "
+            f"regret={row['regret']:8.5f}"
+        )
+
+
+class TestDiscountShape:
+    def test_small_discount_recovers_average_optimum(self, sweep):
+        _, rows = sweep
+        smallest = min(rows, key=lambda r: r["discount"])
+        assert smallest["regret"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_regret_never_negative(self, sweep):
+        _, rows = sweep
+        for row in rows:
+            assert row["regret"] >= -1e-8
+
+    def test_regret_trend_toward_zero(self, sweep):
+        # Regret at the largest (most myopic) discount is at least as
+        # large as at the smallest.
+        _, rows = sweep
+        by_discount = sorted(rows, key=lambda r: r["discount"])
+        assert by_discount[-1]["regret"] >= by_discount[0]["regret"] - 1e-9

@@ -1,0 +1,85 @@
+"""Ablation: policy iteration vs LP vs value iteration.
+
+The paper claims "the policy iteration algorithm ... tends to be more
+efficient than the linear programming method" of [11]. This bench times
+all three solvers on the same model family and checks:
+
+- all solvers reach the same optimal gain;
+- policy iteration converges in a handful of evaluations;
+- value iteration's sweep count explodes with the self-switch
+  stand-in's stiffness (why the paper-scale model uses PI/LP).
+
+Timing columns are reported by pytest-benchmark; the stiffness effect
+is asserted structurally (sweep counts), which is robust to machine
+speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.ctmdp.linear_program import solve_average_cost_lp
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.ctmdp.value_iteration import relative_value_iteration
+from repro.dpm.presets import paper_system
+
+WEIGHT = 1.0
+
+
+@pytest.fixture(scope="module")
+def soft_mdp():
+    return paper_system(self_switch_rate=50.0).build_ctmdp(WEIGHT)
+
+
+@pytest.fixture(scope="module")
+def stiff_mdp():
+    return paper_system(self_switch_rate=2000.0).build_ctmdp(WEIGHT)
+
+
+def test_bench_policy_iteration(benchmark, soft_mdp):
+    result = once(benchmark, policy_iteration, soft_mdp)
+    assert result.iterations <= 15
+
+
+def test_bench_linear_program(benchmark, soft_mdp):
+    result = once(benchmark, solve_average_cost_lp, soft_mdp)
+    assert result.gain > 0
+
+
+def test_bench_value_iteration(benchmark, soft_mdp):
+    result = once(
+        benchmark, relative_value_iteration, soft_mdp, span_tolerance=1e-8
+    )
+    assert result.iterations > 10
+
+
+class TestSolverAblationShape:
+    def test_all_gains_agree(self, soft_mdp):
+        pi = policy_iteration(soft_mdp)
+        lp = solve_average_cost_lp(soft_mdp)
+        vi = relative_value_iteration(soft_mdp, span_tolerance=1e-9)
+        assert lp.gain == pytest.approx(pi.gain, rel=1e-7)
+        assert vi.gain == pytest.approx(pi.gain, rel=1e-5)
+
+    def test_value_iteration_suffers_from_stiffness(self, soft_mdp, stiff_mdp):
+        soft = relative_value_iteration(soft_mdp, span_tolerance=1e-6)
+        stiff = relative_value_iteration(stiff_mdp, span_tolerance=1e-6)
+        # Sweeps scale with the uniformization rate (2000/50 = 40x).
+        assert stiff.iterations > 10 * soft.iterations
+
+    def test_policy_iteration_immune_to_stiffness(self, soft_mdp, stiff_mdp):
+        assert policy_iteration(stiff_mdp).iterations <= 2 * max(
+            policy_iteration(soft_mdp).iterations, 4
+        )
+
+    def test_pi_faster_than_vi_wall_clock(self, soft_mdp):
+        t0 = time.perf_counter()
+        policy_iteration(soft_mdp)
+        pi_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        relative_value_iteration(soft_mdp, span_tolerance=1e-9)
+        vi_time = time.perf_counter() - t0
+        assert pi_time < vi_time

@@ -1,0 +1,141 @@
+"""Ablation: the value of the paper's transfer states.
+
+The transfer states are the paper's modeling novelty over [11]: they
+synchronize SQ and SP transitions, separate the SP's busy and idle
+phases, and -- crucially -- give the *asynchronous* PM a decision point
+at every service completion. This ablation builds both models on
+identical constants and compares each model's *predictions* against the
+event-driven simulator running the corresponding optimal policy:
+
+- ``with-transfer`` -- the paper's model, executed natively
+  (asynchronously): predictions match within a couple of percent;
+- ``lumped (event-driven)`` -- the no-transfer-state model's policy
+  executed asynchronously: its power-down decisions live in stable
+  states like ``(active, q0)`` where *no event ever fires* during the
+  idle lull, so the server never sleeps -- a catastrophic mismatch that
+  shows transfer states are what make event-driven power management
+  expressible at all;
+- ``lumped (clocked L=0.1)`` -- the same policy under its native
+  discrete-time executor (a fine 0.1 s clock): functional, but still
+  predicted less accurately than the transfer-state model predicts its
+  own policy (and the clock costs ~40x the PM activity; see the
+  asynchrony bench).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.policies import OptimalCTMDPPolicy, SynchronousPolicyWrapper
+from repro.sim import PoissonProcess, simulate
+
+WEIGHT = 1.0
+CLOCK_SLICE = 0.1
+
+
+def prediction_errors(n_requests: int, seed: int):
+    """Relative |analytic - simulated| for the three regimes."""
+    rows = {}
+
+    def run(model, policy, busy):
+        return simulate(
+            provider=model.provider,
+            capacity=model.capacity,
+            workload=PoissonProcess(model.requestor.rate),
+            policy=policy,
+            n_requests=n_requests,
+            seed=seed,
+            busy_powerdown=busy,
+        )
+
+    def record(label, metrics, sim):
+        rows[label] = {
+            "power_err": abs(sim.average_power - metrics.average_power)
+            / metrics.average_power,
+            "queue_err": abs(sim.average_queue_length - metrics.average_queue_length)
+            / max(metrics.average_queue_length, 1e-9),
+            "predicted_power": metrics.average_power,
+            "simulated_power": sim.average_power,
+        }
+
+    transfer_model = paper_system(include_transfer_states=True)
+    transfer_result = optimize_weighted(transfer_model, WEIGHT)
+    record(
+        "with-transfer",
+        transfer_result.metrics,
+        run(
+            transfer_model,
+            OptimalCTMDPPolicy(transfer_result.policy, transfer_model.capacity),
+            "reject",
+        ),
+    )
+
+    lumped_model = paper_system(include_transfer_states=False)
+    lumped_result = optimize_weighted(lumped_model, WEIGHT)
+    record(
+        "lumped (event-driven)",
+        lumped_result.metrics,
+        run(
+            lumped_model,
+            OptimalCTMDPPolicy(lumped_result.policy, lumped_model.capacity),
+            "preempt",
+        ),
+    )
+    record(
+        f"lumped (clocked L={CLOCK_SLICE:g})",
+        lumped_result.metrics,
+        run(
+            lumped_model,
+            SynchronousPolicyWrapper(
+                OptimalCTMDPPolicy(lumped_result.policy, lumped_model.capacity),
+                time_slice=CLOCK_SLICE,
+            ),
+            "preempt",
+        ),
+    )
+    return rows
+
+
+_cache = ResultCache(prediction_errors)
+
+
+@pytest.fixture(scope="module")
+def errors(bench_n_requests, bench_seed):
+    return _cache.get(bench_n_requests, bench_seed)
+
+
+def test_bench_ablation_transfer_states(benchmark, bench_n_requests, bench_seed):
+    rows = _cache.bench(benchmark, bench_n_requests, bench_seed)
+    print()
+    for label, row in rows.items():
+        print(
+            f"{label:>22}: predicted {row['predicted_power']:6.2f} W, "
+            f"simulated {row['simulated_power']:6.2f} W "
+            f"(power_err {row['power_err']:.2%}, queue_err {row['queue_err']:.2%})"
+        )
+
+
+class TestTransferStateAblationShape:
+    def test_transfer_model_is_accurate(self, errors):
+        row = errors["with-transfer"]
+        assert row["power_err"] < 0.04
+        assert row["queue_err"] < 0.08
+
+    def test_lumped_event_driven_is_catastrophic(self, errors):
+        # The asynchronous executor never reaches the lumped policy's
+        # stable-state power-down decisions: the server stays awake.
+        row = errors["lumped (event-driven)"]
+        assert row["power_err"] > 0.5
+        assert row["simulated_power"] > 3 * row["predicted_power"]
+
+    def test_lumped_clocked_is_functional_but_less_accurate(self, errors):
+        lumped = errors[f"lumped (clocked L={CLOCK_SLICE:g})"]
+        with_t = errors["with-transfer"]
+        assert lumped["power_err"] < 0.15  # functional under its clock
+        assert (
+            max(lumped["power_err"], lumped["queue_err"])
+            > max(with_t["power_err"], with_t["queue_err"])
+        )

@@ -1,0 +1,80 @@
+"""Figure 4: power--delay tradeoff, CTMDP-optimal vs N-policies.
+
+Regenerates the Figure-4 scatter (analytic + simulated, both families)
+and asserts the paper's claims:
+
+1. the optimal-policy curve dominates the N-policy curve -- for every
+   N-policy point some optimal point has no more power at no more
+   delay;
+2. the analytic ("functional") values agree with simulation within a
+   few percent (the paper reports "almost the same").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+_cache = ResultCache(lambda n: run_figure4(n_requests=n))
+
+
+@pytest.fixture(scope="module")
+def figure4_points(bench_n_requests):
+    return _cache.get(bench_n_requests)
+
+
+def test_bench_figure4(benchmark, bench_n_requests):
+    points = _cache.bench(benchmark, bench_n_requests)
+    assert len(points) >= 8
+    print()
+    print(format_figure4(points))
+
+
+class TestFigure4Shape:
+    def test_optimal_curve_dominates_npolicies(self, figure4_points):
+        # At each N-policy's own delay level the exact constrained
+        # optimum uses no more power (a tiny relative slack absorbs the
+        # 0.01%-scale effect of the finite self-switch stand-in, whose
+        # rate differs between the weighted sweep and the LP's mixture).
+        from repro.dpm.optimizer import optimize_constrained
+        from repro.dpm.presets import paper_system
+
+        model = paper_system()
+        for npol in (p for p in figure4_points if p.kind == "npolicy"):
+            optimal = optimize_constrained(model, npol.analytic_queue_length)
+            assert (
+                optimal.metrics.average_power
+                <= npol.analytic_power * (1 + 1e-4)
+            ), f"N={npol.parameter:g} not dominated"
+
+    def test_strictly_better_somewhere(self, figure4_points):
+        from repro.dpm.optimizer import optimize_constrained
+        from repro.dpm.presets import paper_system
+
+        model = paper_system()
+        margins = []
+        for npol in (p for p in figure4_points if p.kind == "npolicy"):
+            optimal = optimize_constrained(model, npol.analytic_queue_length)
+            margins.append(npol.analytic_power - optimal.metrics.average_power)
+        assert max(margins) > 0.1  # >0.1 W better at matched delay
+
+    def test_functional_matches_simulated(self, figure4_points):
+        for p in figure4_points:
+            assert p.simulated_power == pytest.approx(
+                p.analytic_power, rel=0.06
+            ), (p.kind, p.parameter)
+            assert p.simulated_queue_length == pytest.approx(
+                p.analytic_queue_length, rel=0.10
+            ), (p.kind, p.parameter)
+
+    def test_npolicy_family_ordered(self, figure4_points):
+        npols = sorted(
+            (p for p in figure4_points if p.kind == "npolicy"),
+            key=lambda p: p.parameter,
+        )
+        powers = [p.analytic_power for p in npols]
+        delays = [p.analytic_queue_length for p in npols]
+        assert powers == sorted(powers, reverse=True)
+        assert delays == sorted(delays)

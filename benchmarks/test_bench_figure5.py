@@ -1,0 +1,83 @@
+"""Figure 5: CTMDP-optimal vs greedy and timeout heuristics.
+
+Regenerates the Figure-5 series across input rates 1/8 .. 1/3 and
+asserts the paper's conclusion: "our algorithm gives best power
+dissipation while satisfying the performance constraint" -- i.e. among
+the policies meeting the waiting-time bound at a given rate, the
+CTMDP-optimal policy draws the least power; heuristics that draw less
+power violate the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+_cache = ResultCache(lambda n: run_figure5(n_requests=n))
+
+
+@pytest.fixture(scope="module")
+def figure5_points(bench_n_requests):
+    return _cache.get(bench_n_requests)
+
+
+def test_bench_figure5(benchmark, bench_n_requests):
+    points = _cache.bench(benchmark, bench_n_requests)
+    assert len(points) == 30  # 5 policies x 6 rates
+    print()
+    print(format_figure5(points))
+
+
+def by_rate(points):
+    rates = sorted({p.input_rate for p in points})
+    return {rate: {p.policy: p for p in points if p.input_rate == rate} for rate in rates}
+
+
+class TestFigure5Shape:
+    def test_optimal_meets_constraint_everywhere(self, figure5_points):
+        # Waiting time <= mean inter-arrival (10% slack for the
+        # stochastic run at reduced length).
+        for rate, policies in by_rate(figure5_points).items():
+            p = policies["ctmdp-optimal"]
+            assert p.simulated_waiting_time <= 1.10 / rate, rate
+
+    def test_optimal_is_cheapest_among_constraint_satisfiers(self, figure5_points):
+        for rate, policies in by_rate(figure5_points).items():
+            bound = 1.0 / rate
+            optimal_power = policies["ctmdp-optimal"].simulated_power
+            for name, p in policies.items():
+                if name == "ctmdp-optimal":
+                    continue
+                if p.simulated_waiting_time <= bound:
+                    assert optimal_power <= p.simulated_power + 1e-6, (rate, name)
+
+    def test_low_rate_optimal_wins_outright(self, figure5_points):
+        # At light load (1/8, 1/7, 1/6) every heuristic keeps the server
+        # up too long: the optimal policy draws strictly less power than
+        # all of them.
+        table = by_rate(figure5_points)
+        for rate in (1 / 8, 1 / 7, 1 / 6):
+            policies = table[rate]
+            optimal_power = policies["ctmdp-optimal"].simulated_power
+            for name, p in policies.items():
+                if name != "ctmdp-optimal":
+                    assert optimal_power < p.simulated_power, (rate, name)
+
+    def test_timeout_family_ordering(self, figure5_points):
+        # Longer timeouts burn more power at light load.
+        table = by_rate(figure5_points)
+        for rate in (1 / 8, 1 / 6):
+            policies = table[rate]
+            assert (
+                policies["timeout(1/lambda)"].simulated_power
+                > policies["timeout(0.5/lambda)"].simulated_power
+                > policies["timeout(1s)"].simulated_power
+            )
+
+    def test_power_rises_with_input_rate(self, figure5_points):
+        table = by_rate(figure5_points)
+        rates = sorted(table)
+        optimal_powers = [table[r]["ctmdp-optimal"].simulated_power for r in rates]
+        assert optimal_powers == sorted(optimal_powers)

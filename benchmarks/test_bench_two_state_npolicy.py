@@ -1,0 +1,155 @@
+"""Section V's two-state-server remark.
+
+"When the server has only two states: active and sleeping, it can
+easily be shown that the N-policy gives the minimum power compared to
+other stationary policies with the same performance constraint. ...
+for a system with more than two server states, the N-policy does not
+give the optimal power-delay tradeoff."
+
+This bench verifies both halves analytically on the paper's constants:
+
+- *two states*: every deterministic weighted-optimal policy found by
+  policy iteration lands exactly on an N-policy's (power, delay) point
+  -- the N-policy family IS the deterministic Pareto set. The check
+  runs at queue capacity 15 where losses are ~1e-9: the classical
+  claim (Heyman; the paper's [12]) assumes a lossless queue, and at
+  the paper's tiny Q=5 the optimizer can otherwise shave power by
+  deliberately dropping requests, which the N-policy family cannot
+  express. (Randomized mixtures can also interpolate *between*
+  N-policies; the remark concerns the classical deterministic class.)
+- *three states*: the optimum strictly beats the N-policy family --
+  there are delay levels where even the best N-policy wastes power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import ResultCache
+from repro.dpm.analysis import evaluate_dpm_policy
+from repro.dpm.model_policies import as_policy, n_policy_assignment
+from repro.dpm.optimizer import optimize_constrained
+from repro.dpm.presets import (
+    PAPER_SWITCHING_ENERGY,
+    PAPER_SWITCHING_TIMES,
+    paper_system,
+)
+from repro.dpm.service_provider import ServiceProvider
+from repro.dpm.service_requestor import ServiceRequestor
+from repro.dpm.system import PowerManagedSystemModel
+
+
+#: Deep enough that losses (~1e-9) cannot fund off-family policies.
+TWO_STATE_CAPACITY = 15
+
+
+def two_state_model() -> PowerManagedSystemModel:
+    idx = [0, 2]
+    provider = ServiceProvider.from_switching_times(
+        modes=("active", "sleeping"),
+        switching_times=PAPER_SWITCHING_TIMES[np.ix_(idx, idx)],
+        service_rates=(1 / 1.5, 0.0),
+        power=(40.0, 0.1),
+        switching_energy=PAPER_SWITCHING_ENERGY[np.ix_(idx, idx)],
+    )
+    return PowerManagedSystemModel(
+        provider, ServiceRequestor(1 / 6), capacity=TWO_STATE_CAPACITY
+    )
+
+
+WEIGHT_GRID = (0.3, 0.6, 1.0, 1.5, 2.5, 4.0, 8.0)
+
+
+def reference_points(model: PowerManagedSystemModel) -> "list[tuple[float, float]]":
+    """(power, delay) of every N-policy plus always-on."""
+    from repro.dpm.model_policies import always_on_assignment
+
+    mdp = model.build_ctmdp(0.0)
+    points = []
+    for n in range(1, model.capacity + 1):
+        m = evaluate_dpm_policy(model, as_policy(mdp, n_policy_assignment(model, n)))
+        points.append((m.average_power, m.average_queue_length))
+    m = evaluate_dpm_policy(model, as_policy(mdp, always_on_assignment(model)))
+    points.append((m.average_power, m.average_queue_length))
+    return points
+
+
+def deterministic_optimal_points(
+    model: PowerManagedSystemModel,
+) -> "list[tuple[float, float]]":
+    """(power, delay) of the policy-iteration optimum per weight."""
+    from repro.ctmdp.policy_iteration import policy_iteration
+
+    points = []
+    for weight in WEIGHT_GRID:
+        policy = policy_iteration(model.build_ctmdp(weight)).policy
+        m = evaluate_dpm_policy(model, policy)
+        points.append((m.average_power, m.average_queue_length))
+    return points
+
+
+def npolicy_gaps(model: PowerManagedSystemModel) -> "list[float]":
+    """Watts the exact constrained optimum saves at each N-policy's delay."""
+    mdp = model.build_ctmdp(0.0)
+    gaps = []
+    for n in range(1, model.capacity + 1):
+        npol = evaluate_dpm_policy(
+            model, as_policy(mdp, n_policy_assignment(model, n))
+        )
+        optimal = optimize_constrained(model, npol.average_queue_length)
+        gaps.append(npol.average_power - optimal.metrics.average_power)
+    return gaps
+
+
+def run_two_state_analysis():
+    two = two_state_model()
+    return {
+        "two_state_optimal": deterministic_optimal_points(two),
+        "two_state_reference": reference_points(two),
+        "three_state_gaps": npolicy_gaps(paper_system()),
+    }
+
+
+_cache = ResultCache(run_two_state_analysis)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return _cache.get()
+
+
+def _distance_to_references(point, references) -> float:
+    power, delay = point
+    return min(
+        max(abs(power - p) / max(p, 1e-9), abs(delay - d) / max(d, 1e-9))
+        for p, d in references
+    )
+
+
+def test_bench_two_state_npolicy(benchmark):
+    results = _cache.bench(benchmark)
+    print()
+    for point in results["two_state_optimal"]:
+        dist = _distance_to_references(point, results["two_state_reference"])
+        print(
+            f"2-state optimum P={point[0]:7.3f} W L={point[1]:6.3f} "
+            f"(distance to N-policy family: {dist:.2e})"
+        )
+    print(f"3-state N-policy gaps [W]: {[f'{g:.3f}' for g in results['three_state_gaps']]}")
+
+
+class TestTwoStateShape:
+    def test_two_state_deterministic_optima_are_npolicies(self, analysis):
+        for point in analysis["two_state_optimal"]:
+            assert (
+                _distance_to_references(point, analysis["two_state_reference"])
+                < 1e-6
+            ), point
+
+    def test_three_state_npolicy_is_suboptimal(self, analysis):
+        assert max(analysis["three_state_gaps"]) > 0.1
+
+    def test_three_state_gap_positive_at_most_delays(self, analysis):
+        positive = [g for g in analysis["three_state_gaps"] if g > 0.01]
+        assert len(positive) >= 3

@@ -1,0 +1,45 @@
+"""Regenerate every exhibit of the paper's evaluation (Section V).
+
+Prints the data behind Figure 4 (power--delay tradeoff vs N-policies),
+Table 1 (Little's-law approximation accuracy), and Figure 5 (comparison
+against greedy and timeout heuristics across input rates).
+
+Run:  python examples/paper_experiments.py [n_requests]
+
+With no argument the paper's full 50 000 requests per run are used
+(takes a few minutes); pass e.g. 10000 for a quick pass.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.setup import DEFAULT_N_REQUESTS
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def main() -> None:
+    n_requests = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_N_REQUESTS
+
+    print("=" * 72)
+    print("Figure 4: power-delay tradeoff, CTMDP-optimal vs N-policies")
+    print("=" * 72)
+    print(format_figure4(run_figure4(n_requests=n_requests)))
+
+    print()
+    print("=" * 72)
+    print("Table 1: accuracy of the Little's-law queue-length approximation")
+    print("=" * 72)
+    print(format_table1(run_table1(n_requests=n_requests)))
+
+    print()
+    print("=" * 72)
+    print("Figure 5: CTMDP-optimal vs greedy and timeout heuristics")
+    print("=" * 72)
+    print(format_figure5(run_figure5(n_requests=n_requests)))
+
+
+if __name__ == "__main__":
+    main()

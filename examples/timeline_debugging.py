@@ -1,0 +1,82 @@
+"""Inspecting a power-management policy with the timeline recorder.
+
+Aggregate metrics say *how much* power a policy draws; the timeline
+recorder shows *when and why*. This example runs the CTMDP-optimal
+policy with a recorder attached and walks through:
+
+- the mode-residency breakdown and the first few mode segments,
+- a sample request's lifecycle (arrival -> service start -> departure),
+- the energy spent in the first simulated hour vs a later hour,
+- where the PM's decisions cluster (event histogram).
+
+Run:  python examples/timeline_debugging.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dpm import paper_system
+from repro.dpm.optimizer import optimize_weighted
+from repro.experiments.reporting import format_table
+from repro.policies import OptimalCTMDPPolicy
+from repro.sim import PoissonProcess, simulate
+from repro.sim.recorder import TimelineRecorder
+
+
+def main() -> None:
+    model = paper_system()
+    solved = optimize_weighted(model, weight=1.0)
+    recorder = TimelineRecorder()
+    result = simulate(
+        provider=model.provider,
+        capacity=model.capacity,
+        workload=PoissonProcess(model.requestor.rate),
+        policy=OptimalCTMDPPolicy(solved.policy, model.capacity),
+        n_requests=5_000,
+        seed=11,
+        recorder=recorder,
+    )
+
+    print(f"simulated {result.elapsed:,.0f} s, {result.n_completed} requests served")
+    print()
+    print("mode residency:")
+    rows = [
+        (mode, recorder.busy_fraction(mode), result.mode_residency.get(mode, 0.0))
+        for mode in model.provider.modes
+    ]
+    print(format_table(("mode", "fraction", "seconds"), rows))
+
+    print()
+    print("first mode segments:")
+    rows = [
+        (f"{s.start:9.2f}", f"{s.end:9.2f}", s.mode, s.duration)
+        for s in recorder.mode_segments[:8]
+    ]
+    print(format_table(("start [s]", "end [s]", "mode", "duration [s]"), rows))
+
+    served = [r for r in recorder.requests if r.departure_time is not None]
+    sample = served[len(served) // 2]
+    print()
+    print(
+        f"request #{sample.request_id}: arrived {sample.arrival_time:.2f} s, "
+        f"service started {sample.service_start_time:.2f} s "
+        f"(queued {sample.service_start_time - sample.arrival_time:.2f} s), "
+        f"departed {sample.departure_time:.2f} s; SP was in mode "
+        f"'{recorder.mode_at(sample.arrival_time)}' at arrival"
+    )
+
+    hour = 3600.0
+    print()
+    print(
+        f"energy in hour 1: {recorder.energy_between(model.provider, 0, hour):,.0f} J; "
+        f"hour 5: {recorder.energy_between(model.provider, 4 * hour, 5 * hour):,.0f} J"
+    )
+
+    print()
+    counts = Counter(kind for _, kind in recorder.events)
+    print("event histogram:", dict(sorted(counts.items())))
+
+
+if __name__ == "__main__":
+    main()

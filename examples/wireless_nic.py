@@ -1,0 +1,122 @@
+"""Adaptive power management of a wireless NIC under bursty traffic.
+
+The paper's SR is a fixed-rate Poisson source, but Section III argues a
+PM can track a drifting rate online (within ~5 % after 50 observed
+inter-arrivals) and adapt its policy. This example makes that concrete:
+
+- the traffic is a two-phase MMPP (a bursty on/off source) and,
+  separately, a piecewise-rate ramp;
+- a *static* CTMDP policy solved for the long-run average rate is
+  compared against the *adaptive* policy that re-estimates the rate
+  from a sliding window and re-solves per rate band.
+
+Run:  python examples/wireless_nic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpm import ServiceRequestor, wireless_nic_provider
+from repro.dpm.adaptive import AdaptivePolicySolver
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.system import PowerManagedSystemModel
+from repro.experiments.reporting import format_table
+from repro.policies import AdaptiveCTMDPPolicy, OptimalCTMDPPolicy
+from repro.sim import MMPPProcess, PiecewiseRateProcess, simulate
+
+CAPACITY = 10
+WEIGHT = 0.02  # packets are cheap to delay relative to radio power
+N_REQUESTS = 30_000
+SEED = 23
+
+
+def bursty_workload() -> MMPPProcess:
+    """An on/off source: 50 pkt/s bursts, 2 pkt/s background."""
+    return MMPPProcess(
+        rates=(50.0, 2.0),
+        modulator=np.array([[-0.2, 0.2], [0.05, -0.05]]),  # 5 s bursts, 20 s lulls
+    )
+
+
+def ramp_workload() -> PiecewiseRateProcess:
+    """Rate ramps 2 -> 10 -> 40 -> 5 pkt/s over long segments."""
+    return PiecewiseRateProcess(
+        segments=((600.0, 2.0), (600.0, 10.0), (600.0, 40.0), (600.0, 5.0))
+    )
+
+
+def average_rate_mmpp(process: MMPPProcess) -> float:
+    """Long-run average rate of the MMPP (stationary phase mix)."""
+    from repro.markov.generator import stationary_distribution
+
+    p = stationary_distribution(process.modulator)
+    return float(p @ process.rates)
+
+
+def main() -> None:
+    provider = wireless_nic_provider()
+    rows = []
+    for label, workload_factory, mean_rate in (
+        ("bursty MMPP", bursty_workload, average_rate_mmpp(bursty_workload())),
+        ("rate ramp", ramp_workload, 14.25),  # time-average of the segments
+    ):
+        model = PowerManagedSystemModel(
+            provider=provider,
+            requestor=ServiceRequestor(mean_rate),
+            capacity=CAPACITY,
+        )
+        static = optimize_weighted(model, WEIGHT)
+        static_sim = simulate(
+            provider,
+            CAPACITY,
+            workload_factory(),
+            OptimalCTMDPPolicy(static.policy, CAPACITY, label="static"),
+            n_requests=N_REQUESTS,
+            seed=SEED,
+        )
+        adaptive_policy = AdaptiveCTMDPPolicy(
+            AdaptivePolicySolver(model, weight=WEIGHT, band_width=0.3)
+        )
+        adaptive_sim = simulate(
+            provider,
+            CAPACITY,
+            workload_factory(),
+            adaptive_policy,
+            n_requests=N_REQUESTS,
+            seed=SEED,
+        )
+        for name, sim in (("static", static_sim), ("adaptive", adaptive_sim)):
+            rows.append(
+                (
+                    label,
+                    name,
+                    1000.0 * sim.average_power,
+                    1000.0 * sim.average_waiting_time,
+                    sim.average_queue_length,
+                    sim.loss_probability,
+                )
+            )
+        print(
+            f"{label}: adaptive solved {adaptive_policy.n_solves} rate bands "
+            f"(final estimate {adaptive_policy.current_rate_estimate():.2f} pkt/s)"
+        )
+
+    print()
+    print(
+        format_table(
+            (
+                "workload",
+                "policy",
+                "power [mW]",
+                "avg waiting [ms]",
+                "avg queue",
+                "loss prob",
+            ),
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

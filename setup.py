@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The build environment is offline and lacks the ``wheel`` package, so the
+PEP-660 editable-install path (which needs ``bdist_wheel``) is
+unavailable; this file enables the legacy ``pip install -e .
+--no-use-pep517`` route. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro -- CTMDP-based dynamic power management.
+
+A production-quality reproduction of Qiu & Pedram, "Dynamic Power
+Management Based on Continuous-Time Markov Decision Processes"
+(DAC 1999), built from first principles:
+
+- :mod:`repro.markov` -- continuous-time Markov chain substrate;
+- :mod:`repro.ctmdp` -- CTMDP solvers (policy iteration, value
+  iteration, occupation-measure LP, discounted);
+- :mod:`repro.dpm` -- the paper's SP/SQ/SR system model with transfer
+  states, cost model, analytic evaluation, and the policy-optimization
+  workflow;
+- :mod:`repro.policies` -- event-driven power managers (CTMDP-optimal,
+  N-policy, greedy, timeout, always-on, oracle);
+- :mod:`repro.sim` -- the event-driven system simulator;
+- :mod:`repro.queueing` -- closed-form queueing results for
+  cross-validation;
+- :mod:`repro.experiments` -- drivers regenerating the paper's
+  Figure 4, Table 1, and Figure 5.
+
+Quickstart::
+
+    from repro.dpm import paper_system, optimize_weighted
+
+    model = paper_system()
+    result = optimize_weighted(model, weight=1.0)
+    print(result.metrics.average_power, result.metrics.average_queue_length)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    InfeasibleConstraintError,
+    InvalidGeneratorError,
+    InvalidModelError,
+    InvalidPolicyError,
+    NotIrreducibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+__all__ = [
+    "InfeasibleConstraintError",
+    "InvalidGeneratorError",
+    "InvalidModelError",
+    "InvalidPolicyError",
+    "NotIrreducibleError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "__version__",
+]

@@ -1,0 +1,256 @@
+"""Command-line interface: ``repro-dpm``.
+
+Subcommands:
+
+- ``solve`` -- optimize the power-management policy for a system
+  (weighted or delay-constrained) and print the policy table plus
+  analytic metrics.
+- ``simulate`` -- run a named policy through the event-driven simulator
+  and print (optionally JSON-dump) the measured metrics.
+- ``frontier`` -- print the exact deterministic power--delay frontier.
+- ``experiments`` -- regenerate the paper's Figure 4, Table 1, or
+  Figure 5 tables.
+
+All subcommands default to the paper's Section-V system; ``--rate``,
+``--capacity``, and ``--weight`` adjust it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.dpm.optimizer import optimize_constrained, optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.experiments.reporting import format_table
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rate", type=float, default=1 / 6,
+        help="arrival rate lambda in requests/second (default: 1/6)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=5,
+        help="queue capacity Q (default: 5)",
+    )
+
+
+def _build_model(args: argparse.Namespace):
+    return paper_system(arrival_rate=args.rate, capacity=args.capacity)
+
+
+def _metrics_rows(metrics) -> "list[tuple[str, float]]":
+    return [
+        ("average power [W]", metrics.average_power),
+        ("average queue length", metrics.average_queue_length),
+        ("average waiting time [s]", metrics.average_waiting_time),
+        ("loss rate [1/s]", metrics.loss_rate),
+    ]
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    model = _build_model(args)
+    if args.max_queue_length is not None:
+        result = optimize_constrained(model, args.max_queue_length)
+        print(f"constrained optimum (L <= {args.max_queue_length:g}):")
+    else:
+        result = optimize_weighted(model, args.weight)
+        print(f"weighted optimum (w = {args.weight:g}):")
+    print(format_table(("metric", "value"), _metrics_rows(result.metrics)))
+    if args.show_policy:
+        from repro.ctmdp.policy import RandomizedPolicy
+
+        print()
+        policy = result.policy
+        if isinstance(policy, RandomizedPolicy):
+            rows = [
+                (repr(s), ", ".join(f"{a}:{p:.3f}" for a, p in d.items() if p > 0))
+                for s, d in (
+                    (s, policy.distribution(s)) for s in policy.mdp.states
+                )
+            ]
+        else:
+            rows = sorted(
+                ((repr(s), a) for s, a in policy.as_dict().items())
+            )
+        print(format_table(("system state", "command"), rows))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.policies import (
+        AlwaysOnPolicy,
+        GreedyPolicy,
+        NPolicy,
+        OptimalCTMDPPolicy,
+        TimeoutPolicy,
+    )
+    from repro.sim import PoissonProcess, simulate
+
+    model = _build_model(args)
+    if args.policy == "optimal":
+        solved = optimize_weighted(model, args.weight)
+        policy = OptimalCTMDPPolicy(solved.policy, model.capacity)
+    elif args.policy == "greedy":
+        policy = GreedyPolicy(model.provider)
+    elif args.policy == "always-on":
+        policy = AlwaysOnPolicy(model.provider)
+    elif args.policy.startswith("npolicy:"):
+        policy = NPolicy(int(args.policy.split(":", 1)[1]), model.provider)
+    elif args.policy.startswith("timeout:"):
+        policy = TimeoutPolicy(float(args.policy.split(":", 1)[1]), model.provider)
+    else:
+        print(f"unknown policy {args.policy!r}", file=sys.stderr)
+        return 2
+    result = simulate(
+        provider=model.provider,
+        capacity=model.capacity,
+        workload=PoissonProcess(model.requestor.rate),
+        policy=policy,
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    rows = [
+        ("policy", result.policy_name),
+        ("average power [W]", result.average_power),
+        ("average queue length", result.average_queue_length),
+        ("average waiting time [s]", result.average_waiting_time),
+        ("loss probability", result.loss_probability),
+        ("PM invocations", result.n_pm_invocations),
+    ]
+    print(format_table(("metric", "value"), rows))
+    if args.json_out:
+        from repro.sim.trace_io import save_result
+
+        save_result(result, args.json_out)
+        print(f"result written to {args.json_out}")
+    return 0
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.dpm.pareto import deterministic_frontier
+
+    model = _build_model(args)
+    frontier = deterministic_frontier(model, max_weight=args.max_weight)
+    rows = [
+        (f"{p.weight:.5f}", p.power, p.delay, p.metrics.average_waiting_time)
+        for p in frontier
+    ]
+    print(
+        format_table(
+            ("weight", "power [W]", "avg queue", "avg waiting [s]"), rows
+        )
+    )
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    """Print the model structure (the paper's Figures 1/2 as text)."""
+    from repro.dpm.describe import describe_service_provider, describe_service_queue
+
+    model = _build_model(args)
+    print("service provider (Figure 1, Example 4.1 policy):")
+    for line in describe_service_provider(
+        model.provider,
+        {"active": "waiting", "waiting": "sleeping", "sleeping": "active"},
+    ):
+        print(f"  {line}")
+    print()
+    print("service queue with transfer states (Figure 2, sleep at transfers):")
+    for line in describe_service_queue(
+        model, sp_mode="active", transfer_action="sleeping"
+    ):
+        print(f"  {line}")
+    print()
+    print(
+        f"joint state space: {model.n_states} states "
+        f"({len(model.provider.modes)} modes x {model.capacity + 1} stable "
+        f"+ {len(model.provider.active_modes)} x {model.capacity} transfer)"
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    if args.exhibit == "figure4":
+        from repro.experiments.figure4 import format_figure4, run_figure4
+
+        rows = run_figure4(n_requests=args.requests)
+        print(format_figure4(rows))
+    elif args.exhibit == "table1":
+        from repro.experiments.table1 import format_table1, run_table1
+
+        rows = run_table1(n_requests=args.requests)
+        print(format_table1(rows))
+    else:
+        from repro.experiments.figure5 import format_figure5, run_figure5
+
+        rows = run_figure5(n_requests=args.requests)
+        print(format_figure5(rows))
+    if args.csv_out:
+        from repro.experiments.export import export_rows
+
+        export_rows(rows, args.csv_out)
+        print(f"rows written to {args.csv_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm",
+        description="CTMDP-based dynamic power management (Qiu & Pedram, DAC 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="optimize a power-management policy")
+    _add_model_arguments(solve)
+    solve.add_argument("--weight", type=float, default=1.0,
+                       help="performance weight w of Eqn. 3.1 (default: 1)")
+    solve.add_argument("--max-queue-length", type=float, default=None,
+                       help="delay bound D_M; switches to constrained mode")
+    solve.add_argument("--show-policy", action="store_true",
+                       help="print the full state->command table")
+    solve.set_defaults(func=cmd_solve)
+
+    simulate_p = sub.add_parser("simulate", help="run the event-driven simulator")
+    _add_model_arguments(simulate_p)
+    simulate_p.add_argument("--policy", default="optimal",
+                            help="optimal | greedy | always-on | npolicy:N | timeout:SECONDS")
+    simulate_p.add_argument("--weight", type=float, default=1.0,
+                            help="weight used when --policy=optimal")
+    simulate_p.add_argument("--requests", type=int, default=50_000,
+                            help="requests to generate (default: 50000)")
+    simulate_p.add_argument("--seed", type=int, default=0)
+    simulate_p.add_argument("--json-out", default=None,
+                            help="also dump the result as JSON to this path")
+    simulate_p.set_defaults(func=cmd_simulate)
+
+    frontier = sub.add_parser("frontier", help="print the exact Pareto frontier")
+    _add_model_arguments(frontier)
+    frontier.add_argument("--max-weight", type=float, default=1e3)
+    frontier.set_defaults(func=cmd_frontier)
+
+    describe = sub.add_parser(
+        "describe", help="print the model structure (Figures 1/2 as text)"
+    )
+    _add_model_arguments(describe)
+    describe.set_defaults(func=cmd_describe)
+
+    experiments = sub.add_parser("experiments", help="regenerate a paper exhibit")
+    experiments.add_argument("exhibit", choices=("figure4", "table1", "figure5"))
+    experiments.add_argument("--requests", type=int, default=50_000)
+    experiments.add_argument("--csv-out", default=None,
+                             help="also export the series as CSV to this path")
+    experiments.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

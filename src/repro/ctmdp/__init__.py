@@ -1,0 +1,53 @@
+"""Continuous-time Markov decision process (CTMDP) solvers.
+
+Implements the decision-theoretic layer of the paper:
+
+- :mod:`repro.ctmdp.model` -- the CTMDP value type: per-state action
+  sets, action-parameterized transition rates, action-dependent cost
+  rates and transition (impulse) costs.
+- :mod:`repro.ctmdp.policy` -- stationary deterministic (and randomized)
+  policies, plus policy evaluation helpers.
+- :mod:`repro.ctmdp.policy_iteration` -- Howard-style average-cost policy
+  iteration in continuous time (the paper's solver, after Miller [9] and
+  Howard [10]).
+- :mod:`repro.ctmdp.value_iteration` -- relative value iteration on the
+  uniformized chain (a baseline solver with identical fixed points).
+- :mod:`repro.ctmdp.linear_program` -- the occupation-measure linear
+  program of Paleologo et al. (DAC 1998) [11], the approach this paper
+  compares against; also solves the *constrained* problem (min power
+  s.t. delay bound) exactly, producing possibly-randomized policies.
+- :mod:`repro.ctmdp.discounted` -- discounted-cost policy iteration
+  (Theorem 2.2/2.3 context; used by the discount-sweep ablation).
+- :mod:`repro.ctmdp.uniformization` -- CTMDP -> DTMDP conversion.
+"""
+
+from repro.ctmdp.discounted import discounted_policy_iteration
+from repro.ctmdp.linear_program import (
+    LinearProgramResult,
+    solve_average_cost_lp,
+    solve_constrained_lp,
+)
+from repro.ctmdp.model import CTMDP, StateActionData
+from repro.ctmdp.policy import Policy, PolicyEvaluation, RandomizedPolicy, evaluate_policy
+from repro.ctmdp.policy_iteration import PolicyIterationResult, policy_iteration
+from repro.ctmdp.uniformization import UniformizedMDP, uniformize_ctmdp
+from repro.ctmdp.value_iteration import ValueIterationResult, relative_value_iteration
+
+__all__ = [
+    "CTMDP",
+    "LinearProgramResult",
+    "Policy",
+    "PolicyEvaluation",
+    "PolicyIterationResult",
+    "RandomizedPolicy",
+    "StateActionData",
+    "UniformizedMDP",
+    "ValueIterationResult",
+    "discounted_policy_iteration",
+    "evaluate_policy",
+    "policy_iteration",
+    "relative_value_iteration",
+    "solve_average_cost_lp",
+    "solve_constrained_lp",
+    "uniformize_ctmdp",
+]

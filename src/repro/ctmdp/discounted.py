@@ -1,0 +1,121 @@
+"""Discounted-cost policy iteration for CTMDPs.
+
+The discounted criterion (the paper's ``v_dis`` with discount factor
+``a > 0``, Section II) values a cost stream ``c(t)`` as
+``integral e^{-a t} c(t) dt``. For a stationary policy the value vector
+solves ``(a I - G) v = c``; policy improvement picks, per state, the
+action minimizing ``c_i(a) + sum_j s_ij(a) v_j`` (equivalently the
+action whose one-step discounted lookahead is cheapest).
+
+Theorem 2.2 guarantees a stationary a-optimal policy exists; Theorem 2.3
+says that as ``a -> 0`` the discounted-optimal policies converge to an
+average-optimal policy -- the discount-sweep ablation bench demonstrates
+exactly this on the paper's DPM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy
+
+
+@dataclass(frozen=True)
+class DiscountedResult:
+    """Outcome of :func:`discounted_policy_iteration`.
+
+    Attributes
+    ----------
+    policy:
+        The a-optimal deterministic stationary policy.
+    values:
+        Its expected total discounted cost per starting state.
+    discount:
+        The discount factor used.
+    iterations:
+        Improvement rounds performed.
+    """
+
+    policy: Policy
+    values: np.ndarray
+    discount: float
+    iterations: int
+
+
+def _evaluate_discounted(policy: Policy, discount: float) -> np.ndarray:
+    """Solve ``(a I - G) v = c`` for the policy's value vector."""
+    g = policy.generator_matrix()
+    c = policy.cost_vector()
+    n = g.shape[0]
+    a = discount * np.eye(n) - g
+    try:
+        return np.linalg.solve(a, c)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - a>0 keeps this regular
+        raise SolverError("discounted evaluation system is singular") from exc
+
+
+def discounted_policy_iteration(
+    mdp: CTMDP,
+    discount: float,
+    initial_policy: Optional[Policy] = None,
+    max_iterations: int = 1000,
+    atol: float = 1e-9,
+) -> DiscountedResult:
+    """Find the a-optimal stationary policy by policy iteration.
+
+    Parameters
+    ----------
+    mdp:
+        The model.
+    discount:
+        The paper's ``a``; must be positive. Small values approximate the
+        average-cost criterion (Theorem 2.3).
+    initial_policy:
+        Starting point; defaults to the first-listed action per state.
+    max_iterations, atol:
+        Termination controls; see
+        :func:`repro.ctmdp.policy_iteration.policy_iteration`.
+    """
+    if discount <= 0:
+        raise ValueError(f"discount factor must be positive, got {discount}")
+    mdp.validate()
+    if initial_policy is None:
+        policy = Policy(mdp, {s: mdp.actions(s)[0] for s in mdp.states})
+    else:
+        policy = initial_policy
+    values = _evaluate_discounted(policy, discount)
+    for iteration in range(1, max_iterations + 1):
+        assignment = {}
+        changed = False
+        for state in mdp.states:
+            incumbent = policy.action(state)
+            best_action = incumbent
+            best_value = mdp.cost(state, incumbent) + float(
+                mdp.generator_row(state, incumbent) @ values
+            )
+            for action in mdp.actions(state):
+                if action == incumbent:
+                    continue
+                value = mdp.cost(state, action) + float(
+                    mdp.generator_row(state, action) @ values
+                )
+                if value < best_value - atol:
+                    best_value = value
+                    best_action = action
+            assignment[state] = best_action
+            if best_action != incumbent:
+                changed = True
+        policy = Policy(mdp, assignment)
+        values = _evaluate_discounted(policy, discount)
+        if not changed:
+            return DiscountedResult(
+                policy=policy, values=values, discount=discount, iterations=iteration
+            )
+    raise SolverError(
+        f"discounted policy iteration did not converge in {max_iterations} iterations"
+    )

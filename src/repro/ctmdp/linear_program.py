@@ -1,0 +1,195 @@
+"""Occupation-measure linear programming for average-cost CTMDPs.
+
+This is the optimization approach of Paleologo, Benini et al. (DAC 1998)
+[11] -- the prior work the paper compares itself against -- lifted to
+continuous time. Decision variables ``x_ia >= 0`` are stationary
+state-action probabilities; the LP is::
+
+    minimize    sum_{i,a} x_ia c_i(a)
+    subject to  sum_{i,a} x_ia s_ij(a) = 0      for every state j
+                sum_{i,a} x_ia = 1
+                [optional]  sum_{i,a} x_ia d_i(a) <= bound
+
+where the first constraint family is global balance under the mixed
+policy. The optional linear constraints make this solver handle the
+paper's *constrained* formulation (min average power subject to an
+average-queue-length bound, Section IV) exactly; the optimum of a
+constrained MDP may randomize in at most one state per active
+constraint, hence the randomized-policy return type.
+
+Solved with ``scipy.optimize.linprog`` (HiGHS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleConstraintError, SolverError
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy, RandomizedPolicy
+
+#: Occupation probabilities below this are treated as numerically zero
+#: when extracting a policy.
+OCCUPATION_EPS = 1e-10
+
+
+@dataclass(frozen=True)
+class LinearProgramResult:
+    """Outcome of the LP solvers.
+
+    Attributes
+    ----------
+    policy:
+        The stationary randomized policy read off the optimal occupation
+        measure (deterministic policies appear as point masses).
+    deterministic_policy:
+        Most-probable-action rounding of ``policy``.
+    gain:
+        Optimal average cost rate (the LP objective value).
+    occupation:
+        ``{(state, action): probability}`` for pairs above
+        :data:`OCCUPATION_EPS`.
+    extra_cost_values:
+        Average rate of each named extra cost under the optimal measure.
+    """
+
+    policy: RandomizedPolicy
+    deterministic_policy: Policy
+    gain: float
+    occupation: "Dict[Tuple[Hashable, Hashable], float]"
+    extra_cost_values: "Dict[str, float]"
+
+
+def _build_lp(mdp: CTMDP):
+    """Assemble shared LP pieces; returns (pairs, costs, A_eq, b_eq)."""
+    mdp.validate()
+    pairs = mdp.state_action_pairs()
+    n_vars = len(pairs)
+    n = mdp.n_states
+    costs = np.array([mdp.cost(s, a) for s, a in pairs])
+    # Balance rows (one per state) + normalization row.
+    a_eq = np.zeros((n + 1, n_vars))
+    for k, (state, action) in enumerate(pairs):
+        a_eq[:n, k] = mdp.generator_row(state, action)
+        a_eq[n, k] = 1.0
+    b_eq = np.zeros(n + 1)
+    b_eq[n] = 1.0
+    return pairs, costs, a_eq, b_eq
+
+
+def _extract_result(
+    mdp: CTMDP, pairs, x: np.ndarray, gain: float
+) -> LinearProgramResult:
+    """Turn an optimal occupation vector into policies and summaries."""
+    occupation: Dict[Tuple[Hashable, Hashable], float] = {}
+    state_mass: Dict[Hashable, float] = {s: 0.0 for s in mdp.states}
+    for (state, action), value in zip(pairs, x):
+        if value > OCCUPATION_EPS:
+            occupation[(state, action)] = float(value)
+            state_mass[state] += float(value)
+    distributions: Dict[Hashable, Dict[Hashable, float]] = {}
+    for state in mdp.states:
+        mass = state_mass[state]
+        if mass > OCCUPATION_EPS:
+            dist = {
+                a: occupation.get((state, a), 0.0) / mass for a in mdp.actions(state)
+            }
+        else:
+            # Zero-occupancy (transient under the optimum) state: choose
+            # the cheapest action -- any choice preserves optimality.
+            cheapest = min(mdp.actions(state), key=lambda a: mdp.cost(state, a))
+            dist = {cheapest: 1.0}
+        total = sum(dist.values())
+        distributions[state] = {a: p / total for a, p in dist.items()}
+    randomized = RandomizedPolicy(mdp, distributions)
+    extra_names = set()
+    for state, action in pairs:
+        extra_names.update(mdp.data(state, action).extra_costs)
+    extra_values = {
+        name: float(
+            sum(
+                occupation.get((s, a), 0.0) * mdp.extra_cost(s, a, name)
+                for s, a in pairs
+            )
+        )
+        for name in sorted(extra_names)
+    }
+    return LinearProgramResult(
+        policy=randomized,
+        deterministic_policy=randomized.deterministic_rounding(),
+        gain=float(gain),
+        occupation=occupation,
+        extra_cost_values=extra_values,
+    )
+
+
+def solve_average_cost_lp(mdp: CTMDP) -> LinearProgramResult:
+    """Minimize the long-run average cost rate over stationary policies.
+
+    For unichain models the optimal basic solution is deterministic and
+    agrees with policy iteration.
+    """
+    pairs, costs, a_eq, b_eq = _build_lp(mdp)
+    result = linprog(costs, A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+    if not result.success:
+        raise SolverError(f"average-cost LP failed: {result.message}")
+    return _extract_result(mdp, pairs, result.x, result.fun)
+
+
+def solve_constrained_lp(
+    mdp: CTMDP,
+    objective: str,
+    constraints: Mapping[str, float],
+) -> LinearProgramResult:
+    """Minimize one named cost subject to bounds on other named costs.
+
+    This solves the paper's Section-IV constrained formulation directly::
+
+        min  avg rate of ``objective``
+        s.t. avg rate of name <= bound   for each (name, bound)
+
+    Parameters
+    ----------
+    mdp:
+        Model whose state-action pairs carry ``extra_costs`` entries for
+        ``objective`` and every constraint name (e.g. ``"power"`` and
+        ``"queue_length"``).
+    objective:
+        Name of the extra cost to minimize.
+    constraints:
+        ``{name: upper_bound}`` on average rates.
+
+    Raises
+    ------
+    InfeasibleConstraintError
+        If no stationary policy satisfies the bounds.
+    """
+    pairs, _, a_eq, b_eq = _build_lp(mdp)
+    obj = np.array([mdp.extra_cost(s, a, objective) for s, a in pairs])
+    a_ub_rows = []
+    b_ub_vals = []
+    for name, bound in constraints.items():
+        a_ub_rows.append([mdp.extra_cost(s, a, name) for s, a in pairs])
+        b_ub_vals.append(float(bound))
+    a_ub = np.array(a_ub_rows) if a_ub_rows else None
+    b_ub = np.array(b_ub_vals) if b_ub_vals else None
+    result = linprog(
+        obj,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=(0, None),
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleConstraintError(
+            f"no stationary policy satisfies {dict(constraints)!r}"
+        )
+    if not result.success:
+        raise SolverError(f"constrained LP failed: {result.message}")
+    return _extract_result(mdp, pairs, result.x, result.fun)

@@ -1,0 +1,209 @@
+"""The CTMDP model type.
+
+A continuous-time Markov decision process is a controllable Markov
+process with costs (Section II). For every state ``i`` there is a finite
+action set ``A_i``; choosing action ``a`` in state ``i`` selects
+
+- a row of transition rates ``s_ij(a) >= 0`` (``j != i``),
+- a cost rate ``c_ii(i, a)`` accrued per unit time in ``i``, and
+- impulse costs ``c_ij(i, a)`` paid on each ``i -> j`` transition.
+
+Following the paper we work with the *effective cost rate*
+``c_i(a) = c_ii(i, a) + sum_{j != i} s_ij(a) c_ij(i, a)``, which folds
+impulse costs into an equivalent rate (Section II, "earning rate").
+
+The model is deliberately dense and explicit -- DPM state spaces are
+small (tens of states) and clarity beats sparsity here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+@dataclass(frozen=True)
+class StateActionData:
+    """Rates and costs for one ``<state, action>`` pair.
+
+    Attributes
+    ----------
+    rates:
+        Length-``n`` vector of transition rates out of the state; the
+        entry for the state itself must be zero (diagonals follow from
+        Eqn. 2.4 and are computed on demand).
+    cost_rate:
+        Per-unit-time cost ``c_ii`` while occupying the state under this
+        action.
+    impulse_costs:
+        Optional length-``n`` vector of per-transition costs ``c_ij``.
+    extra_costs:
+        Optional named auxiliary cost rates (e.g. separate ``power`` and
+        ``delay`` components) used by constrained optimization; each is a
+        scalar rate for this state-action pair.
+    """
+
+    rates: np.ndarray
+    cost_rate: float
+    impulse_costs: Optional[np.ndarray] = None
+    extra_costs: "Dict[str, float]" = field(default_factory=dict)
+
+    def effective_cost_rate(self) -> float:
+        """``c_ii + sum_j s_ij c_ij`` -- impulse costs folded to a rate."""
+        total = float(self.cost_rate)
+        if self.impulse_costs is not None:
+            total += float(self.rates @ self.impulse_costs)
+        return total
+
+
+class CTMDP:
+    """A finite CTMDP with labeled states and hashable actions.
+
+    Parameters
+    ----------
+    states:
+        Unique hashable state labels.
+
+    Build the model incrementally with :meth:`add_action`, then query it
+    through :meth:`actions`, :meth:`data`, :meth:`generator_row` and
+    friends. :meth:`validate` checks that every state has at least one
+    action and all shapes agree.
+    """
+
+    def __init__(self, states: Sequence[Hashable]) -> None:
+        self._states: Tuple[Hashable, ...] = tuple(states)
+        if len(set(self._states)) != len(self._states):
+            raise InvalidModelError("state labels must be unique")
+        if not self._states:
+            raise InvalidModelError("a CTMDP needs at least one state")
+        self._index = {s: i for i, s in enumerate(self._states)}
+        self._table: "Dict[int, Dict[Hashable, StateActionData]]" = {
+            i: {} for i in range(len(self._states))
+        }
+
+    # -- construction --------------------------------------------------------
+
+    def add_action(
+        self,
+        state: Hashable,
+        action: Hashable,
+        rates: np.ndarray,
+        cost_rate: float,
+        impulse_costs: Optional[np.ndarray] = None,
+        extra_costs: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Register *action* as available in *state* with the given data.
+
+        ``rates`` must be non-negative with a zero entry for *state*
+        itself. Re-adding an existing ``(state, action)`` pair is an
+        error -- models are built once, not mutated.
+        """
+        i = self.index_of(state)
+        if action in self._table[i]:
+            raise InvalidModelError(f"action {action!r} already defined for {state!r}")
+        r = np.asarray(rates, dtype=float)
+        n = self.n_states
+        if r.shape != (n,):
+            raise InvalidModelError(
+                f"rates shape {r.shape} does not match {n} states"
+            )
+        if np.any(r < 0):
+            raise InvalidModelError(
+                f"negative rate in {state!r}/{action!r}: min={r.min():g}"
+            )
+        if r[i] != 0.0:
+            raise InvalidModelError(
+                f"self-rate must be zero for {state!r}/{action!r} "
+                "(diagonals follow from Eqn. 2.4)"
+            )
+        imp = None
+        if impulse_costs is not None:
+            imp = np.asarray(impulse_costs, dtype=float)
+            if imp.shape != (n,):
+                raise InvalidModelError(
+                    f"impulse_costs shape {imp.shape} does not match {n} states"
+                )
+        self._table[i][action] = StateActionData(
+            rates=r,
+            cost_rate=float(cost_rate),
+            impulse_costs=imp,
+            extra_costs=dict(extra_costs or {}),
+        )
+
+    def validate(self) -> None:
+        """Check every state has at least one action."""
+        missing = [self._states[i] for i, acts in self._table.items() if not acts]
+        if missing:
+            raise InvalidModelError(f"states with no actions: {missing!r}")
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def states(self) -> Tuple[Hashable, ...]:
+        return self._states
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: Hashable) -> int:
+        try:
+            return self._index[state]
+        except KeyError:
+            raise InvalidModelError(f"unknown state {state!r}") from None
+
+    def actions(self, state: Hashable) -> "List[Hashable]":
+        """Available actions in *state*, in insertion order."""
+        return list(self._table[self.index_of(state)].keys())
+
+    def data(self, state: Hashable, action: Hashable) -> StateActionData:
+        """The :class:`StateActionData` of a ``(state, action)`` pair."""
+        i = self.index_of(state)
+        try:
+            return self._table[i][action]
+        except KeyError:
+            raise InvalidModelError(
+                f"action {action!r} not available in state {state!r}"
+            ) from None
+
+    def generator_row(self, state: Hashable, action: Hashable) -> np.ndarray:
+        """Full generator row including the Eqn.-2.4 diagonal entry."""
+        i = self.index_of(state)
+        d = self.data(state, action)
+        row = d.rates.copy()
+        row[i] = -row.sum()
+        return row
+
+    def cost(self, state: Hashable, action: Hashable) -> float:
+        """Effective cost rate (impulse costs folded in)."""
+        return self.data(state, action).effective_cost_rate()
+
+    def extra_cost(self, state: Hashable, action: Hashable, name: str) -> float:
+        """A named auxiliary cost rate, 0.0 if absent."""
+        return self.data(state, action).extra_costs.get(name, 0.0)
+
+    def state_action_pairs(self) -> "List[Tuple[Hashable, Hashable]]":
+        """All ``(state, action)`` pairs in deterministic order."""
+        pairs: List[Tuple[Hashable, Hashable]] = []
+        for i, state in enumerate(self._states):
+            pairs.extend((state, a) for a in self._table[i])
+        return pairs
+
+    def max_exit_rate(self) -> float:
+        """The largest total exit rate over all state-action pairs.
+
+        This is the minimal admissible uniformization constant.
+        """
+        best = 0.0
+        for acts in self._table.values():
+            for d in acts.values():
+                best = max(best, float(d.rates.sum()))
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n_pairs = sum(len(a) for a in self._table.values())
+        return f"CTMDP(n_states={self.n_states}, n_state_actions={n_pairs})"

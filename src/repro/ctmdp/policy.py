@@ -1,0 +1,253 @@
+"""Stationary policies for CTMDPs and their exact evaluation.
+
+Definition 2.8: a policy is *stationary* when the chosen action depends
+only on the state. Theorems 2.2/2.3 justify restricting the optimization
+to stationary policies, which is what this module represents:
+
+- :class:`Policy` -- deterministic stationary: one action per state.
+- :class:`RandomizedPolicy` -- a distribution over actions per state
+  (produced by the constrained LP solver when the optimum requires
+  randomization).
+- :func:`evaluate_policy` -- exact average-cost evaluation: gain ``g``
+  and bias ``h`` from the linear system ``c + G h = g 1`` with a
+  reference-state normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import InvalidPolicyError, SolverError
+from repro.ctmdp.model import CTMDP
+from repro.markov.chain import ContinuousTimeMarkovChain
+
+
+class Policy:
+    """A deterministic stationary policy: ``state -> action``.
+
+    Immutable mapping over exactly the state set of a given CTMDP.
+    """
+
+    def __init__(self, mdp: CTMDP, assignment: Mapping[Hashable, Hashable]) -> None:
+        self._mdp = mdp
+        missing = [s for s in mdp.states if s not in assignment]
+        if missing:
+            raise InvalidPolicyError(f"policy misses states: {missing!r}")
+        extra = [s for s in assignment if s not in set(mdp.states)]
+        if extra:
+            raise InvalidPolicyError(f"policy names unknown states: {extra!r}")
+        for state in mdp.states:
+            action = assignment[state]
+            if action not in mdp.actions(state):
+                raise InvalidPolicyError(
+                    f"action {action!r} is not available in state {state!r}"
+                )
+        self._assignment: Dict[Hashable, Hashable] = {
+            s: assignment[s] for s in mdp.states
+        }
+
+    @property
+    def mdp(self) -> CTMDP:
+        return self._mdp
+
+    def action(self, state: Hashable) -> Hashable:
+        return self._assignment[state]
+
+    def as_dict(self) -> "Dict[Hashable, Hashable]":
+        return dict(self._assignment)
+
+    def generator_matrix(self) -> np.ndarray:
+        """Generator of the CTMC induced by this policy."""
+        n = self._mdp.n_states
+        g = np.zeros((n, n))
+        for i, state in enumerate(self._mdp.states):
+            g[i, :] = self._mdp.generator_row(state, self._assignment[state])
+        return g
+
+    def cost_vector(self) -> np.ndarray:
+        """Effective cost rates under this policy, per state."""
+        return np.array(
+            [self._mdp.cost(s, self._assignment[s]) for s in self._mdp.states]
+        )
+
+    def extra_cost_vector(self, name: str) -> np.ndarray:
+        """A named auxiliary cost-rate vector under this policy."""
+        return np.array(
+            [self._mdp.extra_cost(s, self._assignment[s], name) for s in self._mdp.states]
+        )
+
+    def induced_chain(self) -> ContinuousTimeMarkovChain:
+        """The labeled CTMC this policy induces."""
+        return ContinuousTimeMarkovChain(self.generator_matrix(), self._mdp.states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Policy):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._assignment.items(), key=repr)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Policy({self._assignment!r})"
+
+
+class RandomizedPolicy:
+    """A stationary randomized policy: per-state action distribution.
+
+    Produced by the constrained LP (the optimum of a constrained MDP may
+    require randomizing in at most one state per active constraint).
+    """
+
+    def __init__(
+        self,
+        mdp: CTMDP,
+        distributions: Mapping[Hashable, Mapping[Hashable, float]],
+    ) -> None:
+        self._mdp = mdp
+        self._dist: Dict[Hashable, Dict[Hashable, float]] = {}
+        for state in mdp.states:
+            if state not in distributions:
+                raise InvalidPolicyError(f"missing distribution for state {state!r}")
+            dist = dict(distributions[state])
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-6:
+                raise InvalidPolicyError(
+                    f"action probabilities for {state!r} sum to {total:g}, not 1"
+                )
+            available = set(mdp.actions(state))
+            for action, prob in dist.items():
+                if action not in available:
+                    raise InvalidPolicyError(
+                        f"action {action!r} not available in state {state!r}"
+                    )
+                if prob < -1e-12:
+                    raise InvalidPolicyError(
+                        f"negative probability {prob:g} for {state!r}/{action!r}"
+                    )
+            self._dist[state] = {a: max(0.0, p) for a, p in dist.items()}
+
+    @property
+    def mdp(self) -> CTMDP:
+        return self._mdp
+
+    def distribution(self, state: Hashable) -> "Dict[Hashable, float]":
+        return dict(self._dist[state])
+
+    def generator_matrix(self) -> np.ndarray:
+        """Probability-weighted mixture of the per-action generator rows."""
+        n = self._mdp.n_states
+        g = np.zeros((n, n))
+        for i, state in enumerate(self._mdp.states):
+            for action, prob in self._dist[state].items():
+                g[i, :] += prob * self._mdp.generator_row(state, action)
+        return g
+
+    def cost_vector(self) -> np.ndarray:
+        return np.array(
+            [
+                sum(p * self._mdp.cost(s, a) for a, p in self._dist[s].items())
+                for s in self._mdp.states
+            ]
+        )
+
+    def extra_cost_vector(self, name: str) -> np.ndarray:
+        return np.array(
+            [
+                sum(p * self._mdp.extra_cost(s, a, name) for a, p in self._dist[s].items())
+                for s in self._mdp.states
+            ]
+        )
+
+    def deterministic_rounding(self) -> Policy:
+        """Most-probable-action deterministic projection."""
+        return Policy(
+            self._mdp,
+            {s: max(d.items(), key=lambda kv: kv[1])[0] for s, d in self._dist.items()},
+        )
+
+    def sample_action(self, state: Hashable, rng: np.random.Generator) -> Hashable:
+        """Draw an action for *state* according to its distribution."""
+        actions = list(self._dist[state].keys())
+        probs = np.array([self._dist[state][a] for a in actions])
+        probs = probs / probs.sum()
+        return actions[int(rng.choice(len(actions), p=probs))]
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Result of exact average-cost policy evaluation.
+
+    Attributes
+    ----------
+    gain:
+        The long-run average cost rate ``g`` (scalar for unichain
+        policies).
+    bias:
+        The relative-value vector ``h`` with ``h[reference] = 0``.
+    stationary:
+        The stationary distribution of the induced chain.
+    """
+
+    gain: float
+    bias: np.ndarray
+    stationary: np.ndarray
+
+
+def evaluate_policy(
+    policy,
+    cost_vector: Optional[np.ndarray] = None,
+    reference_state: int = 0,
+) -> PolicyEvaluation:
+    """Exactly evaluate a stationary policy's average cost.
+
+    Solves the (continuous-time) evaluation equations
+
+    ``c_i + sum_j G[i, j] h_j = g``  for all ``i``, with
+    ``h[reference_state] = 0``,
+
+    which is the policy-evaluation step of Howard/Miller policy
+    iteration. Requires the induced chain to be unichain (the DPM
+    action constraints guarantee connectedness, hence unichain).
+
+    Parameters
+    ----------
+    policy:
+        A :class:`Policy` or :class:`RandomizedPolicy`.
+    cost_vector:
+        Optional override for the per-state cost rates; defaults to the
+        policy's own effective costs.
+    reference_state:
+        Index whose bias is pinned to zero.
+    """
+    g_mat = policy.generator_matrix()
+    c = policy.cost_vector() if cost_vector is None else np.asarray(cost_vector, float)
+    n = g_mat.shape[0]
+    if c.shape != (n,):
+        raise InvalidPolicyError(f"cost vector shape {c.shape} != ({n},)")
+    if not 0 <= reference_state < n:
+        raise InvalidPolicyError(f"reference state {reference_state} out of range")
+    # Unknowns: h_0..h_{n-1}, g. Equations: G h - g 1 = -c (n rows) plus
+    # h[ref] = 0.
+    a = np.zeros((n + 1, n + 1))
+    a[:n, :n] = g_mat
+    a[:n, n] = -1.0
+    a[n, reference_state] = 1.0
+    b = np.concatenate([-c, [0.0]])
+    try:
+        solution = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(
+            "policy evaluation system is singular; induced chain is likely "
+            "multichain -- check the model's action constraints"
+        ) from exc
+    h = solution[:n]
+    gain = float(solution[n])
+
+    from repro.markov.generator import stationary_distribution
+
+    p = stationary_distribution(g_mat)
+    return PolicyEvaluation(gain=gain, bias=h, stationary=p)

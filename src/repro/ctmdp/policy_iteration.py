@@ -1,0 +1,146 @@
+"""Average-cost policy iteration for CTMDPs (the paper's solver).
+
+The algorithm is Howard's policy iteration adapted to continuous time
+(Miller [9], Howard [10]; the paper cites [9] and omits the details):
+
+1. **Evaluation** -- for the current policy solve ``c + G h = g 1``
+   with ``h[ref] = 0`` for the gain ``g`` and bias ``h``
+   (:func:`repro.ctmdp.policy.evaluate_policy`).
+2. **Improvement** -- in each state pick the action minimizing the
+   *test quantity* ``c_i(a) + sum_j s_ij(a) h_j``; keep the incumbent
+   action when it is within tolerance of the minimum (this tie-breaking
+   guarantees termination).
+3. Stop when no state changes its action.
+
+For finite unichain CTMDPs this converges to the gain-optimal stationary
+policy in finitely many iterations, and each iteration is one dense
+linear solve -- the efficiency advantage over the LP approach that the
+paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy, PolicyEvaluation, evaluate_policy
+
+
+@dataclass(frozen=True)
+class PolicyIterationResult:
+    """Outcome of :func:`policy_iteration`.
+
+    Attributes
+    ----------
+    policy:
+        The gain-optimal deterministic stationary policy.
+    gain:
+        Its long-run average cost rate.
+    bias:
+        Its bias (relative value) vector.
+    stationary:
+        Stationary distribution under the optimal policy.
+    iterations:
+        Number of improvement rounds performed (including the final
+        no-change round).
+    gain_history:
+        Gain after each evaluation, monotonically non-increasing.
+    """
+
+    policy: Policy
+    gain: float
+    bias: np.ndarray
+    stationary: np.ndarray
+    iterations: int
+    gain_history: "List[float]"
+
+
+def _default_initial_policy(mdp: CTMDP) -> Policy:
+    """First-listed action in every state."""
+    return Policy(mdp, {s: mdp.actions(s)[0] for s in mdp.states})
+
+
+def _improve(
+    mdp: CTMDP, policy: Policy, evaluation: PolicyEvaluation, atol: float
+) -> "tuple[Policy, bool]":
+    """One improvement sweep; returns (new policy, changed?)."""
+    h = evaluation.bias
+    assignment = {}
+    changed = False
+    for state in mdp.states:
+        incumbent = policy.action(state)
+        best_action = incumbent
+        best_value = mdp.cost(state, incumbent) + float(
+            mdp.generator_row(state, incumbent) @ h
+        )
+        for action in mdp.actions(state):
+            if action == incumbent:
+                continue
+            value = mdp.cost(state, action) + float(
+                mdp.generator_row(state, action) @ h
+            )
+            if value < best_value - atol:
+                best_value = value
+                best_action = action
+        assignment[state] = best_action
+        if best_action != incumbent:
+            changed = True
+    return Policy(mdp, assignment), changed
+
+
+def policy_iteration(
+    mdp: CTMDP,
+    initial_policy: Optional[Policy] = None,
+    max_iterations: int = 1000,
+    atol: float = 1e-9,
+    reference_state: int = 0,
+) -> PolicyIterationResult:
+    """Solve a unichain average-cost CTMDP by policy iteration.
+
+    Parameters
+    ----------
+    mdp:
+        The model; every state must have at least one action.
+    initial_policy:
+        Starting policy; defaults to the first-listed action per state.
+    max_iterations:
+        Safety bound; policy iteration on a finite model terminates far
+        earlier in practice (typically < 10 rounds for DPM models).
+    atol:
+        Improvement threshold. An action only displaces the incumbent
+        when it beats it by more than ``atol``, which both breaks ties
+        deterministically and guarantees termination.
+    reference_state:
+        State whose bias is pinned to zero during evaluation.
+
+    Raises
+    ------
+    SolverError
+        If ``max_iterations`` is exhausted (indicates a modeling bug --
+        e.g. a multichain model slipping through) or evaluation fails.
+    """
+    mdp.validate()
+    policy = initial_policy if initial_policy is not None else _default_initial_policy(mdp)
+    gain_history: List[float] = []
+    evaluation = evaluate_policy(policy, reference_state=reference_state)
+    gain_history.append(evaluation.gain)
+    for iteration in range(1, max_iterations + 1):
+        policy, changed = _improve(mdp, policy, evaluation, atol)
+        evaluation = evaluate_policy(policy, reference_state=reference_state)
+        gain_history.append(evaluation.gain)
+        if not changed:
+            return PolicyIterationResult(
+                policy=policy,
+                gain=evaluation.gain,
+                bias=evaluation.bias,
+                stationary=evaluation.stationary,
+                iterations=iteration,
+                gain_history=gain_history,
+            )
+    raise SolverError(
+        f"policy iteration did not converge in {max_iterations} iterations"
+    )

@@ -1,0 +1,97 @@
+"""Uniformization of a CTMDP into an equivalent discrete-time MDP.
+
+With a common rate ``Lambda >= max_{i,a} sum_j s_ij(a)``, each state-
+action pair maps to the stochastic row ``P_ia = e_i + rates_ia / Lambda``
+and per-step cost ``c_i(a) / Lambda``. The uniformized DTMDP has the same
+stationary distributions and the same gain-optimal policies as the
+original CTMDP, with discrete-time gain ``g_dtmdp = g_ctmdp / Lambda``.
+
+Used by :mod:`repro.ctmdp.value_iteration` and as an alternative route
+into the LP solver; also the bridge to the discrete-time formulation of
+Paleologo et al. [11].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ctmdp.model import CTMDP
+
+#: Multiplicative slack applied to the maximal exit rate so that every
+#: state keeps a positive self-loop, making the uniformized chain
+#: aperiodic (required for value-iteration convergence).
+APERIODICITY_SLACK = 1.05
+
+
+@dataclass(frozen=True)
+class UniformizedMDP:
+    """A dense discrete-time MDP produced by :func:`uniformize_ctmdp`.
+
+    Attributes
+    ----------
+    states:
+        State labels, same order as the source CTMDP.
+    transition:
+        ``{(state_index, action): probability row}``.
+    step_cost:
+        ``{(state_index, action): cost per step}``.
+    actions:
+        Per-state-index action lists.
+    rate:
+        The uniformization constant ``Lambda``; multiply discrete gains
+        by it to recover continuous-time cost rates.
+    """
+
+    states: Tuple[Hashable, ...]
+    transition: "Dict[Tuple[int, Hashable], np.ndarray]"
+    step_cost: "Dict[Tuple[int, Hashable], float]"
+    actions: "List[List[Hashable]]"
+    rate: float
+
+
+def uniformize_ctmdp(mdp: CTMDP, rate: Optional[float] = None) -> UniformizedMDP:
+    """Convert *mdp* to a DTMDP at uniformization rate ``Lambda``.
+
+    Parameters
+    ----------
+    mdp:
+        Source CTMDP.
+    rate:
+        Uniformization constant; defaults to
+        ``APERIODICITY_SLACK * max exit rate`` (or 1.0 for a rate-free
+        model) so the result is aperiodic.
+    """
+    mdp.validate()
+    max_rate = mdp.max_exit_rate()
+    if rate is None:
+        lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
+    else:
+        lam = float(rate)
+        if lam < max_rate:
+            raise ValueError(
+                f"uniformization rate {lam:g} below maximal exit rate {max_rate:g}"
+            )
+    n = mdp.n_states
+    transition: Dict[Tuple[int, Hashable], np.ndarray] = {}
+    step_cost: Dict[Tuple[int, Hashable], float] = {}
+    actions: List[List[Hashable]] = []
+    for i, state in enumerate(mdp.states):
+        state_actions = mdp.actions(state)
+        actions.append(list(state_actions))
+        for action in state_actions:
+            data = mdp.data(state, action)
+            row = data.rates / lam
+            row = row.copy()
+            row[i] = 1.0 - data.rates.sum() / lam
+            transition[(i, action)] = row
+            step_cost[(i, action)] = data.effective_cost_rate() / lam
+    return UniformizedMDP(
+        states=mdp.states,
+        transition=transition,
+        step_cost=step_cost,
+        actions=actions,
+        rate=lam,
+    )

@@ -1,0 +1,85 @@
+"""Dynamic power management system model (the paper's core contribution).
+
+The power-managed system of Section III is assembled from:
+
+- :mod:`repro.dpm.service_provider` -- the SP: a multi-mode server with
+  switching-speed matrix, per-mode service rates, power rates, and
+  switching energies (the quadruple of Section III).
+- :mod:`repro.dpm.service_requestor` -- the SR: a Poisson request source
+  with rate ``lambda``.
+- :mod:`repro.dpm.service_queue` -- the SQ state space: stable states
+  ``q_0 .. q_Q`` plus the paper's novel *transfer states*
+  ``q_{i -> i-1}`` that synchronize queue and server transitions.
+- :mod:`repro.dpm.system` -- the joint SYS CTMDP with the paper's
+  action-validity constraints (Section III, constraints 1-3).
+- :mod:`repro.dpm.cost` -- power and delay cost rates (Eqn. 3.1).
+- :mod:`repro.dpm.analysis` -- exact steady-state metrics of a policy
+  (average power, queue length, waiting time, loss rate).
+- :mod:`repro.dpm.optimizer` -- the policy-optimization workflow of
+  Figure 3: weighted-cost sweeps and constrained optimization.
+- :mod:`repro.dpm.adaptive` -- online arrival-rate estimation and
+  adaptive policy switching (Section III's adaptivity remark).
+- :mod:`repro.dpm.presets` -- the paper's experimental setup (Eqn. 4.1)
+  and extra device presets used by the examples.
+"""
+
+from repro.dpm.adaptive import AdaptiveRateEstimator
+from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy, wakeup_latency
+from repro.dpm.describe import (
+    describe_service_provider,
+    describe_service_queue,
+    describe_system,
+)
+from repro.dpm.optimizer import (
+    OptimizationResult,
+    find_weight_for_constraint,
+    optimize_constrained,
+    optimize_weighted,
+    sweep_weights,
+)
+from repro.dpm.pareto import (
+    FrontierPoint,
+    deterministic_frontier,
+    randomized_frontier,
+)
+from repro.dpm.presets import (
+    disk_drive_provider,
+    paper_service_provider,
+    paper_system,
+    wireless_nic_provider,
+)
+from repro.dpm.service_provider import ServiceProvider
+from repro.dpm.service_queue import QueueState, queue_states
+from repro.dpm.service_requestor import ServiceRequestor
+from repro.dpm.system import PowerManagedSystemModel, SystemState
+from repro.dpm.verification import VerificationReport, verify_model
+
+__all__ = [
+    "AdaptiveRateEstimator",
+    "AnalyticMetrics",
+    "FrontierPoint",
+    "OptimizationResult",
+    "PowerManagedSystemModel",
+    "QueueState",
+    "ServiceProvider",
+    "ServiceRequestor",
+    "SystemState",
+    "VerificationReport",
+    "describe_service_provider",
+    "describe_service_queue",
+    "describe_system",
+    "deterministic_frontier",
+    "disk_drive_provider",
+    "evaluate_dpm_policy",
+    "find_weight_for_constraint",
+    "optimize_constrained",
+    "optimize_weighted",
+    "paper_service_provider",
+    "paper_system",
+    "queue_states",
+    "randomized_frontier",
+    "sweep_weights",
+    "verify_model",
+    "wakeup_latency",
+    "wireless_nic_provider",
+]

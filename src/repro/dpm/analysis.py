@@ -1,0 +1,117 @@
+"""Exact steady-state evaluation of a DPM policy on the SYS model.
+
+Given any stationary policy on the joint CTMDP, the stationary
+distribution of the induced chain yields the paper's "functional values"
+(Section V): average power, average number of waiting requests, loss
+rate, and -- via Little's law -- the average waiting time. These are the
+analytic counterparts of the quantities the event-driven simulator
+measures; Figure 4's accompanying claim is that they agree closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.ctmdp.policy import Policy, RandomizedPolicy
+from repro.dpm import cost as cost_channels
+from repro.dpm.system import PowerManagedSystemModel
+
+
+@dataclass(frozen=True)
+class AnalyticMetrics:
+    """Steady-state metrics of a policy on the SYS model.
+
+    Attributes
+    ----------
+    average_power:
+        Long-run average power in watts, switching energy included.
+    average_queue_length:
+        Long-run average of ``C_sq`` (waiting requests, in-service
+        request counted).
+    loss_rate:
+        Requests lost per second (arrivals hitting a full queue).
+    accepted_rate:
+        ``lambda - loss_rate``: throughput in steady state.
+    average_waiting_time:
+        Little's law on accepted traffic:
+        ``average_queue_length / accepted_rate``.
+    paper_waiting_time_approximation:
+        The paper's cruder form using the raw input rate:
+        ``average_queue_length / lambda`` (Table 1 inverts this to
+        approximate the queue length from a measured waiting time).
+    """
+
+    average_power: float
+    average_queue_length: float
+    loss_rate: float
+    accepted_rate: float
+    average_waiting_time: float
+    paper_waiting_time_approximation: float
+
+
+def evaluate_dpm_policy(
+    model: PowerManagedSystemModel,
+    policy: Union[Policy, RandomizedPolicy],
+) -> AnalyticMetrics:
+    """Compute :class:`AnalyticMetrics` for *policy* on *model*.
+
+    The policy must have been built on a CTMDP produced by
+    ``model.build_ctmdp`` (any weight -- the extra-cost channels carry
+    the weight-independent power and delay rates).
+    """
+    chain_generator = policy.generator_matrix()
+    from repro.markov.generator import stationary_distribution
+
+    p = stationary_distribution(chain_generator)
+    power = float(p @ policy.extra_cost_vector(cost_channels.POWER))
+    queue_length = float(p @ policy.extra_cost_vector(cost_channels.QUEUE_LENGTH))
+    loss = float(p @ policy.extra_cost_vector(cost_channels.LOSS))
+    lam = model.requestor.rate
+    accepted = max(lam - loss, 0.0)
+    waiting = queue_length / accepted if accepted > 0 else np.inf
+    return AnalyticMetrics(
+        average_power=power,
+        average_queue_length=queue_length,
+        loss_rate=loss,
+        accepted_rate=accepted,
+        average_waiting_time=waiting,
+        paper_waiting_time_approximation=queue_length / lam,
+    )
+
+
+def state_probabilities(policy: Union[Policy, RandomizedPolicy]) -> "dict":
+    """Stationary probability of each joint state under *policy*."""
+    from repro.markov.generator import stationary_distribution
+
+    p = stationary_distribution(policy.generator_matrix())
+    return {state: float(p[i]) for i, state in enumerate(policy.mdp.states)}
+
+
+def wakeup_latency(
+    model: PowerManagedSystemModel,
+    policy: Union[Policy, RandomizedPolicy],
+) -> "dict":
+    """Mean time from each powered-down state until the SP is active.
+
+    The transient face of the tradeoff that stationary averages hide: a
+    policy may look mild on average queue length yet make the *first*
+    request after an idle period wait long. Computed as the mean
+    first-passage time of the policy-induced chain into the set of
+    active-mode joint states, keyed by the inactive-mode joint states.
+    """
+    from repro.markov.passage import mean_first_passage_times
+
+    g = policy.generator_matrix()
+    states = list(policy.mdp.states)
+    active_indices = [
+        i for i, x in enumerate(states) if model.provider.is_active(x.mode)
+    ]
+    m = mean_first_passage_times(g, active_indices)
+    return {
+        state: float(m[i])
+        for i, state in enumerate(states)
+        if not model.provider.is_active(state.mode)
+    }

@@ -1,0 +1,135 @@
+"""Textual rendering of the model's Markov-process structure.
+
+The paper illustrates its models with transition diagrams: Figure 1
+(the SP under a chosen policy, Example 4.1) and Figure 2 (the SQ with
+transfer states when the PM issues *sleep* at every transfer, Example
+4.3). These helpers produce the same pictures as adjacency listings --
+every edge with its rate -- for debugging, teaching, and the structure
+tests that pin the examples down.
+
+Self-loops are omitted, as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.dpm.system import PowerManagedSystemModel, SystemState
+from repro.errors import InvalidPolicyError
+
+
+def describe_service_provider(
+    provider: ServiceProvider,
+    chosen_actions: Mapping[str, str],
+) -> "List[str]":
+    """Figure-1 edges: the SP process under one action per mode.
+
+    Parameters
+    ----------
+    provider:
+        The SP description.
+    chosen_actions:
+        ``{mode: commanded destination}`` (Example 4.1 uses
+        ``{"active": "waiting", "waiting": "sleeping",
+        "sleeping": "active"}``).
+
+    Returns
+    -------
+    Lines ``"src -> dst  rate=..."``, source-major order, self-loops
+    omitted (a mode whose command targets itself contributes no edge).
+    """
+    lines: List[str] = []
+    for mode in provider.modes:
+        try:
+            target = chosen_actions[mode]
+        except KeyError:
+            raise InvalidPolicyError(f"no action chosen for mode {mode!r}") from None
+        provider.index_of(target)
+        if target == mode:
+            continue
+        rate = provider.switching_rate(mode, target)
+        lines.append(f"{mode} -> {target}  rate={rate:g}")
+    return lines
+
+
+def describe_service_queue(
+    model: PowerManagedSystemModel,
+    sp_mode: str,
+    transfer_action: str,
+) -> "List[str]":
+    """Figure-2 edges: the SQ process for a fixed SP mode and a fixed
+    transfer-state command.
+
+    Example 4.3 fixes the SP in its active mode and lets the PM issue
+    *sleep* whenever the SQ is in a transfer state; the resulting edges
+    are the four Section-III transition types.
+    """
+    provider = model.provider
+    provider.index_of(sp_mode)
+    provider.index_of(transfer_action)
+    lines: List[str] = []
+    for state in model.states:
+        if state.mode != sp_mode:
+            continue
+        action = (
+            transfer_action
+            if state.queue.is_transfer
+            else sp_mode  # stable states: hold the mode (queue view only)
+        )
+        if not model.is_valid_action(state, action):
+            continue
+        for dest, rate in sorted(
+            model.transition_rates(state, action).items(), key=lambda kv: repr(kv[0])
+        ):
+            if dest.mode == state.mode or state.queue.is_transfer:
+                lines.append(
+                    f"{state.queue!r} -> {dest.queue!r}  rate={rate:g}"
+                    + ("" if dest.mode == state.mode else f"  (SP -> {dest.mode})")
+                )
+    return lines
+
+
+def describe_system(
+    model: PowerManagedSystemModel,
+    assignment: Mapping[SystemState, str],
+) -> "List[str]":
+    """Every joint-state edge under a full policy assignment."""
+    lines: List[str] = []
+    for state in model.states:
+        action = assignment.get(state)
+        if action is None:
+            raise InvalidPolicyError(f"assignment misses state {state!r}")
+        for dest, rate in sorted(
+            model.transition_rates(state, action).items(), key=lambda kv: repr(kv[0])
+        ):
+            lines.append(f"{state!r} -> {dest!r}  rate={rate:g}")
+    return lines
+
+
+def transition_counts(
+    model: PowerManagedSystemModel,
+    assignment: Mapping[SystemState, str],
+) -> "Dict[str, int]":
+    """Edge counts by Section-III transition type, for structure checks.
+
+    Keys: ``"arrival"`` (type 1 and 4), ``"service"`` (type 2),
+    ``"transfer_resolution"`` (type 3), ``"sp_switch"`` (stable-state
+    mode switches).
+    """
+    counts = {"arrival": 0, "service": 0, "transfer_resolution": 0, "sp_switch": 0}
+    for state in model.states:
+        action = assignment[state]
+        for dest in model.transition_rates(state, action):
+            if state.queue.is_stable and dest.queue.is_stable:
+                if dest.mode != state.mode:
+                    counts["sp_switch"] += 1
+                else:
+                    counts["arrival"] += 1
+            elif state.queue.is_stable and dest.queue.is_transfer:
+                counts["service"] += 1
+            elif state.queue.is_transfer and dest.queue.is_stable:
+                counts["transfer_resolution"] += 1
+            else:
+                counts["arrival"] += 1
+    return counts

@@ -1,0 +1,184 @@
+"""Policy optimization workflow (Section IV, Figure 3).
+
+Two equivalent entry points, mirroring the paper's two formulations:
+
+- :func:`optimize_weighted` -- minimize the weighted cost
+  ``C_pow + w * C_sq`` for a given weight ``w`` (policy iteration by
+  default; value iteration and LP available for cross-checking).
+  :func:`sweep_weights` traces the power--delay tradeoff curve of
+  Figure 4 by solving across a weight schedule.
+- :func:`optimize_constrained` -- minimize average power subject to an
+  average-queue-length bound ``D_M``, solved exactly by the
+  occupation-measure LP (possibly randomized optimum).
+  :func:`find_weight_for_constraint` is the paper's Figure-3 workflow
+  instead: adjust the weight until the deterministic optimal policy
+  meets the constraint (bisection on ``w``, exploiting that the average
+  queue length is non-increasing in ``w``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.ctmdp.linear_program import solve_average_cost_lp, solve_constrained_lp
+from repro.ctmdp.policy import Policy, RandomizedPolicy
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.ctmdp.value_iteration import relative_value_iteration
+from repro.dpm import cost as cost_channels
+from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy
+from repro.dpm.system import PowerManagedSystemModel
+from repro.errors import InfeasibleConstraintError, SolverError
+
+SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """An optimized policy together with its analytic metrics.
+
+    Attributes
+    ----------
+    policy:
+        The optimal stationary policy (randomized only when produced by
+        the constrained LP).
+    metrics:
+        Exact steady-state metrics under the policy.
+    weight:
+        The performance weight the policy optimizes (``None`` for the
+        directly constrained LP solution).
+    """
+
+    policy: Union[Policy, RandomizedPolicy]
+    metrics: AnalyticMetrics
+    weight: "float | None"
+
+
+def optimize_weighted(
+    model: PowerManagedSystemModel,
+    weight: float,
+    solver: str = "policy_iteration",
+) -> OptimizationResult:
+    """Minimize the average rate of ``C_pow + weight * C_sq``.
+
+    Parameters
+    ----------
+    model:
+        The SYS model.
+    weight:
+        The performance weight ``w >= 0`` of Eqn. 3.1.
+    solver:
+        ``"policy_iteration"`` (the paper's algorithm, default),
+        ``"value_iteration"``, or ``"linear_program"``. All three agree
+        on the optimal gain; they exist separately for the solver
+        ablation bench.
+    """
+    mdp = model.build_ctmdp(weight)
+    if solver == "policy_iteration":
+        policy: Union[Policy, RandomizedPolicy] = policy_iteration(mdp).policy
+    elif solver == "value_iteration":
+        policy = relative_value_iteration(mdp, span_tolerance=1e-9).policy
+    elif solver == "linear_program":
+        policy = solve_average_cost_lp(mdp).deterministic_policy
+    else:
+        raise SolverError(f"unknown solver {solver!r}; choose from {SOLVERS}")
+    return OptimizationResult(
+        policy=policy, metrics=evaluate_dpm_policy(model, policy), weight=weight
+    )
+
+
+def sweep_weights(
+    model: PowerManagedSystemModel,
+    weights: Sequence[float],
+    solver: str = "policy_iteration",
+) -> "List[OptimizationResult]":
+    """Solve for every weight in *weights* (the Figure-4 tradeoff curve)."""
+    return [optimize_weighted(model, w, solver=solver) for w in weights]
+
+
+def optimize_constrained(
+    model: PowerManagedSystemModel,
+    max_queue_length: float,
+) -> OptimizationResult:
+    """Exactly minimize average power s.t. avg queue length <= ``D_M``.
+
+    Uses the occupation-measure LP, which handles the constraint
+    natively; the optimum may randomize between two actions in one
+    state when the constraint is active.
+
+    Raises
+    ------
+    InfeasibleConstraintError
+        If no stationary policy meets the bound.
+    """
+    mdp = model.build_ctmdp(weight=0.0)
+    result = solve_constrained_lp(
+        mdp,
+        objective=cost_channels.POWER,
+        constraints={cost_channels.QUEUE_LENGTH: max_queue_length},
+    )
+    policy = result.policy
+    return OptimizationResult(
+        policy=policy, metrics=evaluate_dpm_policy(model, policy), weight=None
+    )
+
+
+def find_weight_for_constraint(
+    model: PowerManagedSystemModel,
+    max_queue_length: float,
+    weight_upper_bound: float = 1e4,
+    tolerance: float = 1e-3,
+    max_bisections: int = 60,
+    solver: str = "policy_iteration",
+) -> OptimizationResult:
+    """The paper's Figure-3 loop: tune ``w`` until the constraint holds.
+
+    Average queue length under the weighted-optimal policy is
+    non-increasing in ``w``, so bisection finds the smallest weight
+    whose optimal policy satisfies ``avg queue length <= D_M``; smaller
+    weights mean lower power, so this is the best deterministic policy
+    along the tradeoff curve.
+
+    Parameters
+    ----------
+    model, solver:
+        As in :func:`optimize_weighted`.
+    max_queue_length:
+        The delay bound ``D_M``.
+    weight_upper_bound:
+        A weight assumed large enough to satisfy the constraint; checked
+        and reported if insufficient.
+    tolerance:
+        Bisection interval width (in weight units) at which to stop.
+    max_bisections:
+        Safety bound on iterations.
+
+    Raises
+    ------
+    InfeasibleConstraintError
+        If even ``weight_upper_bound`` cannot meet the bound.
+    """
+    low = 0.0
+    low_result = optimize_weighted(model, low, solver=solver)
+    if low_result.metrics.average_queue_length <= max_queue_length:
+        return low_result
+    high = weight_upper_bound
+    high_result = optimize_weighted(model, high, solver=solver)
+    if high_result.metrics.average_queue_length > max_queue_length:
+        raise InfeasibleConstraintError(
+            f"queue-length bound {max_queue_length:g} unreachable even at "
+            f"weight {weight_upper_bound:g} "
+            f"(achieved {high_result.metrics.average_queue_length:g})"
+        )
+    best = high_result
+    for _ in range(max_bisections):
+        if high - low <= tolerance:
+            break
+        mid = 0.5 * (low + high)
+        mid_result = optimize_weighted(model, mid, solver=solver)
+        if mid_result.metrics.average_queue_length <= max_queue_length:
+            high = mid
+            best = mid_result
+        else:
+            low = mid
+    return best

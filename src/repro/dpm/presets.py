@@ -1,0 +1,159 @@
+"""Device presets: the paper's experimental setup plus example devices.
+
+:func:`paper_service_provider` and :func:`paper_system` encode Section V
+exactly:
+
+- a three-mode server ``active / waiting / sleeping``;
+- mean switching times (seconds, Eqn. 4.1(a))::
+
+      tr_time =  [ -    0.1  0.2 ]     rows: from active/waiting/sleeping
+                 [ 0.5  -    0.1 ]     cols: to   active/waiting/sleeping
+                 [ 1.1  0.5  -   ]
+
+- switching energies (joules, Eqn. 4.1(b))::
+
+      tr_energy = [ -    0.2  0.5 ]
+                  [ 1    -    0.1 ]
+                  [ 11   25   -   ]
+
+- power 40 W / 15 W / 0.1 W for active / waiting / sleeping;
+- service rate ``mu = 1/1.5`` in active (mean service time 1.5 s);
+- queue capacity ``Q = 5``; arrival rate ``lambda = 1/6`` (mean
+  inter-arrival 6 s).
+
+The disk-drive and wireless-NIC presets are plausible devices for the
+examples (constants in the style of published ACPI/disk datasheets, not
+from the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dpm.service_provider import DEFAULT_SELF_SWITCH_RATE, ServiceProvider
+from repro.dpm.service_requestor import ServiceRequestor
+from repro.dpm.system import PowerManagedSystemModel
+
+#: Section V constants.
+PAPER_MODES = ("active", "waiting", "sleeping")
+PAPER_ARRIVAL_RATE = 1.0 / 6.0
+PAPER_SERVICE_RATE = 1.0 / 1.5
+PAPER_QUEUE_CAPACITY = 5
+PAPER_POWER = (40.0, 15.0, 0.1)
+PAPER_SWITCHING_TIMES = np.array(
+    [
+        [0.0, 0.1, 0.2],
+        [0.5, 0.0, 0.1],
+        [1.1, 0.5, 0.0],
+    ]
+)
+PAPER_SWITCHING_ENERGY = np.array(
+    [
+        [0.0, 0.2, 0.5],
+        [1.0, 0.0, 0.1],
+        [11.0, 25.0, 0.0],
+    ]
+)
+PAPER_N_REQUESTS = 50_000
+
+
+def paper_service_provider(
+    self_switch_rate: float = DEFAULT_SELF_SWITCH_RATE,
+) -> ServiceProvider:
+    """The Section-V three-mode server.
+
+    ``self_switch_rate`` tunes the finite stand-in for the paper's
+    instantaneous self-switch; lower it (e.g. to ~50) when feeding the
+    model to stiffness-sensitive solvers such as value iteration.
+    """
+    return ServiceProvider.from_switching_times(
+        modes=PAPER_MODES,
+        switching_times=PAPER_SWITCHING_TIMES,
+        service_rates=(PAPER_SERVICE_RATE, 0.0, 0.0),
+        power=PAPER_POWER,
+        switching_energy=PAPER_SWITCHING_ENERGY,
+        self_switch_rate=self_switch_rate,
+    )
+
+
+def paper_system(
+    arrival_rate: float = PAPER_ARRIVAL_RATE,
+    capacity: int = PAPER_QUEUE_CAPACITY,
+    include_transfer_states: bool = True,
+    self_switch_rate: "float | None" = None,
+) -> PowerManagedSystemModel:
+    """The full Section-V SYS model, arrival rate overridable
+    (Figure 5 sweeps it from 1/8 to 1/3)."""
+    provider = (
+        paper_service_provider()
+        if self_switch_rate is None
+        else paper_service_provider(self_switch_rate)
+    )
+    return PowerManagedSystemModel(
+        provider=provider,
+        requestor=ServiceRequestor(arrival_rate),
+        capacity=capacity,
+        include_transfer_states=include_transfer_states,
+    )
+
+
+def disk_drive_provider() -> ServiceProvider:
+    """A four-mode hard disk: active / idle / standby / sleep.
+
+    Idle keeps the platter spinning (fast resume, high power); standby
+    parks the heads; sleep spins down entirely (large spin-up energy).
+    """
+    modes = ("active", "idle", "standby", "sleep")
+    switching_times = np.array(
+        [
+            [0.0, 0.01, 0.5, 2.0],
+            [0.05, 0.0, 0.3, 1.5],
+            [1.0, 0.8, 0.0, 0.5],
+            [5.0, 4.5, 2.5, 0.0],
+        ]
+    )
+    switching_energy = np.array(
+        [
+            [0.0, 0.05, 0.8, 2.0],
+            [0.3, 0.0, 0.5, 1.5],
+            [4.0, 3.5, 0.0, 0.3],
+            [18.0, 16.0, 6.0, 0.0],
+        ]
+    )
+    return ServiceProvider.from_switching_times(
+        modes=modes,
+        switching_times=switching_times,
+        service_rates=(1.0 / 0.02, 0.0, 0.0, 0.0),
+        power=(2.5, 1.0, 0.4, 0.05),
+        switching_energy=switching_energy,
+    )
+
+
+def wireless_nic_provider() -> ServiceProvider:
+    """A three-mode wireless interface: transmit / doze / off.
+
+    Transmission is fast (ms-scale packets); doze wakes quickly; off
+    needs re-association, costing time and energy.
+    """
+    modes = ("transmit", "doze", "off")
+    switching_times = np.array(
+        [
+            [0.0, 0.002, 0.01],
+            [0.005, 0.0, 0.008],
+            [0.3, 0.25, 0.0],
+        ]
+    )
+    switching_energy = np.array(
+        [
+            [0.0, 0.001, 0.004],
+            [0.002, 0.0, 0.001],
+            [0.35, 0.3, 0.0],
+        ]
+    )
+    return ServiceProvider.from_switching_times(
+        modes=modes,
+        switching_times=switching_times,
+        service_rates=(1.0 / 0.005, 0.0, 0.0),
+        power=(1.4, 0.045, 0.0),
+        switching_energy=switching_energy,
+    )

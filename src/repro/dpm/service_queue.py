@@ -1,0 +1,114 @@
+"""The service queue (SQ) state space with transfer states.
+
+Section III models the SQ after an M/M/1 queue of capacity ``Q``
+(requests arriving at a full queue are lost), with two kinds of states:
+
+- *stable* states ``q_0 .. q_Q`` -- ``q_i`` means ``i`` requests are in
+  the system (the request in service, if any, is counted); and
+- *transfer* states ``q_{i -> i-1}`` for ``i = 1 .. Q`` -- occupied
+  between finishing the service of one request and starting the next,
+  exactly while the SP performs the mode switch the PM commanded at the
+  completion instant. Transfer states are the paper's novelty over [11]:
+  they let the joint model distinguish the SP's busy and idle phases and
+  capture the SQ/SP correlation.
+
+Delay accounting (Section III): the delay cost ``C_sq`` is ``i`` in
+stable state ``q_i`` and ``i`` in transfer state ``q_{i+1 -> i}``, i.e.
+a transfer state counts the requests that *remain* after the completed
+one departed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import InvalidModelError
+
+STABLE = "stable"
+TRANSFER = "transfer"
+
+
+@dataclass(frozen=True, order=True)
+class QueueState:
+    """One SQ state.
+
+    Attributes
+    ----------
+    kind:
+        ``"stable"`` or ``"transfer"``.
+    index:
+        For stable states, the number of requests in the system
+        (``q_index``). For transfer states, the ``i`` of
+        ``q_{i -> i-1}`` -- the system held ``i`` requests when the
+        service completed.
+    """
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (STABLE, TRANSFER):
+            raise InvalidModelError(f"unknown queue-state kind {self.kind!r}")
+        if self.kind == STABLE and self.index < 0:
+            raise InvalidModelError(f"stable index must be >= 0, got {self.index}")
+        if self.kind == TRANSFER and self.index < 1:
+            raise InvalidModelError(f"transfer index must be >= 1, got {self.index}")
+
+    @property
+    def is_stable(self) -> bool:
+        return self.kind == STABLE
+
+    @property
+    def is_transfer(self) -> bool:
+        return self.kind == TRANSFER
+
+    @property
+    def waiting_count(self) -> int:
+        """The delay cost ``C_sq`` of this state (Section III).
+
+        ``i`` for stable ``q_i``; ``i - 1`` for transfer
+        ``q_{i -> i-1}`` (the completed request has departed).
+        """
+        return self.index if self.is_stable else self.index - 1
+
+    def __repr__(self) -> str:
+        if self.is_stable:
+            return f"q{self.index}"
+        return f"q{self.index}->{self.index - 1}"
+
+
+def stable(index: int) -> QueueState:
+    """The stable state ``q_index``."""
+    return QueueState(STABLE, index)
+
+
+def transfer(index: int) -> QueueState:
+    """The transfer state ``q_{index -> index-1}``."""
+    return QueueState(TRANSFER, index)
+
+
+def stable_states(capacity: int) -> "List[QueueState]":
+    """``q_0 .. q_Q`` for capacity ``Q`` (the paper's ``Q_stable``)."""
+    if capacity < 1:
+        raise InvalidModelError(f"queue capacity must be >= 1, got {capacity}")
+    return [stable(i) for i in range(capacity + 1)]
+
+
+def transfer_states(capacity: int) -> "List[QueueState]":
+    """``q_{1->0} .. q_{Q->Q-1}`` (the paper's ``Q_transfer``)."""
+    if capacity < 1:
+        raise InvalidModelError(f"queue capacity must be >= 1, got {capacity}")
+    return [transfer(i) for i in range(1, capacity + 1)]
+
+
+def queue_states(capacity: int, include_transfer: bool = True) -> "List[QueueState]":
+    """All SQ states, stable block first.
+
+    ``include_transfer=False`` gives the ablation variant without
+    transfer states (the [11]-style queue).
+    """
+    states = stable_states(capacity)
+    if include_transfer:
+        states.extend(transfer_states(capacity))
+    return states

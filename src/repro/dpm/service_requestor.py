@@ -1,0 +1,46 @@
+"""The service requestor (SR) model.
+
+Section III: the SR has a single request-generating mode; inter-arrival
+times are exponential with mean ``1/lambda`` (a Poisson process). The
+paper notes that the rate of a real, slowly-varying source can be
+re-estimated online from ~50 observed events within about 5 % error;
+that adaptive loop lives in :mod:`repro.dpm.adaptive`, while this module
+is the model-side description used to build the joint CTMDP.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidModelError
+
+
+class ServiceRequestor:
+    """A single-mode Poisson request source.
+
+    Parameters
+    ----------
+    rate:
+        The arrival rate ``lambda`` (requests per second); must be
+        positive.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not rate > 0:
+            raise InvalidModelError(f"arrival rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """Arrival rate ``lambda``."""
+        return self._rate
+
+    @property
+    def mean_interarrival_time(self) -> float:
+        """``1 / lambda``."""
+        return 1.0 / self._rate
+
+    def with_rate(self, rate: float) -> "ServiceRequestor":
+        """A copy at a different rate (used by adaptive re-solving)."""
+        return ServiceRequestor(rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServiceRequestor(rate={self._rate:g})"

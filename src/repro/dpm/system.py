@@ -1,0 +1,300 @@
+"""The joint power-managed system (SYS) model of Section III.
+
+The SYS is the composition of the SP and SQ processes over the state set
+
+``X = S x Q_stable  U  S_active x Q_transfer``
+
+(Section III): every SP mode pairs with every stable queue state, while
+transfer states only pair with *active* modes (a transfer state begins
+at a service completion, which only an active mode can produce).
+
+Actions are destination SP modes. The transition mechanics are:
+
+stable ``(s, q_i)`` under action ``a``:
+
+- *arrival* ``-> (s, q_{i+1})`` at rate ``lambda`` (``i < Q``; at
+  ``i = Q`` the arrival is lost -- no transition, tracked as a loss
+  rate),
+- *mode switch* ``-> (a, q_i)`` at rate ``chi[s, a]`` when ``a != s``,
+  paying ``ene(s, a)``,
+- *service completion* ``-> (s, q_{i -> i-1})`` at rate ``mu(s)`` when
+  ``i >= 1`` and ``s`` is active;
+
+transfer ``(s, q_{i -> i-1})`` under action ``a``:
+
+- *switch completion* ``-> (a, q_{i-1})`` at rate ``chi[s, a]`` paying
+  ``ene(s, a)`` -- the SQ leaves the transfer state exactly when the SP
+  transition completes (the paper's concurrency constraint). For
+  ``a == s`` the paper's rate is infinite (instantaneous self-switch);
+  we use the provider's large finite ``self_switch_rate`` stand-in,
+- *arrival* ``-> (s, q_{i+1 -> i})`` at rate ``lambda`` (``i < Q``; the
+  paper leaves the ``i = Q`` boundary unspecified "for brevity" -- we
+  drop such arrivals as lost, which keeps the generator conservative).
+
+Action-validity constraints (Section III):
+
+1. In a stable state an active SP may not switch to an inactive mode
+   (service must not be interrupted).
+2. In stable ``q_Q`` (full queue) an inactive SP may not move to an
+   inactive mode with a longer wakeup time. We apply the strict form --
+   the destination must be active or have *strictly shorter* wakeup
+   time -- so that every admissible policy makes progress toward an
+   active mode at a full queue, guaranteeing a unichain joint process
+   (the paper's stated purpose for this constraint).
+3. In transfer ``q_{Q -> Q-1}`` an active SP may not move to an active
+   mode with a longer service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ctmdp.model import CTMDP
+from repro.dpm import cost as cost_channels
+from repro.dpm.cost import CostRates
+from repro.dpm.service_provider import ServiceProvider
+from repro.dpm.service_queue import QueueState, stable, transfer
+from repro.dpm.service_requestor import ServiceRequestor
+from repro.errors import InvalidModelError
+
+
+@dataclass(frozen=True, order=True)
+class SystemState:
+    """A joint SYS state ``x = (s, q)``."""
+
+    mode: str
+    queue: QueueState
+
+    def __repr__(self) -> str:
+        return f"({self.mode},{self.queue!r})"
+
+
+class PowerManagedSystemModel:
+    """The SYS controllable Markov process and its CTMDP builder.
+
+    Parameters
+    ----------
+    provider:
+        The SP model.
+    requestor:
+        The SR model (supplies the arrival rate ``lambda``).
+    capacity:
+        Queue capacity ``Q``; requests arriving at a full queue are
+        lost.
+    include_transfer_states:
+        ``True`` (default) builds the paper's model. ``False`` builds
+        the ablation variant in the spirit of [11]: no transfer states,
+        service completions go directly ``q_i -> q_{i-1}``, and
+        constraint (1) is dropped (the SP may power down mid-service --
+        exactly the inaccuracy the transfer states remove).
+    """
+
+    #: Name of the extra-cost channel carrying the effective power rate.
+    POWER = cost_channels.POWER
+    #: Name of the extra-cost channel carrying the delay cost C_sq.
+    QUEUE_LENGTH = cost_channels.QUEUE_LENGTH
+    #: Name of the extra-cost channel carrying the request-loss rate.
+    LOSS = cost_channels.LOSS
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        requestor: ServiceRequestor,
+        capacity: int,
+        include_transfer_states: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidModelError(f"queue capacity must be >= 1, got {capacity}")
+        self.provider = provider
+        self.requestor = requestor
+        self.capacity = int(capacity)
+        self.include_transfer_states = bool(include_transfer_states)
+        self._states = self._enumerate_states()
+        self._index = {x: i for i, x in enumerate(self._states)}
+
+    # -- state space -----------------------------------------------------------
+
+    def _enumerate_states(self) -> "List[SystemState]":
+        states = [
+            SystemState(mode, stable(i))
+            for mode in self.provider.modes
+            for i in range(self.capacity + 1)
+        ]
+        if self.include_transfer_states:
+            states.extend(
+                SystemState(mode, transfer(i))
+                for mode in self.provider.active_modes
+                for i in range(1, self.capacity + 1)
+            )
+        return states
+
+    @property
+    def states(self) -> "List[SystemState]":
+        """All joint states, stable block first."""
+        return list(self._states)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: SystemState) -> int:
+        try:
+            return self._index[state]
+        except KeyError:
+            raise InvalidModelError(f"unknown system state {state!r}") from None
+
+    # -- action validity ---------------------------------------------------------
+
+    def is_valid_action(self, state: SystemState, action: str) -> bool:
+        """Apply the Section-III constraints (see module docstring)."""
+        sp = self.provider
+        if action not in sp.modes:
+            return False
+        s, q = state.mode, state.queue
+        if q.is_stable:
+            if (
+                self.include_transfer_states
+                and sp.is_active(s)
+                and not sp.is_active(action)
+            ):
+                return False  # constraint (1): never interrupt service
+            if q.index == self.capacity and not sp.is_active(s):
+                # constraint (2), strict form: make progress toward active.
+                if not sp.is_active(action) and not (
+                    sp.wakeup_time(action) < sp.wakeup_time(s)
+                ):
+                    return False
+            return True
+        # transfer state: only reachable with s active
+        if q.index == self.capacity and sp.is_active(action):
+            # constraint (3): no slower active mode at a nearly full queue.
+            if sp.service_time(action) > sp.service_time(s):
+                return False
+        return True
+
+    def valid_actions(self, state: SystemState) -> "List[str]":
+        """Valid destination modes, provider order."""
+        actions = [a for a in self.provider.modes if self.is_valid_action(state, a)]
+        if not actions:  # pragma: no cover - constraints always leave active modes
+            raise InvalidModelError(f"state {state!r} has no valid action")
+        return actions
+
+    # -- transition mechanics ---------------------------------------------------
+
+    def transition_rates(
+        self, state: SystemState, action: str
+    ) -> "Dict[SystemState, float]":
+        """Outgoing rates of *state* under *action* (no validity check).
+
+        Exposed separately from :meth:`build_ctmdp` so that structural
+        tests can compare these mechanics against the paper's tensor
+        construction block by block.
+        """
+        sp = self.provider
+        lam = self.requestor.rate
+        s, q = state.mode, state.queue
+        rates: Dict[SystemState, float] = {}
+
+        def add(dest: SystemState, rate: float) -> None:
+            if rate > 0.0:
+                rates[dest] = rates.get(dest, 0.0) + rate
+
+        if q.is_stable:
+            if q.index < self.capacity:
+                add(SystemState(s, stable(q.index + 1)), lam)
+            if action != s:
+                add(SystemState(action, q), sp.switching_rate(s, action))
+            mu = sp.service_rate(s)
+            if mu > 0.0 and q.index >= 1:
+                if self.include_transfer_states:
+                    add(SystemState(s, transfer(q.index)), mu)
+                else:
+                    add(SystemState(s, stable(q.index - 1)), mu)
+        else:
+            add(
+                SystemState(action, stable(q.index - 1)),
+                sp.switching_rate(s, action),
+            )
+            if q.index < self.capacity:
+                add(SystemState(s, transfer(q.index + 1)), lam)
+        return rates
+
+    def loss_rate(self, state: SystemState) -> float:
+        """Rate at which arriving requests are lost in *state*."""
+        if state.queue.index == self.capacity:
+            return self.requestor.rate
+        return 0.0
+
+    def effective_power_rate(self, state: SystemState, action: str) -> float:
+        """``C_pow(x, a) = pow(s) + sum_{s'} s_{s,s'}(a) ene(s, s')``.
+
+        The switching-energy impulse is folded into an equivalent rate,
+        exactly as in Section III.
+        """
+        sp = self.provider
+        total = sp.power_rate(state.mode)
+        if state.queue.is_stable:
+            if action != state.mode:
+                total += sp.switching_rate(state.mode, action) * sp.switching_energy(
+                    state.mode, action
+                )
+        else:
+            total += sp.switching_rate(state.mode, action) * sp.switching_energy(
+                state.mode, action
+            )
+        return total
+
+    def delay_cost(self, state: SystemState) -> float:
+        """``C_sq(x)``: the number of waiting requests in *state*."""
+        return float(state.queue.waiting_count)
+
+    # -- CTMDP construction ------------------------------------------------------
+
+    def build_ctmdp(self, weight: float = 0.0) -> CTMDP:
+        """Build the SYS CTMDP with cost ``C_pow + weight * C_sq``.
+
+        The returned model also carries extra-cost channels ``"power"``,
+        ``"queue_length"`` and ``"loss"`` for constrained optimization
+        and post-hoc metric evaluation.
+        """
+        if weight < 0:
+            raise InvalidModelError(f"performance weight must be >= 0, got {weight}")
+        mdp = CTMDP(self._states)
+        n = self.n_states
+        for state in self._states:
+            for action in self.valid_actions(state):
+                rates = np.zeros(n)
+                impulses = np.zeros(n)
+                for dest, rate in self.transition_rates(state, action).items():
+                    j = self._index[dest]
+                    rates[j] += rate
+                    if dest.mode != state.mode:
+                        impulses[j] = self.provider.switching_energy(
+                            state.mode, dest.mode
+                        )
+                costs = CostRates(
+                    power=self.effective_power_rate(state, action),
+                    queue_length=self.delay_cost(state),
+                    loss=self.loss_rate(state),
+                )
+                mdp.add_action(
+                    state,
+                    action,
+                    rates=rates,
+                    cost_rate=self.provider.power_rate(state.mode)
+                    + weight * costs.queue_length,
+                    impulse_costs=impulses,
+                    extra_costs=costs.as_extra_costs(),
+                )
+        mdp.validate()
+        return mdp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PowerManagedSystemModel(modes={self.provider.modes!r}, "
+            f"capacity={self.capacity}, lambda={self.requestor.rate:g}, "
+            f"transfer_states={self.include_transfer_states})"
+        )

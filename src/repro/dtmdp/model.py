@@ -1,0 +1,146 @@
+"""The discrete-time MDP model type.
+
+The discrete analogue of :class:`repro.ctmdp.model.CTMDP`: per state
+``i`` and action ``a`` a transition probability row ``P_ia`` and a
+per-step cost ``c(i, a)``. This is the object [11] optimizes over; it
+is also what :func:`repro.dtmdp.discretize.discretize_ctmdp` produces
+from a continuous-time model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidModelError, InvalidPolicyError
+
+#: Probability-row normalization tolerance.
+PROB_ATOL = 1e-9
+
+
+class DTMDP:
+    """A finite discrete-time MDP with labeled states.
+
+    Build with :meth:`add_action`; query via :meth:`actions`,
+    :meth:`transition_row` and :meth:`cost`. Rows must be stochastic.
+    """
+
+    def __init__(self, states: Sequence[Hashable]) -> None:
+        self._states: Tuple[Hashable, ...] = tuple(states)
+        if not self._states:
+            raise InvalidModelError("a DTMDP needs at least one state")
+        if len(set(self._states)) != len(self._states):
+            raise InvalidModelError("state labels must be unique")
+        self._index = {s: i for i, s in enumerate(self._states)}
+        self._rows: "Dict[Tuple[int, Hashable], np.ndarray]" = {}
+        self._costs: "Dict[Tuple[int, Hashable], float]" = {}
+        self._extra: "Dict[Tuple[int, Hashable], Dict[str, float]]" = {}
+        self._actions: "Dict[int, List[Hashable]]" = {
+            i: [] for i in range(len(self._states))
+        }
+
+    # -- construction --------------------------------------------------------
+
+    def add_action(
+        self,
+        state: Hashable,
+        action: Hashable,
+        probabilities: np.ndarray,
+        cost: float,
+        extra_costs: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Register *action* with its transition row and per-step cost."""
+        i = self.index_of(state)
+        if action in self._actions[i]:
+            raise InvalidModelError(f"action {action!r} already defined for {state!r}")
+        row = np.asarray(probabilities, dtype=float)
+        n = self.n_states
+        if row.shape != (n,):
+            raise InvalidModelError(
+                f"probability row shape {row.shape} does not match {n} states"
+            )
+        if np.any(row < -PROB_ATOL):
+            raise InvalidModelError(
+                f"negative probability in {state!r}/{action!r}: {row.min():g}"
+            )
+        total = row.sum()
+        if abs(total - 1.0) > 1e-6:
+            raise InvalidModelError(
+                f"row of {state!r}/{action!r} sums to {total:g}, expected 1"
+            )
+        row = np.clip(row, 0.0, None)
+        row = row / row.sum()
+        self._rows[(i, action)] = row
+        self._costs[(i, action)] = float(cost)
+        self._extra[(i, action)] = dict(extra_costs or {})
+        self._actions[i].append(action)
+
+    def validate(self) -> None:
+        missing = [self._states[i] for i, acts in self._actions.items() if not acts]
+        if missing:
+            raise InvalidModelError(f"states with no actions: {missing!r}")
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def states(self) -> Tuple[Hashable, ...]:
+        return self._states
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: Hashable) -> int:
+        try:
+            return self._index[state]
+        except KeyError:
+            raise InvalidModelError(f"unknown state {state!r}") from None
+
+    def actions(self, state: Hashable) -> "List[Hashable]":
+        return list(self._actions[self.index_of(state)])
+
+    def transition_row(self, state: Hashable, action: Hashable) -> np.ndarray:
+        try:
+            return self._rows[(self.index_of(state), action)]
+        except KeyError:
+            raise InvalidModelError(
+                f"action {action!r} not available in state {state!r}"
+            ) from None
+
+    def cost(self, state: Hashable, action: Hashable) -> float:
+        self.transition_row(state, action)  # existence check
+        return self._costs[(self.index_of(state), action)]
+
+    def extra_cost(self, state: Hashable, action: Hashable, name: str) -> float:
+        self.transition_row(state, action)
+        return self._extra[(self.index_of(state), action)].get(name, 0.0)
+
+    def state_action_pairs(self) -> "List[Tuple[Hashable, Hashable]]":
+        return [
+            (self._states[i], a)
+            for i in range(self.n_states)
+            for a in self._actions[i]
+        ]
+
+    # -- policies ---------------------------------------------------------------
+
+    def policy_matrix(self, assignment: Dict[Hashable, Hashable]) -> np.ndarray:
+        """Transition matrix of a deterministic policy."""
+        self._check_assignment(assignment)
+        return np.vstack(
+            [self.transition_row(s, assignment[s]) for s in self._states]
+        )
+
+    def policy_costs(self, assignment: Dict[Hashable, Hashable]) -> np.ndarray:
+        """Per-step cost vector of a deterministic policy."""
+        self._check_assignment(assignment)
+        return np.array([self.cost(s, assignment[s]) for s in self._states])
+
+    def _check_assignment(self, assignment: Dict[Hashable, Hashable]) -> None:
+        missing = [s for s in self._states if s not in assignment]
+        if missing:
+            raise InvalidPolicyError(f"policy misses states: {missing!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DTMDP(n_states={self.n_states}, n_pairs={len(self._rows)})"

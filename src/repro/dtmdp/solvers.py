@@ -1,0 +1,258 @@
+"""Average-cost solvers for discrete-time MDPs.
+
+The discrete-time counterparts of :mod:`repro.ctmdp`:
+
+- :func:`dt_policy_iteration` -- Howard's policy iteration: evaluate
+  ``h + g 1 = c + P h`` with ``h[ref] = 0``, improve greedily, repeat;
+- :func:`dt_relative_value_iteration` -- the span-contraction iteration
+  (requires aperiodicity; callers can blend a self-loop if needed);
+- :func:`dt_solve_average_cost_lp` -- the occupation-measure LP with
+  constraints ``x^T (P - I) = 0``, ``sum x = 1``: [11]'s solver, with
+  the same optional linear performance constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.dtmdp.model import DTMDP
+from repro.errors import InfeasibleConstraintError, SolverError
+
+
+@dataclass(frozen=True)
+class DTPolicyIterationResult:
+    """Outcome of discrete-time policy iteration / evaluation.
+
+    ``gain`` is the average cost *per step*; multiply by the slice rate
+    to compare against continuous-time cost rates.
+    """
+
+    assignment: "Dict[Hashable, Hashable]"
+    gain: float
+    bias: np.ndarray
+    stationary: np.ndarray
+    iterations: int
+
+
+def dt_evaluate_policy(
+    mdp: DTMDP,
+    assignment: "Dict[Hashable, Hashable]",
+    reference_state: int = 0,
+) -> DTPolicyIterationResult:
+    """Exact average-cost evaluation: solve ``(I - P) h + g 1 = c``."""
+    p = mdp.policy_matrix(assignment)
+    c = mdp.policy_costs(assignment)
+    n = p.shape[0]
+    a = np.zeros((n + 1, n + 1))
+    a[:n, :n] = np.eye(n) - p
+    a[:n, n] = 1.0
+    a[n, reference_state] = 1.0
+    b = np.concatenate([c, [0.0]])
+    try:
+        solution = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(
+            "discrete policy evaluation is singular (multichain policy?)"
+        ) from exc
+    h = solution[:n]
+    gain = float(solution[n])
+    # Stationary distribution of P (unichain): solve pi (P - I) = 0.
+    m = (p - np.eye(n)).T
+    m[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    pi = np.linalg.solve(m, rhs)
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
+    return DTPolicyIterationResult(
+        assignment=dict(assignment), gain=gain, bias=h, stationary=pi, iterations=0
+    )
+
+
+def dt_policy_iteration(
+    mdp: DTMDP,
+    initial: Optional[Dict[Hashable, Hashable]] = None,
+    max_iterations: int = 1000,
+    atol: float = 1e-10,
+) -> DTPolicyIterationResult:
+    """Howard policy iteration for unichain average-cost DTMDPs."""
+    mdp.validate()
+    assignment = (
+        dict(initial)
+        if initial is not None
+        else {s: mdp.actions(s)[0] for s in mdp.states}
+    )
+    evaluation = dt_evaluate_policy(mdp, assignment)
+    for iteration in range(1, max_iterations + 1):
+        h = evaluation.bias
+        changed = False
+        new_assignment: Dict[Hashable, Hashable] = {}
+        for state in mdp.states:
+            incumbent = assignment[state]
+            best_action = incumbent
+            best_value = mdp.cost(state, incumbent) + float(
+                mdp.transition_row(state, incumbent) @ h
+            )
+            for action in mdp.actions(state):
+                if action == incumbent:
+                    continue
+                value = mdp.cost(state, action) + float(
+                    mdp.transition_row(state, action) @ h
+                )
+                if value < best_value - atol:
+                    best_value = value
+                    best_action = action
+            new_assignment[state] = best_action
+            if best_action != incumbent:
+                changed = True
+        assignment = new_assignment
+        evaluation = dt_evaluate_policy(mdp, assignment)
+        if not changed:
+            return DTPolicyIterationResult(
+                assignment=assignment,
+                gain=evaluation.gain,
+                bias=evaluation.bias,
+                stationary=evaluation.stationary,
+                iterations=iteration,
+            )
+    raise SolverError(
+        f"discrete policy iteration did not converge in {max_iterations} iterations"
+    )
+
+
+def dt_relative_value_iteration(
+    mdp: DTMDP,
+    span_tolerance: float = 1e-10,
+    max_iterations: int = 1_000_000,
+) -> DTPolicyIterationResult:
+    """Relative value iteration (requires an aperiodic unichain model)."""
+    mdp.validate()
+    n = mdp.n_states
+    w = np.zeros(n)
+    rows = {
+        (i, a): mdp.transition_row(s, a)
+        for i, s in enumerate(mdp.states)
+        for a in mdp.actions(s)
+    }
+    costs = {
+        (i, a): mdp.cost(s, a)
+        for i, s in enumerate(mdp.states)
+        for a in mdp.actions(s)
+    }
+    for iteration in range(1, max_iterations + 1):
+        new_w = np.empty(n)
+        greedy: List[Hashable] = []
+        for i, state in enumerate(mdp.states):
+            best_value, best_action = np.inf, None
+            for action in mdp.actions(state):
+                value = costs[(i, action)] + float(rows[(i, action)] @ w)
+                if value < best_value:
+                    best_value, best_action = value, action
+            new_w[i] = best_value
+            greedy.append(best_action)
+        diff = new_w - w
+        span = float(diff.max() - diff.min())
+        w = new_w - new_w[0]
+        if span < span_tolerance:
+            assignment = dict(zip(mdp.states, greedy))
+            evaluation = dt_evaluate_policy(mdp, assignment)
+            return DTPolicyIterationResult(
+                assignment=assignment,
+                gain=evaluation.gain,
+                bias=w.copy(),
+                stationary=evaluation.stationary,
+                iterations=iteration,
+            )
+    raise SolverError(
+        f"discrete value iteration did not reach span {span_tolerance:g} "
+        f"in {max_iterations} sweeps"
+    )
+
+
+@dataclass(frozen=True)
+class DTLinearProgramResult:
+    """Outcome of the discrete occupation-measure LP."""
+
+    gain: float
+    occupation: "Dict[tuple, float]"
+    deterministic_assignment: "Dict[Hashable, Hashable]"
+    extra_cost_values: "Dict[str, float]"
+
+
+def dt_solve_average_cost_lp(
+    mdp: DTMDP,
+    objective: Optional[str] = None,
+    constraints: Optional[Mapping[str, float]] = None,
+) -> DTLinearProgramResult:
+    """[11]'s linear program, optionally constrained.
+
+    Without *objective*, minimizes the model's per-step cost; with it,
+    minimizes the named extra cost subject to upper bounds on other
+    named extra costs (per-step averages).
+    """
+    mdp.validate()
+    pairs = mdp.state_action_pairs()
+    n = mdp.n_states
+    n_vars = len(pairs)
+    if objective is None:
+        costs = np.array([mdp.cost(s, a) for s, a in pairs])
+    else:
+        costs = np.array([mdp.extra_cost(s, a, objective) for s, a in pairs])
+    a_eq = np.zeros((n + 1, n_vars))
+    for k, (state, action) in enumerate(pairs):
+        row = mdp.transition_row(state, action)
+        i = mdp.index_of(state)
+        a_eq[:n, k] = row
+        a_eq[i, k] -= 1.0
+        a_eq[n, k] = 1.0
+    b_eq = np.zeros(n + 1)
+    b_eq[n] = 1.0
+    a_ub = b_ub = None
+    if constraints:
+        a_ub = np.array(
+            [[mdp.extra_cost(s, a, name) for s, a in pairs] for name in constraints]
+        )
+        b_ub = np.array([float(bound) for bound in constraints.values()])
+    result = linprog(
+        costs, A_eq=a_eq, b_eq=b_eq, A_ub=a_ub, b_ub=b_ub,
+        bounds=(0, None), method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleConstraintError(
+            f"no stationary policy satisfies {dict(constraints or {})!r}"
+        )
+    if not result.success:
+        raise SolverError(f"discrete LP failed: {result.message}")
+    occupation = {
+        pair: float(x) for pair, x in zip(pairs, result.x) if x > 1e-12
+    }
+    assignment: Dict[Hashable, Hashable] = {}
+    for state in mdp.states:
+        best, best_mass = None, -1.0
+        for action in mdp.actions(state):
+            mass = occupation.get((state, action), 0.0)
+            if mass > best_mass:
+                best, best_mass = action, mass
+        assignment[state] = best
+    extra_names = sorted(
+        {name for s, a in pairs for name in mdp._extra[(mdp.index_of(s), a)]}
+    )
+    extras = {
+        name: float(
+            sum(
+                occupation.get((s, a), 0.0) * mdp.extra_cost(s, a, name)
+                for s, a in pairs
+            )
+        )
+        for name in extra_names
+    }
+    return DTLinearProgramResult(
+        gain=float(result.fun),
+        occupation=occupation,
+        deterministic_assignment=assignment,
+        extra_cost_values=extras,
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except``
+clause while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidGeneratorError(ReproError):
+    """A matrix does not satisfy the generator (differential) properties.
+
+    A valid generator matrix has non-negative off-diagonal entries and
+    rows that sum to zero (Eqn. 2.4 of the paper).
+    """
+
+
+class NotIrreducibleError(ReproError):
+    """An operation required an irreducible chain but got a reducible one.
+
+    The limiting distribution of a CTMC is only guaranteed to exist and be
+    independent of the initial state for irreducible positive-recurrent
+    chains (Theorem 2.1 of the paper).
+    """
+
+
+class InvalidModelError(ReproError):
+    """A model definition is inconsistent (shapes, signs, missing actions)."""
+
+
+class InvalidPolicyError(ReproError):
+    """A policy refers to unknown states/actions or violates constraints."""
+
+
+class SolverError(ReproError):
+    """An optimization algorithm failed to converge or found no solution."""
+
+
+class InfeasibleConstraintError(SolverError):
+    """No policy can satisfy the requested performance constraint."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent internal state."""

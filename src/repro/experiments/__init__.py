@@ -1,0 +1,29 @@
+"""Reproduction drivers for the paper's evaluation (Section V).
+
+One module per exhibit:
+
+- :mod:`repro.experiments.figure4` -- power--delay tradeoff of the
+  CTMDP-optimal policies vs the N-policies (Figure 4), with both
+  analytic ("functional") and simulated values.
+- :mod:`repro.experiments.table1` -- the Little's-law approximation
+  check across input rates (Table 1).
+- :mod:`repro.experiments.figure5` -- CTMDP-optimal vs greedy and three
+  timeout policies across input rates (Figure 5).
+
+:mod:`repro.experiments.setup` centralizes the experimental constants;
+:mod:`repro.experiments.reporting` renders the result rows as the
+paper-style tables.
+"""
+
+from repro.experiments.figure4 import Figure4Point, run_figure4
+from repro.experiments.figure5 import Figure5Point, run_figure5
+from repro.experiments.table1 import Table1Row, run_table1
+
+__all__ = [
+    "Figure4Point",
+    "Figure5Point",
+    "Table1Row",
+    "run_figure4",
+    "run_figure5",
+    "run_table1",
+]

@@ -1,0 +1,49 @@
+"""CSV export of the experiment series.
+
+The drivers return typed rows; these helpers flatten any sequence of
+dataclass rows (Figure4Point, Table1Row, Figure5Point, ...) into CSV so
+results can be archived, diffed across versions, or plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+def export_rows(rows: Sequence[object], path: PathLike) -> None:
+    """Write dataclass *rows* as CSV with a header from the field names.
+
+    All rows must be instances of the same dataclass.
+    """
+    if not rows:
+        raise ReproError("nothing to export: empty row sequence")
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise ReproError(f"rows must be dataclasses, got {type(first).__name__}")
+    row_type = type(first)
+    if any(type(row) is not row_type for row in rows):
+        raise ReproError("all rows must be of the same dataclass type")
+    field_names = [f.name for f in dataclasses.fields(row_type)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(field_names)
+        for row in rows:
+            writer.writerow([getattr(row, name) for name in field_names])
+
+
+def read_rows(path: PathLike) -> "list[dict]":
+    """Read an exported CSV back as a list of string-valued dicts.
+
+    Types are not reconstructed (CSV is untyped); the reader is for
+    quick diffs and spreadsheets, not as a load path back into the
+    experiment objects.
+    """
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,124 @@
+"""Figure 5: CTMDP-optimal vs greedy and timeout heuristics.
+
+The last experiment of Section V: sweep the input rate from 1/8 to 1/3
+and compare, at each rate,
+
+- the CTMDP-optimal policy tuned to the throughput constraint (average
+  queue length <= 1, i.e. waiting time <= inter-arrival time),
+- the greedy policy (sleep when empty, wake when non-empty), and
+- three timeout policies: ``n = 1 s`` fixed, ``n`` equal to the mean
+  inter-arrival time, and ``n`` equal to half of it,
+
+by simulated average power and average waiting time. The paper's
+conclusion -- asserted by the bench -- is that the optimal policy draws
+the least power among all policies meeting the performance constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.dpm.optimizer import optimize_constrained
+from repro.dpm.presets import paper_system
+from repro.dpm.system import PowerManagedSystemModel
+from repro.experiments import setup
+from repro.experiments.reporting import format_table
+from repro.policies.base import PowerManagementPolicy
+from repro.policies.greedy import GreedyPolicy
+from repro.policies.optimal import StochasticCTMDPPolicy
+from repro.policies.timeout import TimeoutPolicy
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """One (policy, rate) measurement of Figure 5."""
+
+    policy: str
+    input_rate: float
+    simulated_power: float
+    simulated_waiting_time: float
+    simulated_queue_length: float
+    loss_probability: float
+
+
+def heuristic_policies(
+    model: PowerManagedSystemModel,
+) -> "Dict[str, PowerManagementPolicy]":
+    """The paper's four heuristics at this model's input rate."""
+    interarrival = model.requestor.mean_interarrival_time
+    provider = model.provider
+    return {
+        "greedy": GreedyPolicy(provider),
+        "timeout(1s)": TimeoutPolicy(1.0, provider),
+        "timeout(1/lambda)": TimeoutPolicy(interarrival, provider),
+        "timeout(0.5/lambda)": TimeoutPolicy(0.5 * interarrival, provider),
+    }
+
+
+def run_figure5(
+    rates: Sequence[float] = setup.INPUT_RATES,
+    queue_length_bound: float = setup.QUEUE_LENGTH_BOUND,
+    n_requests: int = setup.DEFAULT_N_REQUESTS,
+    seed: int = setup.DEFAULT_SEED,
+    model_factory: Callable[[float], PowerManagedSystemModel] = (
+        lambda rate: paper_system(arrival_rate=rate)
+    ),
+) -> "List[Figure5Point]":
+    """Regenerate the Figure-5 series: 5 policies x len(rates) points."""
+    points: List[Figure5Point] = []
+    for rate in rates:
+        model = model_factory(rate)
+        optimal = optimize_constrained(model, queue_length_bound)
+        policies: Dict[str, PowerManagementPolicy] = {
+            "ctmdp-optimal": StochasticCTMDPPolicy(
+                optimal.policy, model.capacity, seed=seed
+            )
+        }
+        policies.update(heuristic_policies(model))
+        for name, policy in policies.items():
+            sim = setup.simulate_policy(
+                model, policy, n_requests=n_requests, seed=seed
+            )
+            points.append(
+                Figure5Point(
+                    policy=name,
+                    input_rate=rate,
+                    simulated_power=sim.average_power,
+                    simulated_waiting_time=sim.average_waiting_time,
+                    simulated_queue_length=sim.average_queue_length,
+                    loss_probability=sim.loss_probability,
+                )
+            )
+    return points
+
+
+def format_figure5(points: "List[Figure5Point]") -> str:
+    headers = (
+        "policy",
+        "input rate [1/s]",
+        "power [W]",
+        "avg waiting [s]",
+        "avg queue",
+        "loss prob",
+    )
+    rows = [
+        (
+            p.policy,
+            f"1/{round(1 / p.input_rate)}",
+            p.simulated_power,
+            p.simulated_waiting_time,
+            p.simulated_queue_length,
+            p.loss_probability,
+        )
+        for p in points
+    ]
+    return format_table(headers, rows)
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(format_figure5(run_figure5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

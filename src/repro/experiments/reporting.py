@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The paper's exhibits are a scatter plot (Figure 4), a table (Table 1)
+and a line plot (Figure 5); on a terminal we render all three as
+fixed-width tables (every figure's underlying series is a table).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render *rows* under *headers* as an aligned fixed-width table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered
+    )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""A labeled continuous-time Markov chain convenience type.
+
+:class:`ContinuousTimeMarkovChain` bundles a validated generator with
+state labels and exposes the analysis entry points of the substrate
+(stationary/transient distributions, classification, expected rewards)
+behind one object. Higher layers (the DPM system model) construct their
+joint process as one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.markov import classify
+from repro.markov.generator import GeneratorMatrix
+from repro.markov.rewards import MarkovRewardProcess
+
+
+class ContinuousTimeMarkovChain:
+    """An immutable, labeled CTMC.
+
+    Parameters
+    ----------
+    matrix:
+        Square generator matrix.
+    states:
+        Optional unique hashable labels, defaulting to indices.
+    """
+
+    def __init__(
+        self, matrix: np.ndarray, states: Optional[Sequence[Hashable]] = None
+    ) -> None:
+        self._gen = GeneratorMatrix(np.asarray(matrix, dtype=float), states)
+
+    @classmethod
+    def from_rates(
+        cls,
+        rates: "Dict[tuple, float]",
+        states: Sequence[Hashable],
+    ) -> "ContinuousTimeMarkovChain":
+        """Build a chain from a sparse ``{(src, dst): rate}`` mapping.
+
+        Diagonal entries are computed automatically from Eqn. 2.4; any
+        explicit diagonal entries in *rates* are rejected.
+        """
+        states = tuple(states)
+        index = {s: i for i, s in enumerate(states)}
+        n = len(states)
+        g = np.zeros((n, n))
+        for (src, dst), rate in rates.items():
+            if src == dst:
+                raise ValueError(
+                    f"self-rate for {src!r} must not be given; "
+                    "diagonals follow from Eqn. 2.4"
+                )
+            g[index[src], index[dst]] = float(rate)
+        np.fill_diagonal(g, 0.0)
+        np.fill_diagonal(g, -g.sum(axis=1))
+        return cls(g, states)
+
+    # -- delegation ----------------------------------------------------------
+
+    @property
+    def generator(self) -> GeneratorMatrix:
+        return self._gen
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._gen.matrix
+
+    @property
+    def states(self) -> "tuple[Hashable, ...]":
+        return self._gen.states
+
+    @property
+    def n_states(self) -> int:
+        return self._gen.n_states
+
+    def index_of(self, state: Hashable) -> int:
+        return self._gen.index_of(state)
+
+    def rate(self, source: Hashable, dest: Hashable) -> float:
+        return self._gen.rate(source, dest)
+
+    def stationary_distribution(self) -> np.ndarray:
+        return self._gen.stationary_distribution()
+
+    def stationary_probabilities(self) -> "Dict[Hashable, float]":
+        """Stationary distribution keyed by state label."""
+        p = self._gen.stationary_distribution()
+        return {s: float(p[i]) for i, s in enumerate(self.states)}
+
+    def transient_distribution(self, initial: np.ndarray, t: float) -> np.ndarray:
+        return self._gen.transient_distribution(initial, t)
+
+    # -- structure -----------------------------------------------------------
+
+    def is_irreducible(self) -> bool:
+        return classify.is_irreducible(self.matrix)
+
+    def is_connected(self) -> bool:
+        return classify.is_connected(self.matrix)
+
+    def communicating_classes(self) -> "list[frozenset[Hashable]]":
+        """Communicating classes as frozensets of *labels*."""
+        return [
+            frozenset(self.states[i] for i in cls_)
+            for cls_ in classify.communicating_classes(self.matrix)
+        ]
+
+    def classify_states(self) -> "Dict[Hashable, str]":
+        """Per-label recurrent/transient classification."""
+        raw = classify.classify_states(self.matrix)
+        return {self.states[i]: kind for i, kind in raw.items()}
+
+    # -- rewards ---------------------------------------------------------------
+
+    def with_rewards(
+        self,
+        rate_rewards: np.ndarray,
+        impulse_rewards: Optional[np.ndarray] = None,
+    ) -> MarkovRewardProcess:
+        """Attach rewards; see :class:`MarkovRewardProcess`."""
+        return MarkovRewardProcess(self._gen, rate_rewards, impulse_rewards)
+
+    def expected_value(self, per_state_values: np.ndarray) -> float:
+        """Stationary expectation of a per-state quantity."""
+        values = np.asarray(per_state_values, dtype=float)
+        if values.shape != (self.n_states,):
+            raise ValueError(
+                f"values shape {values.shape} does not match {self.n_states} states"
+            )
+        return float(self.stationary_distribution() @ values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ContinuousTimeMarkovChain(n_states={self.n_states})"

@@ -1,0 +1,93 @@
+"""State classification for continuous-time Markov chains.
+
+Implements the structural notions of Section II of the paper:
+
+- communicating classes (Definition 2.4),
+- irreducibility (Definition 2.5),
+- connectedness of the transition graph (Definition 2.6), and
+- recurrent/transient classification (Definition 2.3) for finite chains,
+  where a state is (positive) recurrent iff its communicating class is
+  closed -- has no transition leaving it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+from repro.markov.generator import DEFAULT_ATOL, validate_generator
+
+
+def transition_graph(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> nx.DiGraph:
+    """Build the directed graph whose edges are positive-rate transitions."""
+    g = validate_generator(matrix, atol=atol)
+    n = g.shape[0]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(g > atol)
+    graph.add_edges_from(
+        (int(i), int(j)) for i, j in zip(rows, cols) if i != j
+    )
+    return graph
+
+
+def communicating_classes(matrix: np.ndarray) -> "List[frozenset[int]]":
+    """Return the communicating classes (Defn. 2.4) as frozensets of indices.
+
+    Classes are the strongly connected components of the transition graph,
+    ordered by their smallest member for determinism.
+    """
+    graph = transition_graph(matrix)
+    classes = [frozenset(c) for c in nx.strongly_connected_components(graph)]
+    return sorted(classes, key=min)
+
+
+def is_irreducible(matrix: np.ndarray) -> bool:
+    """True iff all states form a single communicating class (Defn. 2.5)."""
+    return len(communicating_classes(matrix)) == 1
+
+
+def is_connected(matrix: np.ndarray) -> bool:
+    """True iff the transition graph is (weakly) connected (Defn. 2.6).
+
+    The paper calls a Markov process *connected* when the graph formed by
+    its states and transitions is a connected graph; this is the condition
+    its action-validity constraints are designed to preserve.
+    """
+    graph = transition_graph(matrix)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_weakly_connected(graph)
+
+
+def classify_states(matrix: np.ndarray) -> "Dict[int, str]":
+    """Classify each state as ``"recurrent"`` or ``"transient"`` (Defn. 2.3).
+
+    For a finite CTMC, a state is recurrent iff its communicating class is
+    closed (no transition leaves the class); all recurrent states of a
+    finite chain are positive recurrent.
+    """
+    g = validate_generator(matrix)
+    result: Dict[int, str] = {}
+    for cls in communicating_classes(g):
+        members = sorted(cls)
+        outside = [j for j in range(g.shape[0]) if j not in cls]
+        closed = True
+        if outside:
+            closed = not np.any(g[np.ix_(members, outside)] > DEFAULT_ATOL)
+        label = "recurrent" if closed else "transient"
+        for i in members:
+            result[i] = label
+    return result
+
+
+def recurrent_states(matrix: np.ndarray) -> "List[int]":
+    """Indices of all recurrent states, ascending."""
+    return sorted(i for i, c in classify_states(matrix).items() if c == "recurrent")
+
+
+def transient_states(matrix: np.ndarray) -> "List[int]":
+    """Indices of all transient states, ascending."""
+    return sorted(i for i, c in classify_states(matrix).items() if c == "transient")

@@ -1,0 +1,166 @@
+"""Markov processes with rewards (Section II of the paper).
+
+A Markov reward process attaches to an ``n``-state CTMC:
+
+- a *rate reward* ``r_ii`` earned per unit time while occupying state
+  ``i``, and
+- an *impulse (transition) reward* ``r_ij`` earned on each ``i -> j``
+  jump (``i != j``).
+
+The *earning rate* of state ``i`` is ``r_i = r_ii + sum_{j != i} s_ij
+r_ij``. The expected total reward ``v_i(t)`` from state ``i`` over
+horizon ``t`` satisfies the linear ODE system (Eqn. 2.5)::
+
+    dv_i/dt = r_i + sum_j s_ij v_j(t)
+
+whose closed-form solution for a finite horizon is computed here with a
+single matrix exponential on an augmented generator. The two infinite-
+horizon summaries used for decision making are
+
+- the *limiting average reward* ``g = p . r`` for irreducible chains,
+  where ``p`` is the stationary distribution (the paper's
+  ``v_avg``), and
+- the *discounted reward* ``v = (aI - G)^{-1} r`` with discount factor
+  ``a > 0`` (the paper's ``v_dis``); as ``a -> 0``, ``a v -> g``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.errors import InvalidModelError
+from repro.markov.generator import GeneratorMatrix, validate_generator
+
+
+def earning_rates(
+    matrix: np.ndarray,
+    rate_rewards: np.ndarray,
+    impulse_rewards: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Return ``r_i = r_ii + sum_{j != i} s_ij r_ij`` for every state.
+
+    Parameters
+    ----------
+    matrix:
+        Generator matrix ``G``.
+    rate_rewards:
+        Vector of per-unit-time rewards ``r_ii``.
+    impulse_rewards:
+        Optional square matrix of transition rewards ``r_ij``; its
+        diagonal is ignored. ``None`` means no impulse rewards.
+    """
+    g = validate_generator(matrix)
+    n = g.shape[0]
+    r_rate = np.asarray(rate_rewards, dtype=float)
+    if r_rate.shape != (n,):
+        raise InvalidModelError(
+            f"rate_rewards shape {r_rate.shape} does not match {n} states"
+        )
+    r = r_rate.copy()
+    if impulse_rewards is not None:
+        r_imp = np.asarray(impulse_rewards, dtype=float)
+        if r_imp.shape != (n, n):
+            raise InvalidModelError(
+                f"impulse_rewards shape {r_imp.shape} does not match ({n}, {n})"
+            )
+        off_rates = g.copy()
+        np.fill_diagonal(off_rates, 0.0)
+        imp = r_imp.copy()
+        np.fill_diagonal(imp, 0.0)
+        r += (off_rates * imp).sum(axis=1)
+    return r
+
+
+class MarkovRewardProcess:
+    """A CTMC with rate and impulse rewards.
+
+    Parameters
+    ----------
+    generator:
+        A :class:`~repro.markov.generator.GeneratorMatrix` (or a raw
+        square rate matrix, which is wrapped).
+    rate_rewards:
+        Per-state reward rates ``r_ii``.
+    impulse_rewards:
+        Optional per-transition rewards ``r_ij``.
+    """
+
+    def __init__(
+        self,
+        generator,
+        rate_rewards: np.ndarray,
+        impulse_rewards: Optional[np.ndarray] = None,
+    ) -> None:
+        if not isinstance(generator, GeneratorMatrix):
+            generator = GeneratorMatrix(np.asarray(generator, dtype=float))
+        self.generator = generator
+        self.rate_rewards = np.asarray(rate_rewards, dtype=float)
+        self.impulse_rewards = (
+            None
+            if impulse_rewards is None
+            else np.asarray(impulse_rewards, dtype=float)
+        )
+        # Validates shapes as a side effect.
+        self._earning = earning_rates(
+            generator.matrix, self.rate_rewards, self.impulse_rewards
+        )
+
+    @property
+    def earning_rate(self) -> np.ndarray:
+        """The vector ``r`` of per-state earning rates."""
+        return self._earning
+
+    def expected_total_reward(self, t: float) -> np.ndarray:
+        """Solve Eqn. 2.5 for ``v(t)`` with ``v(0) = 0``.
+
+        Uses the augmented-generator trick: with
+        ``M = [[G, r], [0, 0]]``, the top-right block of ``expm(M t)``
+        applied to the unit tail gives ``v(t)`` exactly. This avoids ODE
+        integration error entirely for this linear constant-coefficient
+        system.
+        """
+        if t < 0:
+            raise ValueError(f"horizon must be non-negative, got {t}")
+        n = self.generator.n_states
+        aug = np.zeros((n + 1, n + 1))
+        aug[:n, :n] = self.generator.matrix
+        aug[:n, n] = self._earning
+        return expm(aug * t)[:n, n].copy()
+
+    def limiting_average_reward(self) -> float:
+        """The gain ``g = p . r`` (the paper's ``v_avg``); requires
+        an irreducible chain for the stationary distribution to exist."""
+        p = self.generator.stationary_distribution()
+        return float(p @ self._earning)
+
+    def discounted_reward(self, discount: float) -> np.ndarray:
+        """Expected total discounted reward ``v = (aI - G)^{-1} r``.
+
+        ``discount`` is the paper's ``a > 0``; larger values weigh the
+        near future more heavily. As ``a -> 0``, ``a * v_i -> g`` for
+        every state ``i`` of an irreducible chain (Theorem 2.3).
+        """
+        if discount <= 0:
+            raise ValueError(f"discount factor must be positive, got {discount}")
+        n = self.generator.n_states
+        a = discount * np.eye(n) - self.generator.matrix
+        return np.linalg.solve(a, self._earning)
+
+    def bias(self) -> np.ndarray:
+        """The bias (relative value) vector ``h`` of the average-reward
+        decomposition ``v_i(t) ~ g t + h_i`` for large ``t``.
+
+        Solved from ``G h = g 1 - r`` with the normalization
+        ``p . h = 0``; unique for irreducible chains.
+        """
+        g_mat = self.generator.matrix
+        p = self.generator.stationary_distribution()
+        gain = float(p @ self._earning)
+        n = self.generator.n_states
+        a = np.vstack([g_mat, p])
+        b = np.concatenate([gain - self._earning, [0.0]])
+        h, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return h

@@ -1,0 +1,95 @@
+"""Trajectory sampling for continuous-time Markov chains.
+
+Samples paths by the standard jump-chain construction: in state ``i``,
+hold for an ``Exp(-G[i,i])`` time, then jump to ``j`` with probability
+``s_ij / (-G[i,i])``. Used by tests to cross-validate analytic
+stationary distributions and by the simulator's validation suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from repro.markov.generator import (
+    DEFAULT_ATOL,
+    GeneratorMatrix,
+    embedded_jump_chain,
+    holding_rates,
+)
+
+
+@dataclass
+class SampledPath:
+    """A piecewise-constant CTMC trajectory.
+
+    ``states[k]`` is occupied during ``[times[k], times[k+1])``; the final
+    state is occupied from ``times[-1]`` until the horizon ``t_end``.
+    """
+
+    states: List[int]
+    times: List[float]
+    t_end: float
+    labels: "tuple[Hashable, ...]" = field(default_factory=tuple)
+
+    def occupancy(self, n_states: int) -> np.ndarray:
+        """Fraction of ``[0, t_end]`` spent in each state index."""
+        occ = np.zeros(n_states)
+        for k, s in enumerate(self.states):
+            t0 = self.times[k]
+            t1 = self.times[k + 1] if k + 1 < len(self.times) else self.t_end
+            occ[s] += max(0.0, t1 - t0)
+        if self.t_end > 0:
+            occ /= self.t_end
+        return occ
+
+    @property
+    def n_jumps(self) -> int:
+        return len(self.states) - 1
+
+
+class TrajectorySampler:
+    """Reusable sampler bound to one generator and one RNG."""
+
+    def __init__(self, generator, rng: Optional[np.random.Generator] = None) -> None:
+        if not isinstance(generator, GeneratorMatrix):
+            generator = GeneratorMatrix(np.asarray(generator, dtype=float))
+        self.generator = generator
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._jump = embedded_jump_chain(generator.matrix)
+        self._rates = holding_rates(generator.matrix)
+
+    def sample(self, initial_state: int, t_end: float) -> SampledPath:
+        """Sample one path over ``[0, t_end]`` from *initial_state*."""
+        if t_end < 0:
+            raise ValueError(f"t_end must be non-negative, got {t_end}")
+        n = self.generator.n_states
+        if not 0 <= initial_state < n:
+            raise ValueError(f"initial_state {initial_state} out of range [0, {n})")
+        states = [initial_state]
+        times = [0.0]
+        t = 0.0
+        current = initial_state
+        while True:
+            rate = self._rates[current]
+            if rate <= DEFAULT_ATOL:
+                break  # absorbing state
+            t += self.rng.exponential(1.0 / rate)
+            if t >= t_end:
+                break
+            current = int(self.rng.choice(n, p=self._jump[current]))
+            states.append(current)
+            times.append(t)
+        return SampledPath(states, times, t_end, labels=self.generator.states)
+
+
+def sample_path(
+    generator,
+    initial_state: int,
+    t_end: float,
+    rng: Optional[np.random.Generator] = None,
+) -> SampledPath:
+    """One-shot convenience wrapper around :class:`TrajectorySampler`."""
+    return TrajectorySampler(generator, rng).sample(initial_state, t_end)

@@ -1,0 +1,45 @@
+"""Tensor (Kronecker) algebra used to compose Markov processes.
+
+Definition 4.4 of the paper: for matrices ``A`` (order ``n1``) and ``B``
+(order ``n2``),
+
+- the *tensor product* ``A (x) B`` is the Kronecker product, and
+- the *tensor sum* ``A (+) B = A (x) I_{n2} + I_{n1} (x) B``.
+
+The tensor sum of two generator matrices is the generator of the two
+chains evolving independently in parallel -- exactly how the paper builds
+the stable-state block of the joint SP x SQ system generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tensor_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kronecker product ``A (x) B`` (Definition 4.4)."""
+    return np.kron(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+
+
+def tensor_sum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Tensor sum ``A (+) B = A (x) I + I (x) B`` (Definition 4.4).
+
+    Both inputs must be square. If both are CTMC generators, the result
+    is the generator of their independent parallel composition over the
+    product state space, ordered with ``A``'s index varying slowest.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"tensor_sum requires square matrices, got {a.shape}")
+    if b.ndim != 2 or b.shape[0] != b.shape[1]:
+        raise ValueError(f"tensor_sum requires square matrices, got {b.shape}")
+    return np.kron(a, np.eye(b.shape[0])) + np.kron(np.eye(a.shape[0]), b)
+
+
+def product_states(states_a, states_b) -> "list[tuple]":
+    """Labels of the product space, ordered to match :func:`tensor_sum`.
+
+    ``A``'s index varies slowest, matching ``np.kron`` block layout.
+    """
+    return [(sa, sb) for sa in states_a for sb in states_b]

@@ -1,0 +1,56 @@
+"""Event-driven power-management policies (the PM component).
+
+Every policy implements :class:`repro.policies.base.
+PowerManagementPolicy`: the simulator invokes :meth:`decide` on each
+system state change (arrival, service completion, switch completion,
+expired timer), and the policy answers with an optional mode command and
+an optional timer request. This is exactly the paper's *asynchronous*
+power manager -- no per-time-slice polling.
+
+Provided policies:
+
+- :class:`~repro.policies.optimal.OptimalCTMDPPolicy` -- table lookup of
+  a solved CTMDP policy over the joint SP x SQ state (the paper's
+  approach), plus :class:`~repro.policies.optimal.AdaptiveCTMDPPolicy`
+  which re-estimates the arrival rate online.
+- :class:`~repro.policies.npolicy.NPolicy` -- activate at N waiting
+  requests, deactivate when empty (Section V).
+- :class:`~repro.policies.greedy.GreedyPolicy` -- N-policy with N = 1.
+- :class:`~repro.policies.timeout.TimeoutPolicy` -- sleep after a fixed
+  idle timeout; :class:`~repro.policies.timeout.MultiLevelTimeoutPolicy`
+  cascades through several low-power modes.
+- :class:`~repro.policies.always_on.AlwaysOnPolicy` -- never power down
+  (performance upper bound / power baseline).
+- :class:`~repro.policies.oracle.OracleIdlePolicy` -- clairvoyant
+  break-even policy (needs a trace workload; energy lower-bound
+  reference).
+"""
+
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import Decision, PowerManagementPolicy, SystemView
+from repro.policies.greedy import GreedyPolicy
+from repro.policies.npolicy import NPolicy
+from repro.policies.optimal import (
+    AdaptiveCTMDPPolicy,
+    OptimalCTMDPPolicy,
+    StochasticCTMDPPolicy,
+)
+from repro.policies.oracle import OracleIdlePolicy
+from repro.policies.synchronous import SynchronousPolicyWrapper
+from repro.policies.timeout import MultiLevelTimeoutPolicy, TimeoutPolicy
+
+__all__ = [
+    "AdaptiveCTMDPPolicy",
+    "AlwaysOnPolicy",
+    "Decision",
+    "GreedyPolicy",
+    "MultiLevelTimeoutPolicy",
+    "NPolicy",
+    "OptimalCTMDPPolicy",
+    "OracleIdlePolicy",
+    "PowerManagementPolicy",
+    "StochasticCTMDPPolicy",
+    "SynchronousPolicyWrapper",
+    "SystemView",
+    "TimeoutPolicy",
+]

@@ -1,0 +1,31 @@
+"""The always-on policy: never power down.
+
+A performance upper bound and power baseline: the server is driven to
+(and kept in) the fastest active mode regardless of load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.policies.base import Decision, PowerManagementPolicy, SystemView
+from repro.policies.helpers import command_if_needed
+
+
+class AlwaysOnPolicy(PowerManagementPolicy):
+    """Keep the SP in an active mode at all times."""
+
+    def __init__(
+        self, provider: ServiceProvider, active_mode: Optional[str] = None
+    ) -> None:
+        self.active_mode = (
+            active_mode if active_mode is not None else provider.fastest_active_mode()
+        )
+
+    @property
+    def name(self) -> str:
+        return "AlwaysOnPolicy"
+
+    def decide(self, view: SystemView) -> Decision:
+        return command_if_needed(view, self.active_mode)

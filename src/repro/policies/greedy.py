@@ -1,0 +1,29 @@
+"""The greedy heuristic of Section V.
+
+"A greedy algorithm which deactivates (activates) the server as soon as
+the queue is empty (the queue is not empty)" -- i.e. the N-policy with
+``N = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.policies.npolicy import NPolicy
+
+
+class GreedyPolicy(NPolicy):
+    """Sleep the instant the system empties; wake on the first arrival."""
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        sleep_mode: Optional[str] = None,
+        active_mode: Optional[str] = None,
+    ) -> None:
+        super().__init__(1, provider, sleep_mode=sleep_mode, active_mode=active_mode)
+
+    @property
+    def name(self) -> str:
+        return "GreedyPolicy"

@@ -1,0 +1,33 @@
+"""Shared policy plumbing.
+
+:func:`command_if_needed` turns a *desired* SP trajectory into the
+minimal command: issue nothing when the provider is already in (or
+already switching to) the desired mode, except at transfer decision
+points where an explicit "stay" is meaningful (it resolves the transfer
+instantly). Keeping this in one place makes PM-command counts
+comparable across policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policies.base import Decision, SystemView
+
+
+def command_if_needed(
+    view: SystemView,
+    desired: Optional[str],
+    recheck_after: Optional[float] = None,
+) -> Decision:
+    """Build the minimal :class:`Decision` steering toward *desired*."""
+    if desired is None:
+        return Decision(recheck_after=recheck_after)
+    if view.in_transfer:
+        # Transfer point: an explicit command (even "stay") is the
+        # decision; the simulator treats a missing command as "stay".
+        return Decision(command=desired, recheck_after=recheck_after)
+    heading = view.switch_target if view.switch_target is not None else view.mode
+    if desired == heading:
+        return Decision(recheck_after=recheck_after)
+    return Decision(command=desired, recheck_after=recheck_after)

@@ -1,0 +1,77 @@
+"""The N-policy (Section V).
+
+"An N-policy is a policy that activates the server when there are N
+customers waiting for service and deactivates the server when there are
+no customers in the system" [12]. The simulator-side implementation
+mirrors :func:`repro.dpm.model_policies.n_policy_assignment` exactly, so
+analytic and simulated evaluations describe the same policy:
+
+- at a transfer point with an empty system, power down to *sleep_mode*;
+- at a transfer point with work remaining, stay and keep serving (an
+  arrival during an in-flight power-down therefore pulls the server
+  back, just as the CTMDP transfer-state action table does);
+- while powered down, wake to *active_mode* when the occupancy reaches
+  ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import InvalidPolicyError
+from repro.policies.base import Decision, PowerManagementPolicy, SystemView
+from repro.policies.helpers import command_if_needed
+
+
+class NPolicy(PowerManagementPolicy):
+    """Activate at ``N`` requests, deactivate when empty.
+
+    Parameters
+    ----------
+    n:
+        Activation threshold (>= 1).
+    provider:
+        The SP description; supplies default mode choices.
+    sleep_mode:
+        Power-down target; defaults to the lowest-power inactive mode.
+    active_mode:
+        Wake-up target; defaults to the fastest active mode.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        provider: ServiceProvider,
+        sleep_mode: Optional[str] = None,
+        active_mode: Optional[str] = None,
+    ) -> None:
+        if n < 1:
+            raise InvalidPolicyError(f"N must be >= 1, got {n}")
+        self.n = int(n)
+        self.sleep_mode = (
+            sleep_mode if sleep_mode is not None else provider.deepest_sleep_mode()
+        )
+        self.active_mode = (
+            active_mode if active_mode is not None else provider.fastest_active_mode()
+        )
+        if provider.is_active(self.sleep_mode):
+            raise InvalidPolicyError(f"sleep mode {self.sleep_mode!r} is active")
+        if not provider.is_active(self.active_mode):
+            raise InvalidPolicyError(f"active mode {self.active_mode!r} is inactive")
+
+    @property
+    def name(self) -> str:
+        return f"NPolicy(N={self.n})"
+
+    def _desired(self, view: SystemView) -> Optional[str]:
+        if view.in_transfer:
+            return self.sleep_mode if view.occupancy == 0 else view.mode
+        heading = view.switch_target if view.switch_target is not None else view.mode
+        heading_active = view.provider.is_active(heading)
+        if not heading_active and view.occupancy >= self.n:
+            return self.active_mode
+        return None
+
+    def decide(self, view: SystemView) -> Decision:
+        return command_if_needed(view, self._desired(view))

@@ -1,0 +1,169 @@
+"""Timeout power-management policies (Section V's heuristic comparators).
+
+A timeout policy "deactivates the server ``n`` seconds after it becomes
+idle" and reactivates it on the next arrival. Figure 5 compares three
+variants: a fixed 1-second timeout, a timeout equal to the mean
+inter-arrival time, and one equal to half of it -- all constructed here
+with a plain constructor argument.
+
+Timeout policies are *not* stationary Markov policies (the decision
+depends on elapsed idle time), so they exist only on the simulator side;
+they are expressed through the timer mechanism of the policy interface:
+when the system goes idle the policy asks to be re-invoked after the
+remaining timeout, and the simulator silently discards the timer if
+anything happens first.
+
+:class:`MultiLevelTimeoutPolicy` generalizes to a cascade: after ``t1``
+idle seconds drop to the first low-power mode, after ``t1 + t2`` to the
+next, and so on -- the shape of real ACPI-style governors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import InvalidPolicyError
+from repro.policies.base import Decision, PowerManagementPolicy, SystemView
+from repro.policies.helpers import command_if_needed
+
+
+class TimeoutPolicy(PowerManagementPolicy):
+    """Sleep after a fixed idle timeout; wake on arrival.
+
+    Parameters
+    ----------
+    timeout:
+        Idle seconds before powering down (0 behaves like greedy).
+    provider:
+        SP description for default mode choices.
+    sleep_mode, active_mode:
+        As in :class:`~repro.policies.npolicy.NPolicy`.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        provider: ServiceProvider,
+        sleep_mode: Optional[str] = None,
+        active_mode: Optional[str] = None,
+    ) -> None:
+        if timeout < 0:
+            raise InvalidPolicyError(f"timeout must be >= 0, got {timeout}")
+        self.timeout = float(timeout)
+        self.sleep_mode = (
+            sleep_mode if sleep_mode is not None else provider.deepest_sleep_mode()
+        )
+        self.active_mode = (
+            active_mode if active_mode is not None else provider.fastest_active_mode()
+        )
+        if provider.is_active(self.sleep_mode):
+            raise InvalidPolicyError(f"sleep mode {self.sleep_mode!r} is active")
+        if not provider.is_active(self.active_mode):
+            raise InvalidPolicyError(f"active mode {self.active_mode!r} is inactive")
+        self._idle_since: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return f"TimeoutPolicy(t={self.timeout:g})"
+
+    def reset(self) -> None:
+        self._idle_since = None
+
+    def decide(self, view: SystemView) -> Decision:
+        if view.occupancy > 0:
+            self._idle_since = None
+            heading = (
+                view.switch_target if view.switch_target is not None else view.mode
+            )
+            if not view.provider.is_active(heading):
+                return command_if_needed(view, self.active_mode)
+            return command_if_needed(view, None)
+        # Idle. Start (or continue) the countdown while the server is up.
+        heading = view.switch_target if view.switch_target is not None else view.mode
+        if not view.provider.is_active(heading):
+            return command_if_needed(view, None)  # already down or going down
+        if self._idle_since is None:
+            self._idle_since = view.time
+        remaining = self._idle_since + self.timeout - view.time
+        # Epsilon guards against a timer firing a rounding error early
+        # and re-requesting an infinitesimal recheck forever.
+        if remaining <= 1e-9 * max(1.0, abs(view.time)):
+            return command_if_needed(view, self.sleep_mode)
+        return command_if_needed(view, None, recheck_after=remaining)
+
+
+class MultiLevelTimeoutPolicy(PowerManagementPolicy):
+    """Cascade through progressively deeper modes while idle.
+
+    Parameters
+    ----------
+    stages:
+        ``[(mode, idle_seconds), ...]`` ordered shallow to deep: the
+        policy enters ``stages[k][0]`` once the system has been idle for
+        ``sum(idle_seconds[:k+1])``. Modes must be inactive.
+    provider:
+        SP description.
+    active_mode:
+        Wake-up target on arrival.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Tuple[str, float]],
+        provider: ServiceProvider,
+        active_mode: Optional[str] = None,
+    ) -> None:
+        if not stages:
+            raise InvalidPolicyError("need at least one (mode, timeout) stage")
+        cumulative = 0.0
+        self._thresholds: List[Tuple[float, str]] = []
+        for mode, idle_seconds in stages:
+            if provider.is_active(mode):
+                raise InvalidPolicyError(f"stage mode {mode!r} is active")
+            if idle_seconds < 0:
+                raise InvalidPolicyError(
+                    f"stage timeout must be >= 0, got {idle_seconds}"
+                )
+            cumulative += float(idle_seconds)
+            self._thresholds.append((cumulative, mode))
+        self.active_mode = (
+            active_mode if active_mode is not None else provider.fastest_active_mode()
+        )
+        if not provider.is_active(self.active_mode):
+            raise InvalidPolicyError(f"active mode {self.active_mode!r} is inactive")
+        self._idle_since: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        chain = "->".join(mode for _, mode in self._thresholds)
+        return f"MultiLevelTimeoutPolicy({chain})"
+
+    def reset(self) -> None:
+        self._idle_since = None
+
+    def decide(self, view: SystemView) -> Decision:
+        if view.occupancy > 0:
+            self._idle_since = None
+            heading = (
+                view.switch_target if view.switch_target is not None else view.mode
+            )
+            if not view.provider.is_active(heading):
+                return command_if_needed(view, self.active_mode)
+            return command_if_needed(view, None)
+        if self._idle_since is None:
+            self._idle_since = view.time
+        idle_for = view.time - self._idle_since
+        # The epsilon absorbs floating-point undershoot when a timer
+        # fires "exactly" at a threshold; without it the policy would
+        # re-request ever-smaller rechecks forever.
+        epsilon = 1e-9 * max(1.0, abs(view.time))
+        desired: Optional[str] = None
+        next_threshold: Optional[float] = None
+        for threshold, mode in self._thresholds:
+            if idle_for >= threshold - epsilon:
+                desired = mode
+            elif next_threshold is None:
+                next_threshold = threshold
+        recheck = None if next_threshold is None else next_threshold - idle_for
+        return command_if_needed(view, desired, recheck_after=recheck)

@@ -1,0 +1,18 @@
+"""Closed-form queueing results for cross-validation.
+
+These textbook formulas (Bolch et al. [15]; Heyman & Sobel [12]) give
+independent ground truth for the CTMC machinery and the simulator:
+
+- :mod:`repro.queueing.mm1` -- the M/M/1 queue;
+- :mod:`repro.queueing.mm1k` -- the finite M/M/1/K queue with loss;
+- :mod:`repro.queueing.mg1` -- the M/G/1 queue (Pollaczek--Khinchine);
+- :mod:`repro.queueing.npolicy_mm1` -- the M/M/1 queue under an
+  N-policy (the class the paper proves optimal for two-state servers).
+"""
+
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1k import MM1KQueue
+from repro.queueing.npolicy_mm1 import NPolicyMM1Queue
+
+__all__ = ["MG1Queue", "MM1KQueue", "MM1Queue", "NPolicyMM1Queue"]

@@ -1,0 +1,95 @@
+"""The M/M/1 queue in closed form.
+
+Poisson arrivals at rate ``lambda``, exponential service at rate ``mu``,
+single server, infinite room, utilization ``rho = lambda / mu < 1``:
+
+- ``P[N = n] = (1 - rho) rho^n``;
+- mean number in system ``L = rho / (1 - rho)``;
+- mean sojourn time ``W = 1 / (mu - lambda)`` (Little's law);
+- mean number waiting ``Lq = rho^2 / (1 - rho)``;
+- mean waiting-in-queue time ``Wq = rho / (mu - lambda)``.
+
+Used to validate the generic CTMC stationary solver (the birth-death
+generator must reproduce these exactly) and the simulator (an always-on
+policy on a large-capacity queue must approach them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+class MM1Queue:
+    """Closed-form M/M/1 metrics.
+
+    Parameters
+    ----------
+    arrival_rate:
+        ``lambda > 0``.
+    service_rate:
+        ``mu > lambda`` (the queue must be stable).
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float) -> None:
+        if arrival_rate <= 0:
+            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
+        if service_rate <= arrival_rate:
+            raise InvalidModelError(
+                f"M/M/1 requires mu > lambda, got mu={service_rate}, "
+                f"lambda={arrival_rate}"
+            )
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    def state_probability(self, n: int) -> float:
+        """``P[N = n] = (1 - rho) rho^n``."""
+        if n < 0:
+            raise ValueError(f"state must be >= 0, got {n}")
+        rho = self.utilization
+        return (1.0 - rho) * rho**n
+
+    def mean_number_in_system(self) -> float:
+        """``L = rho / (1 - rho)``."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    def mean_number_waiting(self) -> float:
+        """``Lq = rho^2 / (1 - rho)``."""
+        rho = self.utilization
+        return rho * rho / (1.0 - rho)
+
+    def mean_sojourn_time(self) -> float:
+        """``W = 1 / (mu - lambda)``."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def mean_waiting_time(self) -> float:
+        """``Wq = rho / (mu - lambda)``."""
+        return self.utilization / (self.service_rate - self.arrival_rate)
+
+    def birth_death_generator(self, truncation: int) -> np.ndarray:
+        """The (truncated) birth-death generator for solver validation.
+
+        Parameters
+        ----------
+        truncation:
+            Number of states retained (``0 .. truncation - 1``); choose
+            it large enough that ``rho^truncation`` is negligible.
+        """
+        if truncation < 2:
+            raise InvalidModelError(f"truncation must be >= 2, got {truncation}")
+        n = truncation
+        g = np.zeros((n, n))
+        for i in range(n - 1):
+            g[i, i + 1] = self.arrival_rate
+        for i in range(1, n):
+            g[i, i - 1] = self.service_rate
+        np.fill_diagonal(g, 0.0)
+        np.fill_diagonal(g, -g.sum(axis=1))
+        return g

@@ -1,0 +1,88 @@
+"""The finite M/M/1/K queue with loss, in closed form.
+
+At most ``K`` requests in the system (in-service included); arrivals
+finding a full system are lost. With ``rho = lambda / mu``:
+
+- ``P[N = n] = rho^n (1 - rho) / (1 - rho^{K+1})`` for ``rho != 1``
+  and ``1 / (K + 1)`` for ``rho = 1``;
+- blocking probability ``P_K`` (PASTA: a Poisson arrival sees the
+  stationary distribution);
+- throughput ``lambda (1 - P_K)``;
+- ``L = sum n P[N = n]``; ``W = L / (lambda (1 - P_K))`` by Little's
+  law on accepted traffic.
+
+This is the exact reference for the paper's SQ when the server never
+sleeps (always-on policy, self-switch transfer collapsed), and the
+strongest single validation of the joint model's queue mechanics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+class MM1KQueue:
+    """Closed-form M/M/1/K metrics.
+
+    Parameters
+    ----------
+    arrival_rate:
+        ``lambda > 0``.
+    service_rate:
+        ``mu > 0`` (stability is not required for a finite queue).
+    capacity:
+        ``K >= 1``, the system capacity.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float, capacity: int) -> None:
+        if arrival_rate <= 0:
+            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
+        if service_rate <= 0:
+            raise InvalidModelError(f"service rate must be positive, got {service_rate}")
+        if capacity < 1:
+            raise InvalidModelError(f"capacity must be >= 1, got {capacity}")
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+        self.capacity = int(capacity)
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate / self.service_rate
+
+    def state_probabilities(self) -> np.ndarray:
+        """``P[N = n]`` for ``n = 0 .. K``."""
+        rho = self.utilization
+        k = self.capacity
+        if abs(rho - 1.0) < 1e-12:
+            return np.full(k + 1, 1.0 / (k + 1))
+        powers = rho ** np.arange(k + 1)
+        return powers * (1.0 - rho) / (1.0 - rho ** (k + 1))
+
+    def blocking_probability(self) -> float:
+        """``P_K``: fraction of arrivals lost (PASTA)."""
+        return float(self.state_probabilities()[-1])
+
+    def throughput(self) -> float:
+        """Accepted arrival rate ``lambda (1 - P_K)``."""
+        return self.arrival_rate * (1.0 - self.blocking_probability())
+
+    def mean_number_in_system(self) -> float:
+        probs = self.state_probabilities()
+        return float(np.arange(self.capacity + 1) @ probs)
+
+    def mean_sojourn_time(self) -> float:
+        """``W = L / (lambda (1 - P_K))`` (Little on accepted traffic)."""
+        return self.mean_number_in_system() / self.throughput()
+
+    def birth_death_generator(self) -> np.ndarray:
+        """The exact ``(K+1)``-state generator for solver validation."""
+        k = self.capacity
+        g = np.zeros((k + 1, k + 1))
+        for i in range(k):
+            g[i, i + 1] = self.arrival_rate
+        for i in range(1, k + 1):
+            g[i, i - 1] = self.service_rate
+        np.fill_diagonal(g, -g.sum(axis=1))
+        return g

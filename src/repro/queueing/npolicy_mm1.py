@@ -1,0 +1,103 @@
+"""The M/M/1 queue under an N-policy, in closed form.
+
+Heyman & Sobel [12] (the paper's reference for N-policies): the server
+turns off when the system empties and back on when ``N`` requests have
+accumulated. With instantaneous on/off switches and ``rho = lambda/mu``:
+
+- the regeneration cycle is an accumulation phase of mean ``N / lambda``
+  followed by a busy period started by ``N`` customers of mean
+  ``N / (mu - lambda)``, so the mean cycle is
+  ``E[C] = N mu / (lambda (mu - lambda))``;
+- the off fraction is ``1 - rho`` for every ``N`` (the server must be
+  busy a fraction ``rho`` regardless);
+- the mean number in system is ``L = rho / (1 - rho) + (N - 1) / 2`` --
+  the plain M/M/1 value plus the accumulation penalty;
+- for a two-state server (power ``P_on`` / ``P_off``, switch energies
+  ``E_down + E_up`` per cycle) the average power is
+  ``rho P_on + (1 - rho) P_off + (E_down + E_up) / E[C]``.
+
+The last formula makes the paper's Section-V claim quantitative: for a
+*two-state* server the only policy lever is how often the on/off cycle
+is paid, and the N-policy with the largest admissible ``N`` minimizes
+power at any given mean delay -- there is nothing else a stationary
+policy can trade. With three or more server states (the paper's setup)
+intermediate modes open tradeoffs the N-policy cannot express, which is
+exactly what Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidModelError
+
+
+class NPolicyMM1Queue:
+    """Closed-form N-policy M/M/1 metrics (instantaneous switches).
+
+    Parameters
+    ----------
+    arrival_rate, service_rate:
+        ``lambda`` and ``mu`` with ``mu > lambda``.
+    n:
+        The activation threshold ``N >= 1``.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float, n: int) -> None:
+        if arrival_rate <= 0:
+            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
+        if service_rate <= arrival_rate:
+            raise InvalidModelError(
+                f"N-policy M/M/1 requires mu > lambda, got mu={service_rate}, "
+                f"lambda={arrival_rate}"
+            )
+        if n < 1:
+            raise InvalidModelError(f"N must be >= 1, got {n}")
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+        self.n = int(n)
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate / self.service_rate
+
+    def mean_cycle_length(self) -> float:
+        """``E[C] = N mu / (lambda (mu - lambda))``."""
+        lam, mu = self.arrival_rate, self.service_rate
+        return self.n * mu / (lam * (mu - lam))
+
+    def off_fraction(self) -> float:
+        """Fraction of time the server is off: ``1 - rho`` for any N."""
+        return 1.0 - self.utilization
+
+    def mean_number_in_system(self) -> float:
+        """``L = rho / (1 - rho) + (N - 1) / 2``."""
+        rho = self.utilization
+        return rho / (1.0 - rho) + (self.n - 1) / 2.0
+
+    def mean_sojourn_time(self) -> float:
+        """``W = L / lambda`` (Little's law)."""
+        return self.mean_number_in_system() / self.arrival_rate
+
+    def average_power(
+        self,
+        power_on: float,
+        power_off: float,
+        cycle_switch_energy: float,
+    ) -> float:
+        """Two-state-server average power under this N-policy.
+
+        Parameters
+        ----------
+        power_on, power_off:
+            Server power in the on and off states (watts).
+        cycle_switch_energy:
+            Total switching energy paid per cycle, ``E_down + E_up``
+            (joules).
+        """
+        if power_on < 0 or power_off < 0 or cycle_switch_energy < 0:
+            raise InvalidModelError("powers and energies must be non-negative")
+        rho = self.utilization
+        return (
+            rho * power_on
+            + (1.0 - rho) * power_off
+            + cycle_switch_energy / self.mean_cycle_length()
+        )

@@ -1,0 +1,69 @@
+"""Event-driven simulator for power-managed systems.
+
+The paper's experiments run "an event-driven simulator for simulating
+the real-time operation of a portable system together with the power
+management policy" (Section V). This subpackage is that simulator:
+
+- :mod:`repro.sim.engine` -- a generic discrete-event core (event
+  calendar with cancellation).
+- :mod:`repro.sim.rng` -- named, independently seeded random streams so
+  that policies are compared on identical arrival realizations.
+- :mod:`repro.sim.workload` -- arrival processes: Poisson (the paper's
+  SR), piecewise-rate, MMPP (bursty), and trace replay.
+- :mod:`repro.sim.provider` -- the simulated server: mode switches with
+  exponential latencies and switching energy, exponential service.
+- :mod:`repro.sim.queue_sim` -- the FIFO request queue with loss.
+- :mod:`repro.sim.stats` -- time-weighted statistics (power, queue
+  length, waiting times, losses, PM activity).
+- :mod:`repro.sim.simulator` -- the orchestrator tying SR, SQ, SP and
+  PM together; the PM is invoked asynchronously on every system state
+  change, exactly as the paper advocates.
+"""
+
+from repro.sim.batch import MetricSummary, compare_policies, run_replications, summarize
+from repro.sim.distributions import (
+    DeterministicService,
+    ErlangService,
+    ExponentialService,
+    HyperexponentialService,
+    ServiceDistribution,
+)
+from repro.sim.engine import EventScheduler
+from repro.sim.queue_sim import FIFORequestQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import SimulationResult, Simulator, simulate
+from repro.sim.stats import StatsCollector
+from repro.sim.trace_io import load_result, load_trace, save_result, save_trace
+from repro.sim.workload import (
+    MMPPProcess,
+    PiecewiseRateProcess,
+    PoissonProcess,
+    TraceArrivals,
+)
+
+__all__ = [
+    "DeterministicService",
+    "ErlangService",
+    "EventScheduler",
+    "ExponentialService",
+    "FIFORequestQueue",
+    "HyperexponentialService",
+    "MMPPProcess",
+    "MetricSummary",
+    "PiecewiseRateProcess",
+    "PoissonProcess",
+    "RandomStreams",
+    "ServiceDistribution",
+    "SimulationResult",
+    "Simulator",
+    "StatsCollector",
+    "TraceArrivals",
+    "compare_policies",
+    "load_result",
+    "load_trace",
+    "run_replications",
+    "save_result",
+    "save_trace",
+    "simulate",
+    "summarize",
+]

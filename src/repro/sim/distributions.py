@@ -1,0 +1,101 @@
+"""Service-time distributions for model-mismatch experiments.
+
+The CTMDP model *assumes* exponential service (Section III); real
+devices often have near-deterministic or highly variable service times.
+These samplers let the simulator run any of them so the robustness
+ablation can measure how far the exponential-assuming optimal policy
+degrades when the assumption breaks.
+
+All samplers are parameterized by their *mean* so a swap is
+mean-preserving; what changes is the squared coefficient of variation
+``scv = Var/mean^2``:
+
+- :class:`ExponentialService` -- scv 1 (the model's assumption);
+- :class:`DeterministicService` -- scv 0;
+- :class:`ErlangService` -- scv ``1/k`` (between the two);
+- :class:`HyperexponentialService` -- scv > 1 (bursty services).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+class ServiceDistribution:
+    """Interface: draw one service duration with the given *mean*."""
+
+    #: Squared coefficient of variation, for reporting.
+    scv: float
+
+    def sample(self, mean: float, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+
+class ExponentialService(ServiceDistribution):
+    """The model's assumption: ``Exp(mean)``, scv = 1."""
+
+    scv = 1.0
+
+    def sample(self, mean: float, rng: np.random.Generator) -> float:
+        return float(rng.exponential(mean))
+
+
+class DeterministicService(ServiceDistribution):
+    """Fixed duration, scv = 0 (e.g. fixed-size DMA transfers)."""
+
+    scv = 0.0
+
+    def sample(self, mean: float, rng: np.random.Generator) -> float:
+        return float(mean)
+
+
+class ErlangService(ServiceDistribution):
+    """Erlang-k: sum of k exponentials, scv = 1/k.
+
+    Parameters
+    ----------
+    k:
+        Number of stages (>= 1); larger k means more regular services.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidModelError(f"Erlang stages must be >= 1, got {k}")
+        self.k = int(k)
+        self.scv = 1.0 / self.k
+
+    def sample(self, mean: float, rng: np.random.Generator) -> float:
+        return float(rng.gamma(shape=self.k, scale=mean / self.k))
+
+
+class HyperexponentialService(ServiceDistribution):
+    """Two-phase hyperexponential (H2), scv > 1.
+
+    With probability ``p`` the service is a short job of mean
+    ``mean_short``, otherwise a long one; the phase means are derived
+    from the requested overall mean and the target scv using balanced
+    means (the standard two-moment H2 fit).
+
+    Parameters
+    ----------
+    scv:
+        Target squared coefficient of variation; must exceed 1.
+    """
+
+    def __init__(self, scv: float) -> None:
+        if scv <= 1.0:
+            raise InvalidModelError(f"H2 requires scv > 1, got {scv}")
+        self.scv = float(scv)
+        # Balanced-means fit: p = (1 + sqrt((scv-1)/(scv+1))) / 2.
+        root = np.sqrt((self.scv - 1.0) / (self.scv + 1.0))
+        self._p_short = 0.5 * (1.0 + root)
+
+    def sample(self, mean: float, rng: np.random.Generator) -> float:
+        p = self._p_short
+        if rng.random() < p:
+            phase_mean = mean / (2.0 * p)
+        else:
+            phase_mean = mean / (2.0 * (1.0 - p))
+        return float(rng.exponential(phase_mean))

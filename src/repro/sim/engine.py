@@ -1,0 +1,80 @@
+"""Discrete-event simulation core.
+
+A minimal, dependency-free event calendar: events are ``(time, kind,
+payload)`` triples ordered by time with FIFO tie-breaking (a
+monotonically increasing sequence number). Cancellation is by handle
+invalidation -- cancelled entries stay in the heap and are skipped on
+pop, the standard lazy-deletion technique.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class EventHandle:
+    """A scheduled event; :meth:`cancel` prevents it from firing."""
+
+    time: float
+    kind: str
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Time-ordered event calendar with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: "List[Tuple[float, int, EventHandle]]" = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None) -> EventHandle:
+        """Schedule an event at absolute *time* (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {kind!r} at {time:g} before current time {self._now:g}"
+            )
+        handle = EventHandle(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, next(self._counter), handle))
+        return handle
+
+    def schedule_after(self, delay: float, kind: str, payload: Any = None) -> EventHandle:
+        """Schedule an event *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay:g}")
+        return self.schedule_at(self._now + delay, kind, payload)
+
+    def pop(self) -> Optional[EventHandle]:
+        """Advance to and return the next live event; ``None`` when empty."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            return handle
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without advancing; ``None`` if empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)

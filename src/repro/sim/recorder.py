@@ -1,0 +1,142 @@
+"""Timeline recording for simulation runs.
+
+A :class:`TimelineRecorder` passed to the simulator captures what
+happened when:
+
+- *mode segments* -- contiguous intervals the SP spent in each mode;
+- *queue steps* -- the piecewise-constant occupancy signal;
+- *events* -- the raw (time, kind) stream;
+- *request lifecycles* -- arrival / service-start / departure triples.
+
+Useful for debugging policies (why did it sleep there?), for plotting
+power/occupancy timelines, and for computing per-interval energy with
+:meth:`TimelineRecorder.energy_between` -- all without touching the
+aggregate statistics path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ModeSegment:
+    """The SP occupied *mode* during ``[start, end)``."""
+
+    mode: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One request's lifecycle timestamps (None = never happened)."""
+
+    request_id: int
+    arrival_time: float
+    service_start_time: Optional[float]
+    departure_time: Optional[float]
+    lost: bool
+
+
+@dataclass
+class TimelineRecorder:
+    """Collects the run's timeline; attach via ``Simulator(recorder=...)``."""
+
+    events: "List[Tuple[float, str]]" = field(default_factory=list)
+    queue_steps: "List[Tuple[float, int]]" = field(default_factory=list)
+    requests: "List[RequestRecord]" = field(default_factory=list)
+    _mode_segments: "List[ModeSegment]" = field(default_factory=list)
+    _current_mode: Optional[str] = None
+    _mode_since: float = 0.0
+    _switch_energies: "List[Tuple[float, float]]" = field(default_factory=list)
+    _finalized: bool = False
+
+    # -- hooks driven by the simulator -----------------------------------------
+
+    def record_event(self, time: float, kind: str) -> None:
+        self.events.append((time, kind))
+
+    def record_mode(self, time: float, mode: str) -> None:
+        if self._current_mode is not None and mode != self._current_mode:
+            self._mode_segments.append(
+                ModeSegment(self._current_mode, self._mode_since, time)
+            )
+            self._mode_since = time
+        elif self._current_mode is None:
+            self._mode_since = time
+        self._current_mode = mode
+
+    def record_queue(self, time: float, occupancy: int) -> None:
+        if not self.queue_steps or self.queue_steps[-1][1] != occupancy:
+            self.queue_steps.append((time, occupancy))
+
+    def record_switch_energy(self, time: float, joules: float) -> None:
+        self._switch_energies.append((time, joules))
+
+    def record_request(self, record: RequestRecord) -> None:
+        self.requests.append(record)
+
+    def finalize(self, end_time: float) -> None:
+        if self._current_mode is not None:
+            self._mode_segments.append(
+                ModeSegment(self._current_mode, self._mode_since, end_time)
+            )
+        self._finalized = True
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def mode_segments(self) -> "List[ModeSegment]":
+        if not self._finalized:
+            raise SimulationError("timeline not finalized; run the simulation first")
+        return list(self._mode_segments)
+
+    def mode_at(self, time: float) -> str:
+        """The SP mode at absolute *time*."""
+        for segment in self.mode_segments:
+            if segment.start <= time < segment.end:
+                return segment.mode
+        if self._mode_segments and time >= self._mode_segments[-1].end:
+            return self._mode_segments[-1].mode
+        raise SimulationError(f"time {time:g} precedes the recorded timeline")
+
+    def occupancy_at(self, time: float) -> int:
+        """Queue occupancy at absolute *time* (0 before the first step)."""
+        level = 0
+        for step_time, occupancy in self.queue_steps:
+            if step_time > time:
+                break
+            level = occupancy
+        return level
+
+    def energy_between(
+        self, provider: ServiceProvider, start: float, end: float
+    ) -> float:
+        """Energy consumed in ``[start, end)``: mode power plus switches."""
+        if end < start:
+            raise SimulationError(f"empty interval [{start:g}, {end:g})")
+        total = 0.0
+        for segment in self.mode_segments:
+            overlap = min(segment.end, end) - max(segment.start, start)
+            if overlap > 0:
+                total += provider.power_rate(segment.mode) * overlap
+        total += sum(j for t, j in self._switch_energies if start <= t < end)
+        return total
+
+    def busy_fraction(self, mode: str) -> float:
+        """Fraction of recorded time spent in *mode*."""
+        segments = self.mode_segments
+        if not segments:
+            return 0.0
+        total = segments[-1].end - segments[0].start
+        in_mode = sum(s.duration for s in segments if s.mode == mode)
+        return in_mode / total if total > 0 else 0.0

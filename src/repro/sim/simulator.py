@@ -1,0 +1,446 @@
+"""The event-driven power-managed-system simulator (Section V).
+
+Ties together the arrival process (SR), the FIFO queue (SQ), the
+simulated provider (SP) and a power-management policy (PM). The PM is
+invoked *asynchronously* -- only when the system state changes (arrival,
+service completion, switch completion, or an expired policy timer) --
+which is the paper's key practicality claim over per-time-slice
+discrete-time managers; the simulator counts PM invocations so the
+claim can be quantified.
+
+Semantics (matching the CTMDP model; see :mod:`repro.sim.provider`):
+
+- service runs whenever the mode is active, a request waits, and the
+  system is not in a *transfer* (between a completion and the completion
+  of the PM-commanded switch);
+- a mid-flight switch can be re-targeted or cancelled by a newer
+  command (memorylessness makes this exact);
+- an active-to-active mode change mid-service re-draws the remaining
+  service time at the new rate;
+- a command that would power down a busy server is handled per
+  ``busy_powerdown``: ``"reject"`` (default -- real devices refuse,
+  matching the paper's constraint 1) or ``"preempt"`` (abort the
+  in-flight service and re-queue the request at the head; used by the
+  no-transfer-state ablation to exhibit [11]'s modeling error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import SimulationError
+from repro.policies.base import Decision, PowerManagementPolicy, SystemView
+from repro.sim.distributions import ServiceDistribution
+from repro.sim.engine import EventHandle, EventScheduler
+from repro.sim.provider import SimulatedProvider
+from repro.sim.queue_sim import FIFORequestQueue
+from repro.sim.recorder import RequestRecord, TimelineRecorder
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import StatsCollector
+from repro.sim.workload import ArrivalProcess
+
+ARRIVAL = "arrival"
+SERVICE_COMPLETE = "service_complete"
+SWITCH_COMPLETE = "switch_complete"
+TIMER = "timer"
+START = "start"
+
+BUSY_POWERDOWN_MODES = ("reject", "preempt")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one simulation run.
+
+    ``average_waiting_time`` is the mean sojourn (arrival to departure)
+    of completed requests -- the Table-1 quantity. ``n_unserved`` counts
+    requests still in the system when the run was cut off (non-zero only
+    if the policy never woke the server for them).
+    """
+
+    policy_name: str
+    seed: int
+    elapsed: float
+    average_power: float
+    average_queue_length: float
+    average_waiting_time: float
+    n_generated: int
+    n_accepted: int
+    n_lost: int
+    n_completed: int
+    n_unserved: int
+    n_switches: int
+    n_pm_invocations: int
+    n_pm_commands: int
+    mode_residency: "Dict[str, float]" = field(default_factory=dict)
+
+    @property
+    def loss_probability(self) -> float:
+        return self.n_lost / self.n_generated if self.n_generated else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.n_completed / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class Simulator:
+    """One simulation run of SR + SQ + SP + PM.
+
+    Parameters
+    ----------
+    provider:
+        The SP description (modes, rates, powers, energies).
+    capacity:
+        The system capacity ``Q`` (waiting + in service).
+    workload:
+        The arrival process.
+    policy:
+        The power manager.
+    n_requests:
+        Stop generating after this many arrivals; the run then drains
+        (or is cut when no events remain).
+    seed:
+        Master seed; arrivals, service times and switch latencies use
+        independent named substreams.
+    initial_mode:
+        SP mode at time zero; defaults to the deepest sleep mode.
+    busy_powerdown:
+        ``"reject"`` or ``"preempt"``; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        capacity: int,
+        workload: ArrivalProcess,
+        policy: PowerManagementPolicy,
+        n_requests: int,
+        seed: int = 0,
+        initial_mode: Optional[str] = None,
+        busy_powerdown: str = "reject",
+        service_distribution: "ServiceDistribution | None" = None,
+        recorder: "TimelineRecorder | None" = None,
+    ) -> None:
+        if n_requests < 1:
+            raise SimulationError(f"n_requests must be >= 1, got {n_requests}")
+        if busy_powerdown not in BUSY_POWERDOWN_MODES:
+            raise SimulationError(
+                f"busy_powerdown must be one of {BUSY_POWERDOWN_MODES}, "
+                f"got {busy_powerdown!r}"
+            )
+        self.provider_description = provider
+        self.capacity = int(capacity)
+        self.workload = workload
+        self.policy = policy
+        self.n_requests = int(n_requests)
+        self.seed = int(seed)
+        self.busy_powerdown = busy_powerdown
+        self.initial_mode = (
+            initial_mode if initial_mode is not None else provider.deepest_sleep_mode()
+        )
+        self.service_distribution = service_distribution
+        self.recorder = recorder
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        self.streams = RandomStreams(self.seed)
+        self.scheduler = EventScheduler()
+        self.sp = SimulatedProvider(
+            self.provider_description,
+            self.initial_mode,
+            service_distribution=self.service_distribution,
+        )
+        self.queue = FIFORequestQueue(self.capacity)
+        self.stats = StatsCollector()
+        self.stats.set_mode(0.0, self.sp.mode)
+        self.stats.set_power(0.0, self.sp.power_now())
+        if self.recorder is not None:
+            self.recorder.record_mode(0.0, self.sp.mode)
+            self.recorder.record_queue(0.0, 0)
+        self.in_transfer = False
+        self.version = 0
+        self.n_generated = 0
+        self._service_event: Optional[EventHandle] = None
+        self._switch_event: Optional[EventHandle] = None
+        self.workload.reset(self.streams.stream("arrivals"))
+        self.policy.reset()
+
+        self._schedule_next_arrival()
+        self._invoke_policy(START, arrival_lost=False)
+        self._maybe_start_service()
+
+        while True:
+            event = self.scheduler.pop()
+            if event is None:
+                break
+            if self.recorder is not None:
+                self.recorder.record_event(self.scheduler.now, event.kind)
+            if event.kind == ARRIVAL:
+                self._on_arrival()
+            elif event.kind == SERVICE_COMPLETE:
+                self._on_service_complete()
+            elif event.kind == SWITCH_COMPLETE:
+                self._on_switch_complete()
+            elif event.kind == TIMER:
+                self._on_timer(event.payload)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {event.kind!r}")
+            if self._drained():
+                break
+
+        end_time = self.scheduler.now
+        self.stats.finalize(end_time)
+        if self.recorder is not None:
+            for request in self.queue.pending_requests():
+                self.recorder.record_request(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        arrival_time=request.arrival_time,
+                        service_start_time=request.service_start_time,
+                        departure_time=None,
+                        lost=False,
+                    )
+                )
+            self.recorder.finalize(end_time)
+        return SimulationResult(
+            policy_name=self.policy.name,
+            seed=self.seed,
+            elapsed=self.stats.elapsed,
+            average_power=self.stats.average_power(),
+            average_queue_length=self.stats.average_queue_length(),
+            average_waiting_time=self.stats.average_waiting_time(),
+            n_generated=self.n_generated,
+            n_accepted=self.queue.n_accepted,
+            n_lost=self.queue.n_lost,
+            n_completed=self.stats.n_completed,
+            n_unserved=self.queue.occupancy,
+            n_switches=self.stats.n_switches,
+            n_pm_invocations=self.stats.n_pm_invocations,
+            n_pm_commands=self.stats.n_pm_commands,
+            mode_residency=dict(self.stats.mode_residency),
+        )
+
+    def _drained(self) -> bool:
+        """All generated requests resolved and nothing left in flight.
+
+        A final in-flight switch (e.g. the power-down commanded after
+        the last departure) is allowed to complete so its energy is
+        counted.
+        """
+        return (
+            self.n_generated >= self.n_requests
+            and self.queue.is_empty()
+            and not self.sp.is_serving
+            and not self.sp.is_switching
+        )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _schedule_next_arrival(self) -> None:
+        if self.n_generated >= self.n_requests:
+            return
+        t = self.workload.next_arrival(self.scheduler.now)
+        if t is None:
+            self.n_requests = self.n_generated  # trace exhausted
+            return
+        self.scheduler.schedule_at(t, ARRIVAL)
+
+    def _on_arrival(self) -> None:
+        now = self.scheduler.now
+        self.n_generated += 1
+        request = self.queue.offer(now)
+        lost = request is None
+        if not lost:
+            self.stats.set_queue_length(now, self.queue.occupancy)
+            if self.recorder is not None:
+                self.recorder.record_queue(now, self.queue.occupancy)
+        elif self.recorder is not None:
+            self.recorder.record_request(
+                RequestRecord(
+                    request_id=-1,
+                    arrival_time=now,
+                    service_start_time=None,
+                    departure_time=None,
+                    lost=True,
+                )
+            )
+        self._schedule_next_arrival()
+        self._invoke_policy(ARRIVAL, arrival_lost=lost)
+        self._maybe_start_service()
+
+    def _on_service_complete(self) -> None:
+        now = self.scheduler.now
+        self._service_event = None
+        self.sp.is_serving = False
+        request = self.queue.complete_service(now)
+        self.stats.record_departure(request.arrival_time, now)
+        self.stats.set_queue_length(now, self.queue.occupancy)
+        if self.recorder is not None:
+            self.recorder.record_queue(now, self.queue.occupancy)
+            self.recorder.record_request(
+                RequestRecord(
+                    request_id=request.request_id,
+                    arrival_time=request.arrival_time,
+                    service_start_time=request.service_start_time,
+                    departure_time=now,
+                    lost=False,
+                )
+            )
+        self.in_transfer = True
+        decision_command = self._invoke_policy(SERVICE_COMPLETE, arrival_lost=False)
+        if decision_command is None:
+            # No command at a transfer point means "stay" (the paper's
+            # instantaneous self-switch).
+            self.in_transfer = False
+        self._maybe_start_service()
+
+    def _on_switch_complete(self) -> None:
+        now = self.scheduler.now
+        self._switch_event = None
+        energy = self.sp.finish_switch()
+        self.stats.set_mode(now, self.sp.mode)
+        self.stats.set_power(now, self.sp.power_now())
+        self.stats.add_switch_energy(energy)
+        if self.recorder is not None:
+            self.recorder.record_mode(now, self.sp.mode)
+            self.recorder.record_switch_energy(now, energy)
+        self.in_transfer = False
+        if self.sp.is_serving:
+            # Active-to-active change mid-service: re-draw the remaining
+            # service time at the new rate (exact by memorylessness).
+            assert self._service_event is not None
+            self._service_event.cancel()
+            delay = self.sp.draw_service_time(self.streams.stream("service"))
+            self._service_event = self.scheduler.schedule_after(delay, SERVICE_COMPLETE)
+        self._invoke_policy(SWITCH_COMPLETE, arrival_lost=False)
+        self._maybe_start_service()
+
+    def _on_timer(self, payload) -> None:
+        scheduled_version = payload
+        if scheduled_version != self.version:
+            return  # stale: something changed since the policy asked
+        self._invoke_policy(TIMER, arrival_lost=False)
+        self._maybe_start_service()
+
+    # -- policy plumbing --------------------------------------------------------
+
+    def _view(self, event: str, arrival_lost: bool) -> SystemView:
+        return SystemView(
+            time=self.scheduler.now,
+            event=event,
+            mode=self.sp.mode,
+            switch_target=self.sp.switch_target,
+            in_transfer=self.in_transfer,
+            occupancy=self.queue.occupancy,
+            waiting_count=self.queue.waiting_count,
+            is_serving=self.sp.is_serving,
+            capacity=self.capacity,
+            arrival_lost=arrival_lost,
+            provider=self.provider_description,
+        )
+
+    def _invoke_policy(self, event: str, arrival_lost: bool) -> Optional[str]:
+        """Call the PM; apply its decision. Returns the command issued."""
+        self.version += 1
+        decision = self.policy.decide(self._view(event, arrival_lost))
+        if not isinstance(decision, Decision):
+            raise SimulationError(
+                f"policy {self.policy.name} returned {type(decision).__name__}, "
+                "expected Decision"
+            )
+        issued = None
+        if decision.command is not None:
+            if self._apply_command(decision.command):
+                issued = decision.command
+        self.stats.record_pm_invocation(issued is not None)
+        if decision.recheck_after is not None:
+            if decision.recheck_after < 0:
+                raise SimulationError(
+                    f"recheck_after must be >= 0, got {decision.recheck_after:g}"
+                )
+            self.scheduler.schedule_after(decision.recheck_after, TIMER, self.version)
+        return issued
+
+    def _apply_command(self, target: str) -> bool:
+        """Retarget the SP toward *target*; returns True if it changed
+        anything."""
+        self.provider_description.index_of(target)  # validates the name
+        sp = self.sp
+        if sp.is_switching:
+            if target == sp.switch_target:
+                return False  # already heading there; keep the draw
+            assert self._switch_event is not None
+            self._switch_event.cancel()
+            self._switch_event = None
+            sp.cancel_switch()
+        if target == sp.mode:
+            # "Stay": also resolves a transfer instantly.
+            self.in_transfer = False
+            return True
+        if (
+            sp.is_serving
+            and not self.provider_description.is_active(target)
+        ):
+            if self.busy_powerdown == "reject":
+                return False  # the device refuses to power down mid-service
+            self._preempt_service()
+        sp.begin_switch(target)
+        delay = sp.draw_switch_time(target, self.streams.stream("switching"))
+        self._switch_event = self.scheduler.schedule_after(delay, SWITCH_COMPLETE)
+        return True
+
+    def _preempt_service(self) -> None:
+        """Abort the in-flight service; the request returns to the head."""
+        assert self._service_event is not None
+        self._service_event.cancel()
+        self._service_event = None
+        self.sp.is_serving = False
+        self.queue.requeue_in_service()
+
+    def _maybe_start_service(self) -> None:
+        heading_down = (
+            self.sp.switch_target is not None
+            and not self.provider_description.is_active(self.sp.switch_target)
+        )
+        if (
+            self.in_transfer
+            or self.sp.is_serving
+            or not self.sp.is_active
+            or heading_down
+            or self.queue.waiting_count == 0
+        ):
+            return
+        self.queue.start_service(self.scheduler.now)
+        self.sp.is_serving = True
+        delay = self.sp.draw_service_time(self.streams.stream("service"))
+        self._service_event = self.scheduler.schedule_after(delay, SERVICE_COMPLETE)
+
+
+def simulate(
+    provider: ServiceProvider,
+    capacity: int,
+    workload: ArrivalProcess,
+    policy: PowerManagementPolicy,
+    n_requests: int,
+    seed: int = 0,
+    initial_mode: Optional[str] = None,
+    busy_powerdown: str = "reject",
+    service_distribution: "ServiceDistribution | None" = None,
+    recorder: "TimelineRecorder | None" = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        provider=provider,
+        capacity=capacity,
+        workload=workload,
+        policy=policy,
+        n_requests=n_requests,
+        seed=seed,
+        initial_mode=initial_mode,
+        busy_powerdown=busy_powerdown,
+        service_distribution=service_distribution,
+        recorder=recorder,
+    ).run()

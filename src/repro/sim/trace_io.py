@@ -1,0 +1,75 @@
+"""Trace and result persistence (CSV / JSON).
+
+A small, dependency-free I/O layer so workloads and measurements are
+portable:
+
+- arrival traces: one timestamp per line (CSV with a ``time`` header),
+  round-tripping :class:`~repro.sim.workload.TraceArrivals`;
+- simulation results: JSON round-trip of
+  :class:`~repro.sim.simulator.SimulationResult` (all scalar fields and
+  the mode-residency map), so experiment sweeps can be archived and
+  diffed across code versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import SimulationError
+from repro.sim.simulator import SimulationResult
+from repro.sim.workload import TraceArrivals
+
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: TraceArrivals, path: PathLike) -> None:
+    """Write an arrival trace as a one-column CSV with a header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time"])
+        for t in trace.times:
+            writer.writerow([repr(t)])
+
+
+def load_trace(path: PathLike) -> TraceArrivals:
+    """Read a trace written by :func:`save_trace` (or any one-column
+    CSV of non-decreasing times under a ``time`` header)."""
+    times: List[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[0].strip().lower() != "time":
+            raise SimulationError(
+                f"{path}: expected a 'time' header, got {header!r}"
+            )
+        for row in reader:
+            if not row or not row[0].strip():
+                continue
+            times.append(float(row[0]))
+    return TraceArrivals(times)
+
+
+def save_result(result: SimulationResult, path: PathLike) -> None:
+    """Write a :class:`SimulationResult` as pretty-printed JSON."""
+    payload = dataclasses.asdict(result)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result(path: PathLike) -> SimulationResult:
+    """Read a result written by :func:`save_result`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    field_names = {f.name for f in dataclasses.fields(SimulationResult)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise SimulationError(f"{path}: unknown result fields {sorted(unknown)}")
+    missing = field_names - set(payload)
+    if missing:
+        raise SimulationError(f"{path}: missing result fields {sorted(missing)}")
+    return SimulationResult(**payload)

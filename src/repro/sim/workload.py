@@ -1,0 +1,248 @@
+"""Arrival processes (the simulator-side service requestor).
+
+Every process implements the small :class:`ArrivalProcess` interface:
+``reset(rng)`` rebinds it to a random stream and clears state, and
+``next_arrival(now)`` returns the absolute time of the next request
+(``None`` when a finite trace is exhausted).
+
+Provided processes:
+
+- :class:`PoissonProcess` -- the paper's SR (rate ``lambda``).
+- :class:`PiecewiseRateProcess` -- a Poisson process whose rate steps
+  through segments (Figure 5-style rate sweeps, adaptive experiments).
+- :class:`MMPPProcess` -- Markov-modulated Poisson process for bursty
+  traffic (the wireless-NIC example).
+- :class:`TraceArrivals` -- replay of explicit arrival times (also how
+  the clairvoyant oracle policy gets lookahead).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+class ArrivalProcess:
+    """Interface for arrival-time generators."""
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Bind to a random stream and clear internal state."""
+        raise NotImplementedError
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        """Absolute time of the next arrival after *now*; ``None`` = done."""
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals with rate ``lambda``."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise InvalidModelError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self._rng: Optional[np.random.Generator] = None
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        if self._rng is None:
+            raise InvalidModelError("call reset() before drawing arrivals")
+        return now + float(self._rng.exponential(1.0 / self.rate))
+
+
+class PiecewiseRateProcess(ArrivalProcess):
+    """Poisson arrivals whose rate steps through timed segments.
+
+    Parameters
+    ----------
+    segments:
+        ``[(duration, rate), ...]``; after the last segment the final
+        rate holds forever. Uses thinning-free exact generation: each
+        inter-arrival is drawn at the rate of the segment containing the
+        current time, re-drawn from the segment boundary if it crosses
+        one (valid because the exponential is memoryless).
+    """
+
+    def __init__(self, segments: Sequence[Tuple[float, float]]) -> None:
+        if not segments:
+            raise InvalidModelError("need at least one (duration, rate) segment")
+        for duration, rate in segments:
+            if duration <= 0 or rate <= 0:
+                raise InvalidModelError(
+                    f"durations and rates must be positive, got ({duration}, {rate})"
+                )
+        self.segments = [(float(d), float(r)) for d, r in segments]
+        self._rng: Optional[np.random.Generator] = None
+        # Precompute segment start times.
+        self._starts: List[float] = []
+        t = 0.0
+        for duration, _ in self.segments:
+            self._starts.append(t)
+            t += duration
+        self._end_of_schedule = t
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous rate at absolute time *t*."""
+        if t >= self._end_of_schedule:
+            return self.segments[-1][1]
+        for start, (duration, rate) in zip(self._starts, self.segments):
+            if start <= t < start + duration:
+                return rate
+        return self.segments[-1][1]
+
+    def _segment_end(self, t: float) -> float:
+        if t >= self._end_of_schedule:
+            return np.inf
+        for start, (duration, _) in zip(self._starts, self.segments):
+            if start <= t < start + duration:
+                return start + duration
+        return np.inf
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        if self._rng is None:
+            raise InvalidModelError("call reset() before drawing arrivals")
+        t = now
+        while True:
+            rate = self.rate_at(t)
+            candidate = t + float(self._rng.exponential(1.0 / rate))
+            boundary = self._segment_end(t)
+            if candidate <= boundary:
+                return candidate
+            # Crossed into the next segment: restart from the boundary
+            # (memorylessness makes this exact).
+            t = boundary
+
+
+class MMPPProcess(ArrivalProcess):
+    """Markov-modulated Poisson process.
+
+    A background CTMC with generator *modulator* switches among phases;
+    phase ``k`` emits Poisson arrivals at ``rates[k]``. Classic model
+    for bursty, correlated traffic that a plain Poisson SR cannot
+    express.
+
+    Parameters
+    ----------
+    rates:
+        Per-phase arrival rates (non-negative; a zero-rate phase is an
+        "off" phase).
+    modulator:
+        Phase-switching generator matrix (validated).
+    initial_phase:
+        Starting phase index.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float],
+        modulator: np.ndarray,
+        initial_phase: int = 0,
+    ) -> None:
+        from repro.markov.generator import validate_generator
+
+        self.modulator = validate_generator(np.asarray(modulator, dtype=float))
+        self.rates = np.asarray(rates, dtype=float)
+        if self.rates.shape != (self.modulator.shape[0],):
+            raise InvalidModelError(
+                f"{len(self.rates)} rates for a "
+                f"{self.modulator.shape[0]}-phase modulator"
+            )
+        if np.any(self.rates < 0):
+            raise InvalidModelError("phase rates must be non-negative")
+        if not np.any(self.rates > 0):
+            raise InvalidModelError("at least one phase must have a positive rate")
+        if not 0 <= initial_phase < len(self.rates):
+            raise InvalidModelError(f"initial phase {initial_phase} out of range")
+        self._initial_phase = initial_phase
+        self._rng: Optional[np.random.Generator] = None
+        self._phase = initial_phase
+        self._phase_until: Optional[float] = None
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._phase = self._initial_phase
+        self._phase_until = None
+
+    def _phase_end(self, start: float) -> float:
+        """Draw the end time of the current phase entered at *start*."""
+        assert self._rng is not None
+        exit_rate = -float(self.modulator[self._phase, self._phase])
+        if exit_rate <= 0:
+            return np.inf
+        return start + float(self._rng.exponential(1.0 / exit_rate))
+
+    def _advance_phase(self, t: float) -> None:
+        """Jump phases until the current phase interval covers time *t*."""
+        if self._phase_until is None:
+            self._phase_until = self._phase_end(0.0)
+        while self._phase_until <= t:
+            boundary = self._phase_until
+            self._jump_phase()
+            self._phase_until = self._phase_end(boundary)
+
+    def _jump_phase(self) -> None:
+        assert self._rng is not None
+        row = self.modulator[self._phase].copy()
+        row[self._phase] = 0.0
+        probs = row / row.sum()
+        self._phase = int(self._rng.choice(len(probs), p=probs))
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        if self._rng is None:
+            raise InvalidModelError("call reset() before drawing arrivals")
+        t = now
+        while True:
+            self._advance_phase(t)
+            rate = float(self.rates[self._phase])
+            boundary = self._phase_until
+            assert boundary is not None
+            if rate <= 0:
+                if not np.isfinite(boundary):
+                    raise InvalidModelError(
+                        "absorbing zero-rate MMPP phase: no further arrivals"
+                    )
+                t = boundary  # wait out the silent phase
+                continue
+            candidate = t + float(self._rng.exponential(1.0 / rate))
+            if candidate <= boundary:
+                return candidate
+            t = boundary
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays an explicit, sorted list of arrival times."""
+
+    def __init__(self, times: Sequence[float]) -> None:
+        self.times = [float(t) for t in times]
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise InvalidModelError("trace times must be non-decreasing")
+        if any(t < 0 for t in self.times):
+            raise InvalidModelError("trace times must be non-negative")
+        self._cursor = 0
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._cursor = 0
+
+    def next_arrival(self, now: float) -> Optional[float]:
+        while self._cursor < len(self.times) and self.times[self._cursor] < now:
+            self._cursor += 1
+        if self._cursor >= len(self.times):
+            return None
+        t = self.times[self._cursor]
+        self._cursor += 1
+        return t
+
+    def peek_after(self, t: float) -> Optional[float]:
+        """First trace time strictly after *t* (oracle lookahead)."""
+        import bisect
+
+        i = bisect.bisect_right(self.times, t)
+        return self.times[i] if i < len(self.times) else None

@@ -1,0 +1,97 @@
+"""Tests for discounted-cost policy iteration (Theorems 2.2 / 2.3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ctmdp.discounted import discounted_policy_iteration
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy
+from repro.ctmdp.policy_iteration import policy_iteration
+
+
+def random_unichain_mdp(seed: int, n_states: int = 4, n_actions: int = 3) -> CTMDP:
+    rng = np.random.default_rng(seed)
+    mdp = CTMDP(list(range(n_states)))
+    for s in range(n_states):
+        for a in range(n_actions):
+            rates = rng.uniform(0.1, 2.0, size=n_states)
+            rates[s] = 0.0
+            mdp.add_action(s, a, rates=rates, cost_rate=float(rng.uniform(0, 10)))
+    return mdp
+
+
+def brute_force_discounted(mdp: CTMDP, discount: float) -> np.ndarray:
+    """Minimum value vector over all deterministic policies.
+
+    For a fixed discount the optimal value is the componentwise minimum
+    achieved by a single policy (Theorem 2.2).
+    """
+    best = None
+    for actions in itertools.product(*(mdp.actions(s) for s in mdp.states)):
+        policy = Policy(mdp, dict(zip(mdp.states, actions)))
+        g = policy.generator_matrix()
+        c = policy.cost_vector()
+        v = np.linalg.solve(discount * np.eye(len(c)) - g, c)
+        best = v if best is None else np.minimum(best, v)
+    return best
+
+
+class TestDiscountedPolicyIteration:
+    def test_matches_brute_force(self):
+        for seed in range(5):
+            mdp = random_unichain_mdp(seed)
+            result = discounted_policy_iteration(mdp, discount=0.4)
+            np.testing.assert_allclose(
+                result.values, brute_force_discounted(mdp, 0.4), atol=1e-8
+            )
+
+    def test_value_equation_holds(self):
+        mdp = random_unichain_mdp(11)
+        a = 0.7
+        result = discounted_policy_iteration(mdp, a)
+        g = result.policy.generator_matrix()
+        c = result.policy.cost_vector()
+        residual = a * result.values - g @ result.values - c
+        np.testing.assert_allclose(residual, 0.0, atol=1e-9)
+
+    def test_requires_positive_discount(self):
+        mdp = random_unichain_mdp(0)
+        with pytest.raises(ValueError):
+            discounted_policy_iteration(mdp, 0.0)
+        with pytest.raises(ValueError):
+            discounted_policy_iteration(mdp, -0.5)
+
+    def test_small_discount_recovers_average_optimal_gain(self):
+        # Theorem 2.3: discounted-optimal policies converge to an
+        # average-optimal policy as a -> 0.
+        from repro.ctmdp.policy import evaluate_policy
+
+        for seed in range(4):
+            mdp = random_unichain_mdp(seed + 50)
+            avg = policy_iteration(mdp)
+            disc = discounted_policy_iteration(mdp, discount=1e-6)
+            assert evaluate_policy(disc.policy).gain == pytest.approx(
+                avg.gain, abs=1e-6
+            )
+
+    def test_large_discount_is_myopic(self):
+        # With a huge discount only the immediate cost rate matters.
+        mdp = random_unichain_mdp(8)
+        result = discounted_policy_iteration(mdp, discount=1e6)
+        for state in mdp.states:
+            chosen = result.policy.action(state)
+            cheapest = min(mdp.actions(state), key=lambda a: mdp.cost(state, a))
+            assert mdp.cost(state, chosen) == pytest.approx(
+                mdp.cost(state, cheapest)
+            )
+
+    def test_values_scale_with_discount(self):
+        # v ~ c / a as a grows: doubling a roughly halves values.
+        mdp = random_unichain_mdp(13)
+        v1 = discounted_policy_iteration(mdp, discount=1e5).values
+        v2 = discounted_policy_iteration(mdp, discount=2e5).values
+        np.testing.assert_allclose(v1 / v2, 2.0, rtol=1e-3)

@@ -1,0 +1,106 @@
+"""Tests for the occupation-measure LP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmdp.linear_program import solve_average_cost_lp, solve_constrained_lp
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import evaluate_policy
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.errors import InfeasibleConstraintError
+
+
+def random_unichain_mdp(seed: int, n_states: int = 5, n_actions: int = 3) -> CTMDP:
+    rng = np.random.default_rng(seed)
+    mdp = CTMDP(list(range(n_states)))
+    for s in range(n_states):
+        for a in range(n_actions):
+            rates = rng.uniform(0.1, 2.0, size=n_states)
+            rates[s] = 0.0
+            mdp.add_action(
+                s,
+                a,
+                rates=rates,
+                cost_rate=float(rng.uniform(0, 10)),
+                extra_costs={
+                    "power": float(rng.uniform(0, 5)),
+                    "delay": float(rng.uniform(0, 3)),
+                },
+            )
+    return mdp
+
+
+class TestAverageCostLP:
+    def test_matches_policy_iteration(self):
+        for seed in range(6):
+            mdp = random_unichain_mdp(seed)
+            lp = solve_average_cost_lp(mdp)
+            pi = policy_iteration(mdp)
+            assert lp.gain == pytest.approx(pi.gain, abs=1e-7), f"seed {seed}"
+
+    def test_occupation_is_probability(self):
+        mdp = random_unichain_mdp(1)
+        lp = solve_average_cost_lp(mdp)
+        total = sum(lp.occupation.values())
+        assert total == pytest.approx(1.0, abs=1e-8)
+        assert all(v >= 0 for v in lp.occupation.values())
+
+    def test_deterministic_policy_achieves_gain(self):
+        mdp = random_unichain_mdp(4)
+        lp = solve_average_cost_lp(mdp)
+        assert evaluate_policy(lp.deterministic_policy).gain == pytest.approx(
+            lp.gain, abs=1e-7
+        )
+
+    def test_extra_cost_values_reported(self):
+        mdp = random_unichain_mdp(2)
+        lp = solve_average_cost_lp(mdp)
+        assert set(lp.extra_cost_values) == {"power", "delay"}
+
+    def test_paper_model_matches_pi(self, paper_mdp):
+        lp = solve_average_cost_lp(paper_mdp)
+        pi = policy_iteration(paper_mdp)
+        assert lp.gain == pytest.approx(pi.gain, rel=1e-8)
+
+
+class TestConstrainedLP:
+    def test_constraint_satisfied(self):
+        mdp = random_unichain_mdp(0)
+        unconstrained = solve_constrained_lp(mdp, "power", {})
+        # Bind delay strictly below its unconstrained level.
+        delay0 = unconstrained.extra_cost_values["delay"]
+        bound = 0.9 * delay0
+        lp = solve_constrained_lp(mdp, "power", {"delay": bound})
+        assert lp.extra_cost_values["delay"] <= bound + 1e-8
+        # Power can only get worse when the constraint binds.
+        assert lp.gain >= unconstrained.gain - 1e-9
+
+    def test_infeasible_raises(self):
+        mdp = random_unichain_mdp(3)
+        with pytest.raises(InfeasibleConstraintError):
+            solve_constrained_lp(mdp, "power", {"delay": -1.0})
+
+    def test_tighter_bound_costs_more_power(self):
+        mdp = random_unichain_mdp(5)
+        base = solve_constrained_lp(mdp, "power", {})
+        d0 = base.extra_cost_values["delay"]
+        loose = solve_constrained_lp(mdp, "power", {"delay": 0.95 * d0})
+        tight = solve_constrained_lp(mdp, "power", {"delay": 0.85 * d0})
+        assert tight.gain >= loose.gain - 1e-9
+
+    def test_randomized_policy_valid_distributions(self, paper_mdp):
+        lp = solve_constrained_lp(paper_mdp, "power", {"queue_length": 1.0})
+        for state in paper_mdp.states:
+            dist = lp.policy.distribution(state)
+            assert sum(dist.values()) == pytest.approx(1.0)
+            assert all(p >= 0 for p in dist.values())
+
+    def test_paper_constrained_gain_between_extremes(self, paper_model, paper_mdp):
+        # The constrained optimum must be at least the unconstrained
+        # minimum power, at most the always-on power.
+        lp = solve_constrained_lp(paper_mdp, "power", {"queue_length": 1.0})
+        unconstrained = solve_average_cost_lp(paper_model.build_ctmdp(0.0))
+        assert lp.gain >= unconstrained.gain - 1e-9
+        assert lp.gain <= 40.0

@@ -1,0 +1,105 @@
+"""Tests for average-cost policy iteration."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy, evaluate_policy
+from repro.ctmdp.policy_iteration import policy_iteration
+
+
+def brute_force_optimal_gain(mdp: CTMDP) -> float:
+    """Enumerate every deterministic policy and evaluate exactly."""
+    states = mdp.states
+    best = np.inf
+    for actions in itertools.product(*(mdp.actions(s) for s in states)):
+        policy = Policy(mdp, dict(zip(states, actions)))
+        try:
+            gain = evaluate_policy(policy).gain
+        except Exception:
+            continue  # multichain combination; PI never visits these here
+        best = min(best, gain)
+    return best
+
+
+@pytest.fixture
+def power_mdp() -> CTMDP:
+    """On/off server whose every deterministic policy is unichain.
+
+    'up' decays spontaneously (rate 0.5) even under 'stay', so no
+    action combination produces two disjoint recurrent classes.
+    """
+    mdp = CTMDP(["up", "down"])
+    mdp.add_action("up", "stay", rates=[0.0, 0.5], cost_rate=10.0)
+    mdp.add_action("up", "sleep", rates=[0.0, 4.0], cost_rate=10.0,
+                   impulse_costs=[0.0, 2.0])
+    mdp.add_action("down", "stay", rates=[0.0, 0.0], cost_rate=1.0)
+    mdp.add_action("down", "wake", rates=[5.0, 0.0], cost_rate=1.0,
+                   impulse_costs=[3.0, 0.0])
+    return mdp
+
+
+def random_unichain_mdp(seed: int, n_states: int = 5, n_actions: int = 3) -> CTMDP:
+    """A dense random CTMDP; dense positive rates keep it unichain."""
+    rng = np.random.default_rng(seed)
+    mdp = CTMDP(list(range(n_states)))
+    for s in range(n_states):
+        for a in range(n_actions):
+            rates = rng.uniform(0.1, 2.0, size=n_states)
+            rates[s] = 0.0
+            mdp.add_action(s, a, rates=rates, cost_rate=float(rng.uniform(0, 10)))
+    return mdp
+
+
+class TestPolicyIteration:
+    def test_prefers_cheap_state(self, power_mdp):
+        # Staying down forever costs 1/s, the global optimum here
+        # (waking costs both power and impulses).
+        result = policy_iteration(power_mdp)
+        assert result.gain == pytest.approx(
+            brute_force_optimal_gain(power_mdp)
+        )
+
+    def test_matches_brute_force_on_random_models(self):
+        for seed in range(8):
+            mdp = random_unichain_mdp(seed)
+            result = policy_iteration(mdp)
+            assert result.gain == pytest.approx(
+                brute_force_optimal_gain(mdp), abs=1e-9
+            ), f"seed {seed}"
+
+    def test_gain_history_non_increasing(self):
+        mdp = random_unichain_mdp(42, n_states=6, n_actions=4)
+        result = policy_iteration(mdp)
+        for earlier, later in zip(result.gain_history, result.gain_history[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_converges_in_few_iterations(self):
+        mdp = random_unichain_mdp(7)
+        result = policy_iteration(mdp)
+        assert result.iterations <= 10
+
+    def test_initial_policy_respected_but_still_optimal(self, power_mdp):
+        bad_start = Policy(power_mdp, {"up": "stay", "down": "wake"})
+        result = policy_iteration(power_mdp, initial_policy=bad_start)
+        assert result.gain == pytest.approx(1.0)
+
+    def test_optimal_policy_is_fixed_point(self):
+        mdp = random_unichain_mdp(3)
+        first = policy_iteration(mdp)
+        again = policy_iteration(mdp, initial_policy=first.policy)
+        assert again.iterations == 1
+        assert again.policy == first.policy
+
+    def test_stationary_returned(self, power_mdp):
+        result = policy_iteration(power_mdp)
+        assert result.stationary.sum() == pytest.approx(1.0)
+
+    def test_paper_model_solves(self, paper_mdp):
+        result = policy_iteration(paper_mdp)
+        assert result.iterations <= 20
+        assert 0.0 < result.gain < 50.0

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the CTMDP solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmdp.linear_program import solve_average_cost_lp
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy, evaluate_policy
+from repro.ctmdp.policy_iteration import policy_iteration
+
+
+def random_mdp(seed: int, n_states: int, n_actions: int) -> CTMDP:
+    """Dense random unichain CTMDP from a seed."""
+    rng = np.random.default_rng(seed)
+    mdp = CTMDP(list(range(n_states)))
+    for s in range(n_states):
+        for a in range(n_actions):
+            rates = rng.uniform(0.05, 3.0, size=n_states)
+            rates[s] = 0.0
+            mdp.add_action(s, a, rates=rates, cost_rate=float(rng.uniform(-5, 10)))
+    return mdp
+
+
+mdp_params = st.tuples(
+    st.integers(0, 10_000),  # seed
+    st.integers(2, 5),  # states
+    st.integers(1, 4),  # actions
+)
+
+
+class TestOptimalityProperties:
+    @given(params=mdp_params)
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_gain_lower_bounds_all_policies(self, params):
+        seed, n_states, n_actions = params
+        mdp = random_mdp(seed, n_states, n_actions)
+        result = policy_iteration(mdp)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            assignment = {
+                s: mdp.actions(s)[rng.integers(len(mdp.actions(s)))]
+                for s in mdp.states
+            }
+            gain = evaluate_policy(Policy(mdp, assignment)).gain
+            assert result.gain <= gain + 1e-8
+
+    @given(params=mdp_params)
+    @settings(max_examples=20, deadline=None)
+    def test_lp_and_pi_agree(self, params):
+        seed, n_states, n_actions = params
+        mdp = random_mdp(seed, n_states, n_actions)
+        pi = policy_iteration(mdp)
+        lp = solve_average_cost_lp(mdp)
+        assert lp.gain == pytest.approx(pi.gain, abs=1e-6)
+
+    @given(params=mdp_params, shift=st.floats(-5.0, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_cost_shift_shifts_gain(self, params, shift):
+        # Adding a constant to every cost rate shifts the optimal gain
+        # by that constant and preserves the optimal policy's gain gap.
+        seed, n_states, n_actions = params
+        base = random_mdp(seed, n_states, n_actions)
+        shifted = CTMDP(list(base.states))
+        for s in base.states:
+            for a in base.actions(s):
+                data = base.data(s, a)
+                shifted.add_action(
+                    s, a, rates=data.rates, cost_rate=data.cost_rate + shift
+                )
+        g0 = policy_iteration(base).gain
+        g1 = policy_iteration(shifted).gain
+        assert g1 == pytest.approx(g0 + shift, abs=1e-7)
+
+    @given(params=mdp_params, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_time_rescaling_scales_gain(self, params, scale):
+        # Scaling all rates AND all cost rates by c is a change of time
+        # units: the gain scales by c.
+        seed, n_states, n_actions = params
+        base = random_mdp(seed, n_states, n_actions)
+        scaled = CTMDP(list(base.states))
+        for s in base.states:
+            for a in base.actions(s):
+                data = base.data(s, a)
+                scaled.add_action(
+                    s,
+                    a,
+                    rates=data.rates * scale,
+                    cost_rate=data.cost_rate * scale,
+                )
+        g0 = policy_iteration(base).gain
+        g1 = policy_iteration(scaled).gain
+        assert g1 == pytest.approx(scale * g0, rel=1e-7)

@@ -1,0 +1,68 @@
+"""Tests for CTMDP -> DTMDP uniformization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.uniformization import APERIODICITY_SLACK, uniformize_ctmdp
+
+
+@pytest.fixture
+def small_mdp() -> CTMDP:
+    mdp = CTMDP(["a", "b"])
+    mdp.add_action("a", "x", rates=[0.0, 2.0], cost_rate=6.0)
+    mdp.add_action("a", "y", rates=[0.0, 4.0], cost_rate=8.0)
+    mdp.add_action("b", "x", rates=[1.0, 0.0], cost_rate=2.0)
+    return mdp
+
+
+class TestUniformizeCTMDP:
+    def test_default_rate_has_slack(self, small_mdp):
+        uni = uniformize_ctmdp(small_mdp)
+        assert uni.rate == pytest.approx(APERIODICITY_SLACK * 4.0)
+
+    def test_rows_are_stochastic(self, small_mdp):
+        uni = uniformize_ctmdp(small_mdp)
+        for row in uni.transition.values():
+            assert row.sum() == pytest.approx(1.0)
+            assert np.all(row >= 0)
+
+    def test_self_loop_probability(self, small_mdp):
+        uni = uniformize_ctmdp(small_mdp, rate=10.0)
+        row = uni.transition[(0, "y")]
+        np.testing.assert_allclose(row, [0.6, 0.4])
+
+    def test_step_costs_scaled(self, small_mdp):
+        uni = uniformize_ctmdp(small_mdp, rate=10.0)
+        assert uni.step_cost[(0, "x")] == pytest.approx(0.6)
+        assert uni.step_cost[(1, "x")] == pytest.approx(0.2)
+
+    def test_rate_below_max_exit_rejected(self, small_mdp):
+        with pytest.raises(ValueError):
+            uniformize_ctmdp(small_mdp, rate=3.0)
+
+    def test_actions_preserved_per_state(self, small_mdp):
+        uni = uniformize_ctmdp(small_mdp)
+        assert uni.actions[0] == ["x", "y"]
+        assert uni.actions[1] == ["x"]
+
+    def test_zero_rate_model_gets_unit_rate(self):
+        mdp = CTMDP(["only"])
+        mdp.add_action("only", "stay", rates=[0.0], cost_rate=1.0)
+        uni = uniformize_ctmdp(mdp)
+        assert uni.rate == 1.0
+        np.testing.assert_allclose(uni.transition[(0, "stay")], [1.0])
+
+    def test_stationary_distribution_preserved(self, two_state_generator):
+        # Uniformizing the chain induced by a fixed action preserves pi.
+        from repro.markov.generator import stationary_distribution
+
+        mdp = CTMDP(["on", "off"])
+        mdp.add_action("on", "go", rates=[0.0, 2.0], cost_rate=0.0)
+        mdp.add_action("off", "go", rates=[3.0, 0.0], cost_rate=0.0)
+        uni = uniformize_ctmdp(mdp)
+        p = np.vstack([uni.transition[(0, "go")], uni.transition[(1, "go")]])
+        pi = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(pi @ p, pi, atol=1e-12)

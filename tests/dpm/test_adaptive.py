@@ -1,0 +1,94 @@
+"""Tests for online rate estimation and adaptive re-solving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dpm.adaptive import AdaptivePolicySolver, AdaptiveRateEstimator
+from repro.dpm.presets import paper_system
+from repro.errors import InvalidModelError
+
+
+class TestAdaptiveRateEstimator:
+    def test_initial_rate_before_samples(self):
+        est = AdaptiveRateEstimator(initial_rate=2.5)
+        assert est.rate() == 2.5
+        assert not est.warmed_up
+
+    def test_exact_rate_for_regular_arrivals(self):
+        est = AdaptiveRateEstimator(window=10)
+        for k in range(11):
+            est.observe_arrival(2.0 * k)  # one arrival every 2 s
+        assert est.rate() == pytest.approx(0.5)
+        assert est.warmed_up
+        assert est.mean_interarrival() == pytest.approx(2.0)
+
+    def test_window_slides(self):
+        est = AdaptiveRateEstimator(window=5)
+        t = 0.0
+        for _ in range(6):
+            t += 10.0
+            est.observe_arrival(t)
+        for _ in range(5):  # five fast gaps push out all slow ones
+            t += 1.0
+            est.observe_arrival(t)
+        assert est.rate() == pytest.approx(1.0)
+
+    def test_paper_50_event_accuracy_claim(self):
+        # Section III: ~5 % error after observing 50 events. Check the
+        # median error over repeated trials at the paper's default window.
+        rng = np.random.default_rng(0)
+        true_rate = 1.0 / 6.0
+        errors = []
+        for _ in range(200):
+            est = AdaptiveRateEstimator()
+            t = 0.0
+            for __ in range(51):
+                t += rng.exponential(1.0 / true_rate)
+                est.observe_arrival(t)
+            errors.append(abs(est.rate() - true_rate) / true_rate)
+        assert np.median(errors) < 0.12
+        assert np.mean(errors) < 0.15
+
+    def test_rejects_decreasing_timestamps(self):
+        est = AdaptiveRateEstimator()
+        est.observe_arrival(5.0)
+        with pytest.raises(InvalidModelError):
+            est.observe_arrival(4.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            AdaptiveRateEstimator(window=0)
+        with pytest.raises(InvalidModelError):
+            AdaptiveRateEstimator(initial_rate=0.0)
+
+
+class TestAdaptivePolicySolver:
+    @pytest.fixture
+    def solver(self):
+        return AdaptivePolicySolver(paper_system(), weight=1.0, band_width=0.2)
+
+    def test_caches_within_band(self, solver):
+        r1 = solver.policy_for_rate(0.167)
+        r2 = solver.policy_for_rate(0.168)
+        assert r1 is r2
+        assert solver.n_solves == 1
+
+    def test_resolves_for_distant_rate(self, solver):
+        solver.policy_for_rate(1.0 / 6.0)
+        solver.policy_for_rate(1.0 / 3.0)
+        assert solver.n_solves == 2
+
+    def test_band_policy_is_reasonable(self, solver):
+        # The band-center policy evaluated on the band-center model must
+        # beat always-on power.
+        result = solver.policy_for_rate(1.0 / 6.0)
+        assert result.metrics.average_power < 40.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidModelError):
+            AdaptivePolicySolver(paper_system(), weight=1.0, band_width=1.5)
+        solver = AdaptivePolicySolver(paper_system(), weight=1.0)
+        with pytest.raises(InvalidModelError):
+            solver.policy_for_rate(0.0)

@@ -1,0 +1,98 @@
+"""Tests pinning Figures 1 and 2 (Examples 4.1 and 4.3) in text form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.describe import (
+    describe_service_provider,
+    describe_service_queue,
+    describe_system,
+    transition_counts,
+)
+from repro.dpm.model_policies import greedy_assignment
+from repro.errors import InvalidPolicyError
+
+
+class TestFigure1:
+    """Example 4.1: policy {<A, wait>, <W, sleep>, <S, wakeup>}."""
+
+    def test_example_4_1_edges(self, paper_provider):
+        lines = describe_service_provider(
+            paper_provider,
+            {"active": "waiting", "waiting": "sleeping", "sleeping": "active"},
+        )
+        assert lines == [
+            "active -> waiting  rate=10",
+            "waiting -> sleeping  rate=10",
+            "sleeping -> active  rate=0.909091",
+        ]
+
+    def test_self_targets_draw_no_edge(self, paper_provider):
+        lines = describe_service_provider(
+            paper_provider,
+            {"active": "active", "waiting": "waiting", "sleeping": "sleeping"},
+        )
+        assert lines == []
+
+    def test_missing_mode_rejected(self, paper_provider):
+        with pytest.raises(InvalidPolicyError, match="no action chosen"):
+            describe_service_provider(paper_provider, {"active": "waiting"})
+
+
+class TestFigure2:
+    """Example 4.3: SP active, PM issues *sleep* in every transfer state."""
+
+    @pytest.fixture(scope="class")
+    def lines(self):
+        from repro.dpm.presets import paper_system
+
+        # The example uses queue length 2.
+        return describe_service_queue(
+            paper_system(capacity=2), sp_mode="active", transfer_action="sleeping"
+        )
+
+    def test_arrival_chain(self, lines):
+        assert "q0 -> q1  rate=0.166667" in lines
+        assert "q1 -> q2  rate=0.166667" in lines
+
+    def test_service_to_transfer(self, lines):
+        assert "q1 -> q1->0  rate=0.666667" in lines
+        assert "q2 -> q2->1  rate=0.666667" in lines
+
+    def test_transfer_resolution_at_sleep_rate(self, lines):
+        # chi(active, sleeping) = 1/0.2 = 5; the SP leaves toward sleep.
+        assert "q1->0 -> q0  rate=5  (SP -> sleeping)" in lines
+        assert "q2->1 -> q1  rate=5  (SP -> sleeping)" in lines
+
+    def test_transfer_arrival_edge(self, lines):
+        assert "q1->0 -> q2->1  rate=0.166667" in lines
+
+    def test_boundary_transfer_has_no_arrival_edge(self, lines):
+        assert not any(line.startswith("q2->1 -> q3->2") for line in lines)
+
+    def test_edge_count_matches_section_iii(self, lines):
+        # Q=2: arrivals 2 (stable) + 1 (transfer), service 2, resolution 2.
+        assert len(lines) == 7
+
+
+class TestDescribeSystem:
+    def test_full_listing_covers_every_state(self, paper_model):
+        assignment = greedy_assignment(paper_model)
+        lines = describe_system(paper_model, assignment)
+        # Every non-absorbing state appears as a source.
+        sources = {line.split(" -> ")[0] for line in lines}
+        assert len(sources) >= paper_model.n_states - 1
+
+    def test_missing_state_rejected(self, paper_model):
+        with pytest.raises(InvalidPolicyError, match="misses"):
+            describe_system(paper_model, {})
+
+    def test_transition_counts(self, paper_model):
+        counts = transition_counts(paper_model, greedy_assignment(paper_model))
+        # Type 2 (service -> transfer): active states q1..q5.
+        assert counts["service"] == 5
+        # Type 3: every transfer state resolves exactly once.
+        assert counts["transfer_resolution"] == 5
+        assert counts["arrival"] > 0
+        assert counts["sp_switch"] > 0

@@ -1,0 +1,108 @@
+"""Tests for heuristic policy assignments on the joint model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.analysis import evaluate_dpm_policy
+from repro.dpm.model_policies import (
+    always_on_assignment,
+    as_policy,
+    default_valid_action,
+    greedy_assignment,
+    n_policy_assignment,
+)
+from repro.dpm.service_queue import stable, transfer
+from repro.dpm.system import SystemState
+from repro.errors import InvalidPolicyError
+
+
+class TestNPolicyAssignment:
+    def test_respects_model_constraints(self, paper_model):
+        for n in range(1, 6):
+            assignment = n_policy_assignment(paper_model, n)
+            for state, action in assignment.items():
+                assert paper_model.is_valid_action(state, action), (state, action)
+
+    def test_wakes_at_threshold(self, paper_model):
+        assignment = n_policy_assignment(paper_model, 3)
+        assert assignment[SystemState("sleeping", stable(2))] == "sleeping"
+        assert assignment[SystemState("sleeping", stable(3))] == "active"
+        assert assignment[SystemState("sleeping", stable(4))] == "active"
+
+    def test_sleeps_when_system_empties(self, paper_model):
+        assignment = n_policy_assignment(paper_model, 3)
+        assert assignment[SystemState("active", transfer(1))] == "sleeping"
+        # Work remaining: keep serving.
+        assert assignment[SystemState("active", transfer(2))] == "active"
+
+    def test_active_states_keep_serving(self, paper_model):
+        assignment = n_policy_assignment(paper_model, 2)
+        for i in range(6):
+            assert assignment[SystemState("active", stable(i))] == "active"
+
+    def test_n_bounds_checked(self, paper_model):
+        with pytest.raises(InvalidPolicyError):
+            n_policy_assignment(paper_model, 0)
+        with pytest.raises(InvalidPolicyError):
+            n_policy_assignment(paper_model, 6)
+
+    def test_mode_sanity_checks(self, paper_model):
+        with pytest.raises(InvalidPolicyError, match="is active"):
+            n_policy_assignment(paper_model, 2, sleep_mode="active")
+        with pytest.raises(InvalidPolicyError, match="is inactive"):
+            n_policy_assignment(paper_model, 2, active_mode="waiting")
+
+    def test_larger_n_saves_power_costs_delay(self, paper_model):
+        mdp = paper_model.build_ctmdp(0.0)
+        prev_power = None
+        prev_delay = None
+        for n in range(1, 6):
+            metrics = evaluate_dpm_policy(
+                paper_model, as_policy(mdp, n_policy_assignment(paper_model, n))
+            )
+            if prev_power is not None:
+                assert metrics.average_power < prev_power
+                assert metrics.average_queue_length > prev_delay
+            prev_power = metrics.average_power
+            prev_delay = metrics.average_queue_length
+
+
+class TestGreedyAndAlwaysOn:
+    def test_greedy_is_n1(self, paper_model):
+        assert greedy_assignment(paper_model) == n_policy_assignment(paper_model, 1)
+
+    def test_always_on_targets_active_everywhere(self, paper_model):
+        assignment = always_on_assignment(paper_model)
+        assert set(assignment.values()) == {"active"}
+
+    def test_always_on_is_most_powerful_and_fastest(self, paper_model):
+        mdp = paper_model.build_ctmdp(0.0)
+        on = evaluate_dpm_policy(
+            paper_model, as_policy(mdp, always_on_assignment(paper_model))
+        )
+        greedy = evaluate_dpm_policy(
+            paper_model, as_policy(mdp, greedy_assignment(paper_model))
+        )
+        assert on.average_power > greedy.average_power
+        assert on.average_queue_length < greedy.average_queue_length
+
+
+class TestDefaultValidAction:
+    def test_stays_when_valid(self, paper_model):
+        state = SystemState("sleeping", stable(0))
+        assert default_valid_action(paper_model, state) == "sleeping"
+
+    def test_falls_back_to_fastest_active(self, paper_model):
+        # waiting at q_Q cannot stay (constraint 2, strict form).
+        state = SystemState("waiting", stable(5))
+        assert default_valid_action(paper_model, state) == "active"
+
+    def test_invalid_explicit_assignment_rejected(self, paper_model):
+        from repro.dpm.model_policies import _complete
+
+        with pytest.raises(InvalidPolicyError, match="invalid action"):
+            _complete(
+                paper_model,
+                {SystemState("active", stable(2)): "sleeping"},  # constraint 1
+            )

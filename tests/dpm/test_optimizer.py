@@ -1,0 +1,88 @@
+"""Tests for the policy-optimization workflow (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.optimizer import (
+    find_weight_for_constraint,
+    optimize_constrained,
+    optimize_weighted,
+    sweep_weights,
+)
+from repro.errors import InfeasibleConstraintError, SolverError
+
+
+class TestOptimizeWeighted:
+    def test_solvers_agree_on_gain(self, paper_model):
+        results = {
+            solver: optimize_weighted(paper_model, 1.0, solver=solver)
+            for solver in ("policy_iteration", "linear_program")
+        }
+        powers = {s: r.metrics.average_power for s, r in results.items()}
+        assert powers["policy_iteration"] == pytest.approx(
+            powers["linear_program"], rel=1e-6
+        )
+
+    def test_unknown_solver_rejected(self, paper_model):
+        with pytest.raises(SolverError, match="unknown solver"):
+            optimize_weighted(paper_model, 1.0, solver="quantum")
+
+    def test_weight_zero_minimizes_power_only(self, paper_model):
+        r0 = optimize_weighted(paper_model, 0.0)
+        r5 = optimize_weighted(paper_model, 5.0)
+        assert r0.metrics.average_power <= r5.metrics.average_power + 1e-9
+
+    def test_result_carries_weight(self, paper_model):
+        assert optimize_weighted(paper_model, 2.5).weight == 2.5
+
+
+class TestSweepWeights:
+    def test_tradeoff_monotone(self, paper_model):
+        results = sweep_weights(paper_model, [0.1, 0.5, 1.0, 2.0, 5.0])
+        powers = [r.metrics.average_power for r in results]
+        delays = [r.metrics.average_queue_length for r in results]
+        for i in range(len(results) - 1):
+            assert powers[i + 1] >= powers[i] - 1e-9
+            assert delays[i + 1] <= delays[i] + 1e-9
+
+
+class TestConstrained:
+    def test_lp_hits_bound_or_better(self, paper_model):
+        result = optimize_constrained(paper_model, 1.0)
+        assert result.metrics.average_queue_length <= 1.0 + 1e-6
+        assert result.weight is None
+
+    def test_tighter_bound_costs_power(self, paper_model):
+        loose = optimize_constrained(paper_model, 2.0)
+        tight = optimize_constrained(paper_model, 0.6)
+        assert tight.metrics.average_power >= loose.metrics.average_power - 1e-9
+
+    def test_infeasible_bound_raises(self, paper_model):
+        # Queue length can never be negative.
+        with pytest.raises(InfeasibleConstraintError):
+            optimize_constrained(paper_model, -0.5)
+
+    def test_lp_beats_or_matches_weight_bisection(self, paper_model):
+        # The randomized constrained optimum is at least as good as the
+        # best deterministic policy found by weight tuning.
+        lp = optimize_constrained(paper_model, 1.0)
+        det = find_weight_for_constraint(paper_model, 1.0)
+        assert lp.metrics.average_power <= det.metrics.average_power + 1e-9
+
+
+class TestFindWeightForConstraint:
+    def test_constraint_satisfied(self, paper_model):
+        result = find_weight_for_constraint(paper_model, 1.0)
+        assert result.metrics.average_queue_length <= 1.0 + 1e-9
+        assert result.weight is not None
+
+    def test_loose_bound_returns_weight_zero(self, paper_model):
+        result = find_weight_for_constraint(paper_model, 100.0)
+        assert result.weight == 0.0
+
+    def test_unreachable_bound_raises(self, paper_model):
+        with pytest.raises(InfeasibleConstraintError):
+            find_weight_for_constraint(
+                paper_model, 0.0, weight_upper_bound=10.0
+            )

@@ -1,0 +1,87 @@
+"""Tests for the exact Pareto-frontier builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.pareto import (
+    deterministic_frontier,
+    dominated_by_frontier,
+    randomized_frontier,
+)
+from repro.errors import SolverError
+
+
+@pytest.fixture(scope="module")
+def frontier(paper_model):
+    return deterministic_frontier(paper_model, max_weight=100.0)
+
+
+class TestDeterministicFrontier:
+    def test_sorted_and_pareto_ordered(self, frontier):
+        delays = [p.delay for p in frontier]
+        powers = [p.power for p in frontier]
+        assert delays == sorted(delays)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_no_duplicate_points(self, frontier):
+        keys = {(round(p.power, 9), round(p.delay, 9)) for p in frontier}
+        assert len(keys) == len(frontier)
+
+    def test_contains_both_extremes(self, frontier):
+        # Weight 0 (power miser) and huge weight (delay miser) endpoints.
+        assert frontier[0].weight > frontier[-1].weight or frontier[
+            0
+        ].weight == pytest.approx(100.0, rel=1.0)
+        assert frontier[-1].weight == 0.0
+
+    def test_supersedes_any_grid_sweep(self, paper_model, frontier):
+        # Every point a weight grid can find is already on the frontier.
+        from repro.dpm.optimizer import sweep_weights
+
+        for result in sweep_weights(paper_model, [0.1, 0.7, 1.2, 3.0, 30.0]):
+            assert dominated_by_frontier(
+                frontier,
+                result.metrics.average_power,
+                result.metrics.average_queue_length,
+                slack=1e-6,
+            )
+
+    def test_policies_are_attached_and_consistent(self, paper_model, frontier):
+        from repro.dpm.analysis import evaluate_dpm_policy
+
+        point = frontier[len(frontier) // 2]
+        metrics = evaluate_dpm_policy(paper_model, point.policy)
+        assert metrics.average_power == pytest.approx(point.power)
+
+    def test_richer_than_a_coarse_grid(self, frontier):
+        # The paper-model frontier has at least 4 distinct points.
+        assert len(frontier) >= 4
+
+    def test_invalid_max_weight(self, paper_model):
+        with pytest.raises(SolverError):
+            deterministic_frontier(paper_model, max_weight=0.0)
+
+
+class TestRandomizedFrontier:
+    def test_hull_below_deterministic_curve(self, paper_model, frontier):
+        # At a delay strictly between two deterministic vertices the
+        # randomized optimum must not exceed the interpolating vertex
+        # power (and typically improves on it).
+        import bisect
+
+        inner = [p for p in frontier if frontier[0].delay < p.delay]
+        assert inner
+        left, right = frontier[0], inner[0]  # left: lower delay, more power
+        mid_delay = 0.5 * (left.delay + right.delay)
+        (hull_point,) = randomized_frontier(paper_model, [mid_delay])
+        # Never worse than the vertex that satisfies the bound (left).
+        assert hull_point.average_power <= left.power + 1e-6
+        # And at most the linear interpolation between the vertices.
+        t = (mid_delay - left.delay) / (right.delay - left.delay)
+        interpolated = left.power + t * (right.power - left.power)
+        assert hull_point.average_power <= interpolated + 1e-6
+
+    def test_monotone_in_bound(self, paper_model):
+        loose, tight = randomized_frontier(paper_model, [2.0, 0.8])
+        assert tight.average_power >= loose.average_power - 1e-9

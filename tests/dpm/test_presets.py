@@ -1,0 +1,99 @@
+"""Tests pinning the presets to the paper's published constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.presets import (
+    PAPER_ARRIVAL_RATE,
+    PAPER_N_REQUESTS,
+    PAPER_QUEUE_CAPACITY,
+    PAPER_SERVICE_RATE,
+    disk_drive_provider,
+    paper_service_provider,
+    paper_system,
+    wireless_nic_provider,
+)
+
+
+class TestPaperConstants:
+    def test_section_v_rates(self):
+        assert PAPER_ARRIVAL_RATE == pytest.approx(1 / 6)
+        assert PAPER_SERVICE_RATE == pytest.approx(1 / 1.5)
+        assert PAPER_QUEUE_CAPACITY == 5
+        assert PAPER_N_REQUESTS == 50_000
+
+    def test_provider_modes_and_powers(self):
+        sp = paper_service_provider()
+        assert sp.modes == ("active", "waiting", "sleeping")
+        assert [sp.power_rate(m) for m in sp.modes] == [40.0, 15.0, 0.1]
+
+    def test_eqn_4_1_a_switching_times(self):
+        sp = paper_service_provider()
+        expected = {
+            ("active", "waiting"): 0.1,
+            ("active", "sleeping"): 0.2,
+            ("waiting", "active"): 0.5,
+            ("waiting", "sleeping"): 0.1,
+            ("sleeping", "active"): 1.1,
+            ("sleeping", "waiting"): 0.5,
+        }
+        for (src, dst), t in expected.items():
+            assert sp.switching_time(src, dst) == pytest.approx(t), (src, dst)
+
+    def test_eqn_4_1_b_switching_energies(self):
+        sp = paper_service_provider()
+        expected = {
+            ("active", "waiting"): 0.2,
+            ("active", "sleeping"): 0.5,
+            ("waiting", "active"): 1.0,
+            ("waiting", "sleeping"): 0.1,
+            ("sleeping", "active"): 11.0,
+            ("sleeping", "waiting"): 25.0,
+        }
+        for (src, dst), e in expected.items():
+            assert sp.switching_energy(src, dst) == pytest.approx(e), (src, dst)
+
+    def test_paper_system_defaults(self):
+        m = paper_system()
+        assert m.capacity == 5
+        assert m.requestor.rate == pytest.approx(1 / 6)
+        assert m.include_transfer_states
+
+    def test_self_switch_rate_override(self):
+        m = paper_system(self_switch_rate=50.0)
+        assert m.provider.self_switch_rate == 50.0
+
+
+class TestExampleProviders:
+    def test_disk_drive_structure(self):
+        sp = disk_drive_provider()
+        assert sp.modes == ("active", "idle", "standby", "sleep")
+        assert sp.active_modes == ("active",)
+        # Deeper modes draw less power.
+        powers = [sp.power_rate(m) for m in sp.modes]
+        assert powers == sorted(powers, reverse=True)
+        # Deeper modes take longer to wake.
+        wakeups = [sp.wakeup_time(m) for m in sp.inactive_modes]
+        assert wakeups == sorted(wakeups)
+
+    def test_wireless_nic_structure(self):
+        sp = wireless_nic_provider()
+        assert sp.fastest_active_mode() == "transmit"
+        assert sp.deepest_sleep_mode() == "off"
+        assert sp.wakeup_time("off") > sp.wakeup_time("doze")
+
+    def test_example_models_solve(self):
+        from repro.dpm.optimizer import optimize_weighted
+        from repro.dpm.service_requestor import ServiceRequestor
+        from repro.dpm.system import PowerManagedSystemModel
+
+        for provider, rate in (
+            (disk_drive_provider(), 0.25),
+            (wireless_nic_provider(), 10.0),
+        ):
+            model = PowerManagedSystemModel(
+                provider, ServiceRequestor(rate), capacity=4
+            )
+            result = optimize_weighted(model, 0.1)
+            assert result.metrics.average_power > 0

@@ -1,0 +1,127 @@
+"""Tests for the service-provider model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import InvalidModelError
+
+
+@pytest.fixture
+def sp(paper_provider) -> ServiceProvider:
+    return paper_provider
+
+
+class TestConstruction:
+    def test_paper_switching_rates_from_times(self, sp):
+        # Eqn 4.1(a): active->waiting takes 0.1 s on average.
+        assert sp.switching_rate("active", "waiting") == pytest.approx(10.0)
+        assert sp.switching_rate("sleeping", "active") == pytest.approx(1 / 1.1)
+
+    def test_switching_time_round_trip(self, sp):
+        assert sp.switching_time("waiting", "active") == pytest.approx(0.5)
+
+    def test_self_switch_is_fast(self, sp):
+        assert sp.switching_time("active", "active") <= 1e-3
+
+    def test_rejects_duplicate_modes(self):
+        with pytest.raises(InvalidModelError, match="unique"):
+            ServiceProvider(
+                ("a", "a"),
+                np.ones((2, 2)),
+                (1.0, 0.0),
+                (1.0, 1.0),
+                np.zeros((2, 2)),
+            )
+
+    def test_rejects_nonpositive_switch_rate(self):
+        chi = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(InvalidModelError, match="positive"):
+            ServiceProvider(("a", "b"), chi, (1.0, 0.0), (1.0, 1.0), np.zeros((2, 2)))
+
+    def test_rejects_all_inactive(self):
+        with pytest.raises(InvalidModelError, match="active"):
+            ServiceProvider(
+                ("a", "b"),
+                np.ones((2, 2)),
+                (0.0, 0.0),
+                (1.0, 1.0),
+                np.zeros((2, 2)),
+            )
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(InvalidModelError, match="power"):
+            ServiceProvider(
+                ("a", "b"),
+                np.ones((2, 2)),
+                (1.0, 0.0),
+                (-1.0, 1.0),
+                np.zeros((2, 2)),
+            )
+
+    def test_rejects_bad_switching_times(self):
+        with pytest.raises(InvalidModelError, match="positive"):
+            ServiceProvider.from_switching_times(
+                ("a", "b"),
+                np.array([[0.0, -0.1], [0.5, 0.0]]),
+                (1.0, 0.0),
+                (1.0, 1.0),
+                np.zeros((2, 2)),
+            )
+
+    def test_unknown_mode_raises(self, sp):
+        with pytest.raises(InvalidModelError, match="unknown mode"):
+            sp.index_of("hibernate")
+
+
+class TestModeQueries:
+    def test_active_inactive_split(self, sp):
+        assert sp.active_modes == ("active",)
+        assert sp.inactive_modes == ("waiting", "sleeping")
+        assert sp.is_active("active")
+        assert not sp.is_active("waiting")
+
+    def test_service_rates(self, sp):
+        assert sp.service_rate("active") == pytest.approx(1 / 1.5)
+        assert sp.service_rate("sleeping") == 0.0
+
+    def test_power_rates(self, sp):
+        assert sp.power_rate("active") == 40.0
+        assert sp.power_rate("waiting") == 15.0
+        assert sp.power_rate("sleeping") == pytest.approx(0.1)
+
+    def test_switching_energy(self, sp):
+        # Eqn 4.1(b): sleeping->active costs 11 J; self switches free.
+        assert sp.switching_energy("sleeping", "active") == 11.0
+        assert sp.switching_energy("active", "active") == 0.0
+
+    def test_wakeup_times(self, sp):
+        assert sp.wakeup_time("active") == 0.0
+        assert sp.wakeup_time("waiting") == pytest.approx(0.5)
+        assert sp.wakeup_time("sleeping") == pytest.approx(1.1)
+
+    def test_service_times(self, sp):
+        assert sp.service_time("active") == pytest.approx(1.5)
+        assert sp.service_time("sleeping") == np.inf
+
+    def test_mode_selection_helpers(self, sp):
+        assert sp.deepest_sleep_mode() == "sleeping"
+        assert sp.fastest_active_mode() == "active"
+
+
+class TestGeneratorMatrix:
+    def test_only_action_destination_enabled(self, sp):
+        g = sp.generator_matrix("sleeping")
+        i_a, i_w, i_s = 0, 1, 2
+        assert g[i_a, i_s] == pytest.approx(1 / 0.2)
+        assert g[i_w, i_s] == pytest.approx(1 / 0.1)
+        assert g[i_a, i_w] == 0.0
+        # Destination row stays put.
+        np.testing.assert_allclose(g[i_s], 0.0)
+
+    def test_rows_sum_to_zero(self, sp):
+        for mode in sp.modes:
+            g = sp.generator_matrix(mode)
+            np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-12)

@@ -1,0 +1,71 @@
+"""Tests for the SQ state space (stable and transfer states)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.service_queue import (
+    QueueState,
+    queue_states,
+    stable,
+    stable_states,
+    transfer,
+    transfer_states,
+)
+from repro.errors import InvalidModelError
+
+
+class TestQueueState:
+    def test_stable_waiting_count(self):
+        assert stable(3).waiting_count == 3
+        assert stable(0).waiting_count == 0
+
+    def test_transfer_waiting_count_is_paper_convention(self):
+        # C_sq = i for transfer state q_{i+1 -> i}: the completed request
+        # has departed.
+        assert transfer(1).waiting_count == 0
+        assert transfer(4).waiting_count == 3
+
+    def test_kind_flags(self):
+        assert stable(1).is_stable and not stable(1).is_transfer
+        assert transfer(1).is_transfer and not transfer(1).is_stable
+
+    def test_repr_is_paper_notation(self):
+        assert repr(stable(2)) == "q2"
+        assert repr(transfer(3)) == "q3->2"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(InvalidModelError):
+            QueueState("limbo", 1)
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(InvalidModelError):
+            stable(-1)
+        with pytest.raises(InvalidModelError):
+            transfer(0)
+
+    def test_hashable_and_ordered(self):
+        assert len({stable(1), stable(1), transfer(1)}) == 2
+        assert stable(1) < stable(2)
+
+
+class TestEnumerations:
+    def test_stable_states_count(self):
+        assert len(stable_states(5)) == 6
+        assert stable_states(5)[0] == stable(0)
+        assert stable_states(5)[-1] == stable(5)
+
+    def test_transfer_states_count(self):
+        assert len(transfer_states(5)) == 5
+        assert transfer_states(5)[0] == transfer(1)
+        assert transfer_states(5)[-1] == transfer(5)
+
+    def test_queue_states_with_and_without_transfer(self):
+        assert len(queue_states(5)) == 11
+        assert len(queue_states(5, include_transfer=False)) == 6
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidModelError):
+            stable_states(0)
+        with pytest.raises(InvalidModelError):
+            transfer_states(0)

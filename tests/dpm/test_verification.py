@@ -1,0 +1,78 @@
+"""Tests for the model-verification sweep.
+
+The headline check: on the paper's model, *every sampled admissible
+deterministic policy* induces a unichain process -- the property the
+Section-III constraints were designed to guarantee (and without which
+policy iteration's evaluation step would be singular).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.model_policies import greedy_assignment, n_policy_assignment
+from repro.dpm.presets import paper_system
+from repro.dpm.verification import (
+    count_policies,
+    is_unichain,
+    verify_all_policies_unichain,
+    verify_model,
+    verify_policy_unichain,
+)
+
+
+class TestIsUnichain:
+    def test_irreducible_is_unichain(self, two_state_generator):
+        assert is_unichain(two_state_generator)
+
+    def test_transient_plus_recurrent_is_unichain(self, absorbing_generator):
+        assert is_unichain(absorbing_generator)
+
+    def test_two_blocks_is_multichain(self, reducible_generator):
+        assert not is_unichain(reducible_generator)
+
+
+class TestPolicyChecks:
+    def test_heuristic_policies_unichain(self, paper_model):
+        assert verify_policy_unichain(paper_model, greedy_assignment(paper_model))
+        for n in (2, 5):
+            assert verify_policy_unichain(
+                paper_model, n_policy_assignment(paper_model, n)
+            )
+
+
+class TestSweep:
+    def test_paper_model_policy_space_size(self, paper_model):
+        # Constraints shrink the naive 3^23 space dramatically.
+        total = count_policies(paper_model)
+        naive = 3**23
+        assert total < naive / 1000  # ~3300x fewer than unconstrained
+        assert total > 1000
+
+    def test_sampled_sweep_finds_no_violations(self, paper_model):
+        report = verify_all_policies_unichain(
+            paper_model, sample_budget=300, seed=1
+        )
+        assert report.ok
+        assert report.n_policies_checked == 300
+        assert not report.exhaustive
+
+    def test_exhaustive_on_tiny_model(self):
+        model = paper_system(capacity=1)
+        report = verify_all_policies_unichain(model, sample_budget=10_000)
+        assert report.exhaustive
+        assert report.n_policies_checked == report.n_policies_total
+        assert report.ok
+
+    def test_verify_model_full_report(self, paper_model):
+        report = verify_model(paper_model, sample_budget=100)
+        assert report.ok
+        assert report.n_states == 23
+        assert report.n_state_action_pairs > 23
+
+    def test_lumped_variant_also_verifies(self):
+        # Dropping constraint 1 (the ablation model) must still leave a
+        # unichain space -- constraint 2 alone forces eventual service.
+        model = paper_system(include_transfer_states=False)
+        report = verify_all_policies_unichain(model, sample_budget=200, seed=2)
+        assert report.ok

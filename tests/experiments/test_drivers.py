@@ -1,0 +1,138 @@
+"""Smoke + shape tests for the experiment drivers (small workloads).
+
+The full-size assertions live in the benchmark suite; here the drivers
+run with small request counts to verify plumbing, schemas, and the
+coarse shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, heuristic_policies, run_figure5
+from repro.experiments.reporting import format_table
+from repro.experiments.setup import (
+    FIGURE4_N_VALUES,
+    INPUT_RATES,
+    models_for_rates,
+    simulate_policy,
+)
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+
+N = 3000
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(("name", "value"), [("x", 1.25), ("long-name", 2.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+
+class TestSetup:
+    def test_input_rates_match_paper(self):
+        assert INPUT_RATES == (1 / 8, 1 / 7, 1 / 6, 1 / 5, 1 / 4, 1 / 3)
+
+    def test_models_for_rates(self):
+        models = models_for_rates((1 / 8, 1 / 4))
+        assert [m.requestor.rate for m in models] == [1 / 8, 1 / 4]
+
+    def test_simulate_policy_uses_common_seed(self, paper_model):
+        from repro.policies import GreedyPolicy
+
+        a = simulate_policy(
+            paper_model, GreedyPolicy(paper_model.provider), n_requests=500, seed=5
+        )
+        b = simulate_policy(
+            paper_model, GreedyPolicy(paper_model.provider), n_requests=500, seed=5
+        )
+        assert a.average_power == b.average_power
+
+
+class TestFigure4Driver:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure4(n_requests=N, weights=(0.2, 1.0, 2.5))
+
+    def test_both_kinds_present(self, points):
+        kinds = {p.kind for p in points}
+        assert kinds == {"optimal", "npolicy"}
+
+    def test_all_n_values_present(self, points):
+        ns = sorted(p.parameter for p in points if p.kind == "npolicy")
+        assert ns == [float(n) for n in FIGURE4_N_VALUES]
+
+    def test_analytic_and_simulated_close(self, points):
+        for p in points:
+            assert p.simulated_power == pytest.approx(p.analytic_power, rel=0.10)
+
+    def test_duplicate_pareto_points_collapsed(self, points):
+        optimal = [
+            (p.analytic_power, p.analytic_queue_length)
+            for p in points
+            if p.kind == "optimal"
+        ]
+        assert len(optimal) == len(set(optimal))
+
+    def test_formatting(self, points):
+        out = format_figure4(points)
+        assert "power[W] (model)" in out
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(rates=(1 / 6, 1 / 4), n_requests=N)
+
+    def test_row_per_rate(self, rows):
+        assert [r.input_rate for r in rows] == [1 / 6, 1 / 4]
+
+    def test_approximation_error_small(self, rows):
+        for row in rows:
+            assert abs(row.error_percent) < 10.0
+
+    def test_row_schema(self):
+        row = Table1Row.from_measurements(0.25, waiting_time=4.0, actual_queue_length=1.0)
+        assert row.approximate_queue_length == pytest.approx(1.0)
+        assert row.error_percent == pytest.approx(0.0)
+
+    def test_formatting(self, rows):
+        out = format_table1(rows)
+        assert "error [%]" in out and "1/6" in out
+
+
+class TestFigure5Driver:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure5(rates=(1 / 6,), n_requests=N)
+
+    def test_five_policies(self, points):
+        assert len(points) == 5
+        assert {p.policy for p in points} == {
+            "ctmdp-optimal",
+            "greedy",
+            "timeout(1s)",
+            "timeout(1/lambda)",
+            "timeout(0.5/lambda)",
+        }
+
+    def test_heuristic_timeouts_match_rate(self, paper_model):
+        policies = heuristic_policies(paper_model)
+        assert policies["timeout(1/lambda)"].timeout == pytest.approx(6.0)
+        assert policies["timeout(0.5/lambda)"].timeout == pytest.approx(3.0)
+
+    def test_optimal_draws_least_power_at_this_rate(self, points):
+        by_name = {p.policy: p for p in points}
+        optimal_power = by_name["ctmdp-optimal"].simulated_power
+        for name, p in by_name.items():
+            if name != "ctmdp-optimal":
+                assert optimal_power < p.simulated_power, name
+
+    def test_formatting(self, points):
+        assert "avg waiting [s]" in format_figure5(points)

@@ -1,0 +1,51 @@
+"""Tests for experiment CSV export."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.export import export_rows, read_rows
+from repro.experiments.table1 import Table1Row
+
+
+@dataclasses.dataclass(frozen=True)
+class OtherRow:
+    x: int
+
+
+class TestExportRows:
+    @pytest.fixture
+    def rows(self):
+        return [
+            Table1Row.from_measurements(1 / 6, 6.0, 1.0),
+            Table1Row.from_measurements(1 / 3, 3.0, 0.99),
+        ]
+
+    def test_round_trip_header_and_values(self, tmp_path, rows):
+        path = tmp_path / "table1.csv"
+        export_rows(rows, path)
+        loaded = read_rows(path)
+        assert len(loaded) == 2
+        assert set(loaded[0]) == {
+            "input_rate",
+            "simulated_waiting_time",
+            "approximate_queue_length",
+            "actual_queue_length",
+            "error_percent",
+        }
+        assert float(loaded[0]["simulated_waiting_time"]) == 6.0
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="empty"):
+            export_rows([], tmp_path / "x.csv")
+
+    def test_mixed_types_rejected(self, tmp_path, rows):
+        with pytest.raises(ReproError, match="same dataclass"):
+            export_rows([rows[0], OtherRow(1)], tmp_path / "x.csv")
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="dataclasses"):
+            export_rows([{"a": 1}], tmp_path / "x.csv")

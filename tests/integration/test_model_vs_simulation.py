@@ -1,0 +1,124 @@
+"""The paper's central validation: analytic model ~= event simulation.
+
+Section V: "we also calculated the functional value of the queue length
+and energy cost ... and found that the functional value and the
+simulated value are almost the same. This shows that our stochastic
+model of the power-managed system matches the real situation very
+well." These tests assert that agreement for the optimal policy and for
+every N-policy, and quantify that the no-transfer-state ablation model
+is *worse* at predicting reality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.analysis import evaluate_dpm_policy
+from repro.dpm.model_policies import as_policy, greedy_assignment, n_policy_assignment
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.policies import GreedyPolicy, NPolicy, OptimalCTMDPPolicy
+from repro.sim import PoissonProcess, simulate
+
+N_REQUESTS = 30_000
+SEED = 17
+
+
+def run_sim(model, policy, **kwargs):
+    return simulate(
+        provider=model.provider,
+        capacity=model.capacity,
+        workload=PoissonProcess(model.requestor.rate),
+        policy=policy,
+        n_requests=N_REQUESTS,
+        seed=SEED,
+        **kwargs,
+    )
+
+
+class TestOptimalPolicyAgreement:
+    @pytest.fixture(scope="class", params=[0.3, 1.0, 3.0])
+    def pair(self, request, paper_model):
+        result = optimize_weighted(paper_model, request.param)
+        sim = run_sim(
+            paper_model, OptimalCTMDPPolicy(result.policy, paper_model.capacity)
+        )
+        return result.metrics, sim
+
+    def test_power_agreement(self, pair):
+        analytic, sim = pair
+        assert sim.average_power == pytest.approx(analytic.average_power, rel=0.03)
+
+    def test_queue_length_agreement(self, pair):
+        analytic, sim = pair
+        assert sim.average_queue_length == pytest.approx(
+            analytic.average_queue_length, rel=0.05
+        )
+
+    def test_waiting_time_agreement(self, pair):
+        analytic, sim = pair
+        assert sim.average_waiting_time == pytest.approx(
+            analytic.average_waiting_time, rel=0.05
+        )
+
+
+class TestNPolicyAgreement:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_power_and_queue_length(self, paper_model, n):
+        mdp = paper_model.build_ctmdp(0.0)
+        analytic = evaluate_dpm_policy(
+            paper_model, as_policy(mdp, n_policy_assignment(paper_model, n))
+        )
+        sim = run_sim(paper_model, NPolicy(n, paper_model.provider))
+        assert sim.average_power == pytest.approx(analytic.average_power, rel=0.04)
+        assert sim.average_queue_length == pytest.approx(
+            analytic.average_queue_length, rel=0.06
+        )
+
+
+class TestTransferStateAblation:
+    """Without transfer states the model mispredicts the simulator.
+
+    The ablation model (in the spirit of [11]) lets the SP power down
+    mid-service; simulated with preemptive semantics, its analytic
+    queue-length prediction degrades visibly compared to the
+    transfer-state model's near-exact agreement on its own optimal
+    policy.
+    """
+
+    def test_transfer_model_agrees_with_its_simulation(self, paper_model):
+        result = optimize_weighted(paper_model, 1.0)
+        sim = run_sim(
+            paper_model, OptimalCTMDPPolicy(result.policy, paper_model.capacity)
+        )
+        rel_err = abs(
+            sim.average_queue_length - result.metrics.average_queue_length
+        ) / result.metrics.average_queue_length
+        assert rel_err < 0.05
+
+    def test_ablation_model_mispredicts_simulation(self):
+        ablated = paper_system(include_transfer_states=False)
+        result = optimize_weighted(ablated, 1.0)
+        sim = run_sim(
+            ablated,
+            OptimalCTMDPPolicy(result.policy, ablated.capacity),
+            busy_powerdown="preempt",
+        )
+        power_err = abs(
+            sim.average_power - result.metrics.average_power
+        ) / result.metrics.average_power
+        queue_err = abs(
+            sim.average_queue_length - result.metrics.average_queue_length
+        ) / max(result.metrics.average_queue_length, 1e-9)
+        # The lumped model is measurably off on at least one metric.
+        assert max(power_err, queue_err) > 0.05
+
+
+class TestGreedyAgreement:
+    def test_greedy(self, paper_model):
+        mdp = paper_model.build_ctmdp(0.0)
+        analytic = evaluate_dpm_policy(
+            paper_model, as_policy(mdp, greedy_assignment(paper_model))
+        )
+        sim = run_sim(paper_model, GreedyPolicy(paper_model.provider))
+        assert sim.average_power == pytest.approx(analytic.average_power, rel=0.04)

@@ -1,0 +1,66 @@
+"""Tests for the labeled CTMC convenience type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import ContinuousTimeMarkovChain
+
+
+class TestFromRates:
+    def test_builds_diagonal_automatically(self):
+        chain = ContinuousTimeMarkovChain.from_rates(
+            {("on", "off"): 2.0, ("off", "on"): 3.0}, states=("on", "off")
+        )
+        np.testing.assert_allclose(
+            chain.matrix, [[-2.0, 2.0], [3.0, -3.0]]
+        )
+
+    def test_rejects_explicit_self_rate(self):
+        with pytest.raises(ValueError, match="self-rate"):
+            ContinuousTimeMarkovChain.from_rates(
+                {("on", "on"): 1.0}, states=("on", "off")
+            )
+
+    def test_missing_rates_default_to_zero(self):
+        chain = ContinuousTimeMarkovChain.from_rates(
+            {("a", "b"): 1.0}, states=("a", "b")
+        )
+        assert chain.rate("b", "a") == 0.0
+
+
+class TestAnalysis:
+    @pytest.fixture
+    def chain(self, two_state_generator):
+        return ContinuousTimeMarkovChain(two_state_generator, states=("on", "off"))
+
+    def test_stationary_probabilities_by_label(self, chain):
+        probs = chain.stationary_probabilities()
+        assert probs["on"] == pytest.approx(0.6)
+        assert probs["off"] == pytest.approx(0.4)
+
+    def test_expected_value(self, chain):
+        assert chain.expected_value([10.0, 0.0]) == pytest.approx(6.0)
+
+    def test_expected_value_shape_check(self, chain):
+        with pytest.raises(ValueError):
+            chain.expected_value([1.0, 2.0, 3.0])
+
+    def test_structure_queries(self, chain):
+        assert chain.is_irreducible()
+        assert chain.is_connected()
+        assert chain.communicating_classes() == [frozenset({"on", "off"})]
+        assert chain.classify_states() == {"on": "recurrent", "off": "recurrent"}
+
+    def test_with_rewards_round_trip(self, chain):
+        mrp = chain.with_rewards([10.0, 0.0])
+        assert mrp.limiting_average_reward() == pytest.approx(6.0)
+
+    def test_transient_distribution_delegates(self, chain, two_state_generator):
+        from repro.markov.generator import transient_distribution
+
+        expected = transient_distribution(two_state_generator, [1.0, 0.0], 0.5)
+        np.testing.assert_allclose(
+            chain.transient_distribution([1.0, 0.0], 0.5), expected
+        )

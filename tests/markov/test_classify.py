@@ -1,0 +1,107 @@
+"""Tests for communicating classes and state classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.classify import (
+    classify_states,
+    communicating_classes,
+    is_connected,
+    is_irreducible,
+    recurrent_states,
+    transient_states,
+    transition_graph,
+)
+
+
+@pytest.fixture
+def transient_into_cycle() -> np.ndarray:
+    """State 0 drains into a 2-cycle {1, 2}: 0 is transient."""
+    return np.array(
+        [
+            [-1.0, 1.0, 0.0],
+            [0.0, -2.0, 2.0],
+            [0.0, 3.0, -3.0],
+        ]
+    )
+
+
+class TestCommunicatingClasses:
+    def test_irreducible_single_class(self, two_state_generator):
+        assert communicating_classes(two_state_generator) == [frozenset({0, 1})]
+
+    def test_disconnected_blocks(self, reducible_generator):
+        classes = communicating_classes(reducible_generator)
+        assert classes == [frozenset({0, 1}), frozenset({2, 3})]
+
+    def test_transient_state_is_own_class(self, transient_into_cycle):
+        classes = communicating_classes(transient_into_cycle)
+        assert frozenset({0}) in classes
+        assert frozenset({1, 2}) in classes
+
+    def test_classes_partition_states(self, transient_into_cycle):
+        classes = communicating_classes(transient_into_cycle)
+        union = set().union(*classes)
+        assert union == {0, 1, 2}
+        assert sum(len(c) for c in classes) == 3
+
+
+class TestIrreducibility:
+    def test_irreducible(self, three_state_cycle):
+        assert is_irreducible(three_state_cycle)
+
+    def test_reducible(self, reducible_generator):
+        assert not is_irreducible(reducible_generator)
+
+    def test_transient_state_breaks_irreducibility(self, transient_into_cycle):
+        assert not is_irreducible(transient_into_cycle)
+
+
+class TestConnectedness:
+    def test_paper_defn_weak_connectivity(self, transient_into_cycle):
+        # Not irreducible, but the graph is (weakly) connected.
+        assert is_connected(transient_into_cycle)
+
+    def test_disconnected(self, reducible_generator):
+        assert not is_connected(reducible_generator)
+
+    def test_single_state_connected(self):
+        assert is_connected(np.zeros((1, 1)))
+
+
+class TestClassification:
+    def test_all_recurrent_when_irreducible(self, three_state_cycle):
+        assert classify_states(three_state_cycle) == {
+            0: "recurrent",
+            1: "recurrent",
+            2: "recurrent",
+        }
+
+    def test_transient_vs_recurrent(self, transient_into_cycle):
+        assert classify_states(transient_into_cycle) == {
+            0: "transient",
+            1: "recurrent",
+            2: "recurrent",
+        }
+
+    def test_recurrent_and_transient_helpers(self, transient_into_cycle):
+        assert recurrent_states(transient_into_cycle) == [1, 2]
+        assert transient_states(transient_into_cycle) == [0]
+
+    def test_absorbing_state_is_recurrent(self, absorbing_generator):
+        assert classify_states(absorbing_generator) == {
+            0: "transient",
+            1: "recurrent",
+        }
+
+
+class TestTransitionGraph:
+    def test_edges_follow_positive_rates(self, two_state_generator):
+        graph = transition_graph(two_state_generator)
+        assert set(graph.edges()) == {(0, 1), (1, 0)}
+
+    def test_no_self_loops(self, three_state_cycle):
+        graph = transition_graph(three_state_cycle)
+        assert all(u != v for u, v in graph.edges())

@@ -1,0 +1,191 @@
+"""Tests for generator-matrix validation and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.errors import InvalidGeneratorError, NotIrreducibleError
+from repro.markov.generator import (
+    GeneratorMatrix,
+    embedded_jump_chain,
+    holding_rates,
+    stationary_distribution,
+    transient_distribution,
+    uniformization_rate,
+    uniformize,
+    validate_generator,
+)
+
+
+class TestValidateGenerator:
+    def test_accepts_valid_generator(self, two_state_generator):
+        out = validate_generator(two_state_generator)
+        np.testing.assert_allclose(out, two_state_generator)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidGeneratorError, match="square"):
+            validate_generator(np.zeros((2, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        g = np.array([[-1.0, 1.0], [-0.5, 0.5]])
+        with pytest.raises(InvalidGeneratorError, match="negative off-diagonal"):
+            validate_generator(g)
+
+    def test_rejects_positive_diagonal(self):
+        g = np.array([[1.0, -1.0], [1.0, -1.0]])
+        with pytest.raises(InvalidGeneratorError):
+            validate_generator(g)
+
+    def test_rejects_bad_row_sum(self):
+        g = np.array([[-1.0, 2.0], [1.0, -1.0]])
+        with pytest.raises(InvalidGeneratorError, match="row 0"):
+            validate_generator(g)
+
+    def test_rejects_nan(self):
+        g = np.array([[-1.0, np.nan], [1.0, -1.0]])
+        with pytest.raises(InvalidGeneratorError, match="non-finite"):
+            validate_generator(g)
+
+    def test_accepts_all_zero(self):
+        validate_generator(np.zeros((3, 3)))
+
+    def test_row_sum_tolerance_scales_with_magnitude(self):
+        # Large rates with relative rounding error should still validate.
+        g = np.array([[-1e8, 1e8 * (1 + 1e-12)], [1.0, -1.0]])
+        g[0, 0] = -g[0, 1]
+        validate_generator(g)
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self, two_state_generator):
+        p = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(p, [0.6, 0.4])
+
+    def test_cycle_is_uniform(self, three_state_cycle):
+        p = stationary_distribution(three_state_cycle)
+        np.testing.assert_allclose(p, [1 / 3] * 3)
+
+    def test_satisfies_balance(self, two_state_generator):
+        p = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(p @ two_state_generator, 0.0, atol=1e-12)
+
+    def test_single_state(self):
+        np.testing.assert_allclose(stationary_distribution(np.zeros((1, 1))), [1.0])
+
+    def test_reducible_raises(self, reducible_generator):
+        with pytest.raises(NotIrreducibleError):
+            stationary_distribution(reducible_generator)
+
+    def test_matches_long_time_transient(self, two_state_generator):
+        p_inf = stationary_distribution(two_state_generator)
+        p_t = transient_distribution(two_state_generator, [1.0, 0.0], 100.0)
+        np.testing.assert_allclose(p_t, p_inf, atol=1e-10)
+
+
+class TestTransientDistribution:
+    def test_zero_time_is_identity(self, two_state_generator):
+        p0 = np.array([0.3, 0.7])
+        np.testing.assert_allclose(
+            transient_distribution(two_state_generator, p0, 0.0), p0
+        )
+
+    def test_matches_expm(self, three_state_cycle):
+        p0 = np.array([1.0, 0.0, 0.0])
+        expected = p0 @ expm(three_state_cycle * 0.7)
+        np.testing.assert_allclose(
+            transient_distribution(three_state_cycle, p0, 0.7), expected
+        )
+
+    def test_distribution_stays_normalized(self, three_state_cycle):
+        p = transient_distribution(three_state_cycle, [1.0, 0.0, 0.0], 2.5)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_rejects_negative_time(self, two_state_generator):
+        with pytest.raises(ValueError):
+            transient_distribution(two_state_generator, [1.0, 0.0], -1.0)
+
+    def test_rejects_unnormalized_initial(self, two_state_generator):
+        with pytest.raises(InvalidGeneratorError, match="sums to"):
+            transient_distribution(two_state_generator, [0.5, 0.4], 1.0)
+
+    def test_rejects_wrong_shape(self, two_state_generator):
+        with pytest.raises(InvalidGeneratorError, match="shape"):
+            transient_distribution(two_state_generator, [1.0, 0.0, 0.0], 1.0)
+
+
+class TestUniformization:
+    def test_rate_is_max_exit_rate(self, two_state_generator):
+        assert uniformization_rate(two_state_generator) == pytest.approx(3.0)
+
+    def test_all_zero_generator_gets_unit_rate(self):
+        assert uniformization_rate(np.zeros((2, 2))) == 1.0
+
+    def test_rejects_slack_below_one(self, two_state_generator):
+        with pytest.raises(ValueError):
+            uniformization_rate(two_state_generator, slack=0.5)
+
+    def test_uniformized_matrix_is_stochastic(self, two_state_generator):
+        p, lam = uniformize(two_state_generator)
+        assert lam == pytest.approx(3.0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_preserves_stationary_distribution(self, two_state_generator):
+        p_mat, _ = uniformize(two_state_generator, rate=10.0)
+        pi = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(pi @ p_mat, pi, atol=1e-12)
+
+    def test_rejects_rate_below_max_exit(self, two_state_generator):
+        with pytest.raises(ValueError):
+            uniformize(two_state_generator, rate=1.0)
+
+
+class TestEmbeddedJumpChain:
+    def test_rows_normalized(self, two_state_generator):
+        p = embedded_jump_chain(two_state_generator)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        np.testing.assert_allclose(np.diag(p), 0.0)
+
+    def test_absorbing_state_self_loops(self, absorbing_generator):
+        p = embedded_jump_chain(absorbing_generator)
+        np.testing.assert_allclose(p[1], [0.0, 1.0])
+
+    def test_holding_rates(self, two_state_generator):
+        np.testing.assert_allclose(holding_rates(two_state_generator), [2.0, 3.0])
+
+
+class TestGeneratorMatrix:
+    def test_default_labels_are_indices(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator)
+        assert g.states == (0, 1)
+        assert g.n_states == 2
+
+    def test_custom_labels(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator, states=("on", "off"))
+        assert g.index_of("off") == 1
+        assert g.rate("on", "off") == pytest.approx(2.0)
+        assert g.exit_rate("off") == pytest.approx(3.0)
+
+    def test_unknown_state_raises_keyerror(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator, states=("on", "off"))
+        with pytest.raises(KeyError, match="unknown state"):
+            g.index_of("standby")
+
+    def test_duplicate_labels_rejected(self, two_state_generator):
+        with pytest.raises(InvalidGeneratorError, match="unique"):
+            GeneratorMatrix(two_state_generator, states=("x", "x"))
+
+    def test_label_count_mismatch_rejected(self, two_state_generator):
+        with pytest.raises(InvalidGeneratorError):
+            GeneratorMatrix(two_state_generator, states=("only-one",))
+
+    def test_stationary_probability_by_label(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator, states=("on", "off"))
+        assert g.stationary_probability("on") == pytest.approx(0.6)
+
+    def test_relabel(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator).relabel(("a", "b"))
+        assert g.states == ("a", "b")

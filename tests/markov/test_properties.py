@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the CTMC substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.markov.classify import communicating_classes, is_irreducible
+from repro.markov.generator import (
+    embedded_jump_chain,
+    stationary_distribution,
+    transient_distribution,
+    uniformize,
+    validate_generator,
+)
+from repro.markov.rewards import MarkovRewardProcess
+from repro.markov.tensor import tensor_sum
+
+
+def generators(min_states: int = 2, max_states: int = 6, min_rate: float = 0.0):
+    """Strategy: random valid generator matrices.
+
+    ``min_rate > 0`` yields dense (hence irreducible) generators.
+    """
+
+    def build(n, flat):
+        g = np.array(flat[: n * n]).reshape(n, n)
+        np.fill_diagonal(g, 0.0)
+        np.fill_diagonal(g, -g.sum(axis=1))
+        return g
+
+    return st.integers(min_states, max_states).flatmap(
+        lambda n: st.lists(
+            st.floats(min_rate, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=n * n,
+            max_size=n * n,
+        ).map(lambda flat: build(n, flat))
+    )
+
+
+dense_generators = generators(min_rate=0.05)
+
+
+class TestGeneratorProperties:
+    @given(g=generators())
+    def test_constructed_generators_validate(self, g):
+        validate_generator(g)
+
+    @given(g=dense_generators)
+    @settings(max_examples=40)
+    def test_stationary_is_distribution_and_balances(self, g):
+        p = stationary_distribution(g)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p @ g, 0.0, atol=1e-8)
+
+    @given(g=dense_generators, t=st.floats(0.0, 20.0))
+    @settings(max_examples=30)
+    def test_transient_stays_stochastic(self, g, t):
+        n = g.shape[0]
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        p = transient_distribution(g, p0, t)
+        assert p.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(p >= -1e-10)
+
+    @given(g=dense_generators)
+    @settings(max_examples=30)
+    def test_uniformization_preserves_stationary(self, g):
+        p_mat, lam = uniformize(g)
+        pi = stationary_distribution(g)
+        np.testing.assert_allclose(pi @ p_mat, pi, atol=1e-8)
+        assert lam > 0
+
+    @given(g=generators())
+    @settings(max_examples=40)
+    def test_jump_chain_rows_stochastic(self, g):
+        p = embedded_jump_chain(g)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(p >= 0)
+
+    @given(g=generators())
+    @settings(max_examples=40)
+    def test_classes_partition(self, g):
+        classes = communicating_classes(g)
+        members = sorted(i for c in classes for i in c)
+        assert members == list(range(g.shape[0]))
+
+    @given(g=dense_generators)
+    @settings(max_examples=30)
+    def test_dense_generators_irreducible(self, g):
+        assert is_irreducible(g)
+
+
+class TestTensorProperties:
+    @given(a=dense_generators, b=dense_generators)
+    @settings(max_examples=20)
+    def test_tensor_sum_generator_and_stationary_factorizes(self, a, b):
+        joint = tensor_sum(a, b)
+        validate_generator(joint)
+        pi = stationary_distribution(joint)
+        np.testing.assert_allclose(
+            pi,
+            np.kron(stationary_distribution(a), stationary_distribution(b)),
+            atol=1e-7,
+        )
+
+
+class TestRewardProperties:
+    @given(
+        g=dense_generators,
+        seed=st.integers(0, 2**31 - 1),
+        t=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=25)
+    def test_total_reward_additive_in_rewards(self, g, seed, t):
+        # v(t; r1 + r2) = v(t; r1) + v(t; r2): the map is linear.
+        rng = np.random.default_rng(seed)
+        n = g.shape[0]
+        r1 = rng.uniform(-5, 5, n)
+        r2 = rng.uniform(-5, 5, n)
+        v1 = MarkovRewardProcess(g, r1).expected_total_reward(t)
+        v2 = MarkovRewardProcess(g, r2).expected_total_reward(t)
+        v12 = MarkovRewardProcess(g, r1 + r2).expected_total_reward(t)
+        np.testing.assert_allclose(v12, v1 + v2, atol=1e-6, rtol=1e-6)
+
+    @given(g=dense_generators, a=st.floats(0.01, 5.0))
+    @settings(max_examples=25)
+    def test_discounted_bounded_by_extremes(self, g, a):
+        # min(r)/a <= v_i <= max(r)/a for every state.
+        n = g.shape[0]
+        r = np.linspace(-3.0, 7.0, n)
+        v = MarkovRewardProcess(g, r).discounted_reward(a)
+        assert np.all(v >= r.min() / a - 1e-8)
+        assert np.all(v <= r.max() / a + 1e-8)

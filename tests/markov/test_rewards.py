@@ -1,0 +1,142 @@
+"""Tests for Markov reward processes (Eqn. 2.5 and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidModelError
+from repro.markov.generator import GeneratorMatrix
+from repro.markov.rewards import MarkovRewardProcess, earning_rates
+
+
+class TestEarningRates:
+    def test_rate_rewards_only(self, two_state_generator):
+        r = earning_rates(two_state_generator, [5.0, 1.0])
+        np.testing.assert_allclose(r, [5.0, 1.0])
+
+    def test_impulse_rewards_fold_in(self, two_state_generator):
+        # r_i = r_ii + sum_j s_ij * r_ij (Section II).
+        imp = np.array([[0.0, 10.0], [20.0, 0.0]])
+        r = earning_rates(two_state_generator, [5.0, 1.0], imp)
+        np.testing.assert_allclose(r, [5.0 + 2.0 * 10.0, 1.0 + 3.0 * 20.0])
+
+    def test_impulse_diagonal_ignored(self, two_state_generator):
+        imp = np.array([[99.0, 0.0], [0.0, 99.0]])
+        r = earning_rates(two_state_generator, [0.0, 0.0], imp)
+        np.testing.assert_allclose(r, [0.0, 0.0])
+
+    def test_shape_mismatch_raises(self, two_state_generator):
+        with pytest.raises(InvalidModelError):
+            earning_rates(two_state_generator, [1.0, 2.0, 3.0])
+        with pytest.raises(InvalidModelError):
+            earning_rates(two_state_generator, [1.0, 2.0], np.zeros((3, 3)))
+
+
+class TestExpectedTotalReward:
+    def test_zero_horizon_is_zero(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [1.0, 2.0])
+        np.testing.assert_allclose(mrp.expected_total_reward(0.0), [0.0, 0.0])
+
+    def test_constant_reward_accumulates_linearly(self, two_state_generator):
+        # Identical rate everywhere: v_i(t) = r * t regardless of dynamics.
+        mrp = MarkovRewardProcess(two_state_generator, [4.0, 4.0])
+        np.testing.assert_allclose(mrp.expected_total_reward(2.5), [10.0, 10.0])
+
+    def test_matches_numerical_integration(self, two_state_generator):
+        # v_i(t) = integral_0^t sum_j p_ij(s) r_j ds, checked by quadrature.
+        from scipy.linalg import expm
+
+        rewards = np.array([3.0, -1.0])
+        mrp = MarkovRewardProcess(two_state_generator, rewards)
+        t_end = 1.7
+        ts = np.linspace(0.0, t_end, 4001)
+        integrand = np.stack([expm(two_state_generator * t) @ rewards for t in ts])
+        expected = np.trapezoid(integrand, ts, axis=0)
+        np.testing.assert_allclose(
+            mrp.expected_total_reward(t_end), expected, rtol=1e-6
+        )
+
+    def test_long_horizon_slope_is_gain(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [3.0, -1.0])
+        gain = mrp.limiting_average_reward()
+        v10 = mrp.expected_total_reward(10.0)
+        v11 = mrp.expected_total_reward(11.0)
+        np.testing.assert_allclose(v11 - v10, gain, atol=1e-8)
+
+    def test_negative_horizon_raises(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            mrp.expected_total_reward(-1.0)
+
+
+class TestLimitingAverageReward:
+    def test_is_stationary_expectation(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [10.0, 0.0])
+        assert mrp.limiting_average_reward() == pytest.approx(6.0)  # p_on = 0.6
+
+    def test_with_impulse_rewards(self, two_state_generator):
+        imp = np.array([[0.0, 1.0], [1.0, 0.0]])
+        mrp = MarkovRewardProcess(two_state_generator, [0.0, 0.0], imp)
+        # Jump rate on->off is 0.6*2, off->on is 0.4*3; each jump earns 1.
+        assert mrp.limiting_average_reward() == pytest.approx(0.6 * 2 + 0.4 * 3)
+
+
+class TestDiscountedReward:
+    def test_solves_resolvent_equation(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [2.0, 5.0])
+        a = 0.3
+        v = mrp.discounted_reward(a)
+        residual = a * v - two_state_generator @ v - mrp.earning_rate
+        np.testing.assert_allclose(residual, 0.0, atol=1e-10)
+
+    def test_small_discount_approaches_gain(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [2.0, 5.0])
+        gain = mrp.limiting_average_reward()
+        for a in (1e-3, 1e-5):
+            v = mrp.discounted_reward(a)
+            np.testing.assert_allclose(a * v, gain, rtol=5e-3 if a == 1e-3 else 5e-5)
+
+    def test_constant_reward_gives_r_over_a(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [7.0, 7.0])
+        np.testing.assert_allclose(mrp.discounted_reward(0.5), [14.0, 14.0])
+
+    def test_nonpositive_discount_raises(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            mrp.discounted_reward(0.0)
+
+
+class TestBias:
+    def test_bias_equation(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [3.0, -2.0])
+        h = mrp.bias()
+        gain = mrp.limiting_average_reward()
+        residual = two_state_generator @ h - (gain - mrp.earning_rate)
+        np.testing.assert_allclose(residual, 0.0, atol=1e-9)
+
+    def test_bias_orthogonal_to_stationary(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [3.0, -2.0])
+        p = GeneratorMatrix(two_state_generator).stationary_distribution()
+        assert float(p @ mrp.bias()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bias_predicts_finite_horizon_offset(self, two_state_generator):
+        # v_i(t) ~ g t + h_i for large t.
+        mrp = MarkovRewardProcess(two_state_generator, [3.0, -2.0])
+        gain = mrp.limiting_average_reward()
+        h = mrp.bias()
+        t = 50.0
+        np.testing.assert_allclose(
+            mrp.expected_total_reward(t), gain * t + h, atol=1e-8
+        )
+
+
+class TestConstruction:
+    def test_accepts_generator_matrix_object(self, two_state_generator):
+        g = GeneratorMatrix(two_state_generator, states=("on", "off"))
+        mrp = MarkovRewardProcess(g, [1.0, 0.0])
+        assert mrp.generator.states == ("on", "off")
+
+    def test_wraps_raw_matrix(self, two_state_generator):
+        mrp = MarkovRewardProcess(two_state_generator, [1.0, 0.0])
+        assert mrp.generator.n_states == 2

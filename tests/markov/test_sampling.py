@@ -1,0 +1,68 @@
+"""Tests for CTMC trajectory sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.generator import stationary_distribution
+from repro.markov.sampling import SampledPath, TrajectorySampler, sample_path
+
+
+class TestSampledPath:
+    def test_occupancy_accounts_full_horizon(self):
+        path = SampledPath(states=[0, 1], times=[0.0, 3.0], t_end=10.0)
+        occ = path.occupancy(2)
+        np.testing.assert_allclose(occ, [0.3, 0.7])
+        assert path.n_jumps == 1
+
+    def test_occupancy_sums_to_one(self):
+        path = SampledPath(states=[0, 1, 0], times=[0.0, 1.0, 4.0], t_end=5.0)
+        assert path.occupancy(2).sum() == pytest.approx(1.0)
+
+
+class TestTrajectorySampler:
+    def test_reproducible_with_seeded_rng(self, two_state_generator):
+        p1 = sample_path(
+            two_state_generator, 0, 50.0, rng=np.random.default_rng(3)
+        )
+        p2 = sample_path(
+            two_state_generator, 0, 50.0, rng=np.random.default_rng(3)
+        )
+        assert p1.states == p2.states
+        assert p1.times == p2.times
+
+    def test_occupancy_converges_to_stationary(self, two_state_generator):
+        sampler = TrajectorySampler(two_state_generator, np.random.default_rng(7))
+        path = sampler.sample(0, 20_000.0)
+        pi = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(path.occupancy(2), pi, atol=0.02)
+
+    def test_absorbing_state_stops_sampling(self, absorbing_generator):
+        path = sample_path(
+            absorbing_generator, 0, 1000.0, rng=np.random.default_rng(0)
+        )
+        assert path.states[-1] == 1
+        # Once absorbed, no further jumps.
+        assert path.states.count(1) == 1
+
+    def test_jump_targets_follow_positive_rates(self, three_state_cycle):
+        path = sample_path(
+            three_state_cycle, 0, 200.0, rng=np.random.default_rng(1)
+        )
+        for src, dst in zip(path.states, path.states[1:]):
+            assert three_state_cycle[src, dst] > 0
+
+    def test_invalid_inputs(self, two_state_generator):
+        sampler = TrajectorySampler(two_state_generator)
+        with pytest.raises(ValueError):
+            sampler.sample(0, -1.0)
+        with pytest.raises(ValueError):
+            sampler.sample(5, 1.0)
+
+    def test_labels_carried(self, two_state_generator):
+        from repro.markov.generator import GeneratorMatrix
+
+        gen = GeneratorMatrix(two_state_generator, states=("on", "off"))
+        path = TrajectorySampler(gen, np.random.default_rng(0)).sample(0, 5.0)
+        assert path.labels == ("on", "off")

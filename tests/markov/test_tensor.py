@@ -1,0 +1,67 @@
+"""Tests for tensor (Kronecker) products and sums (Definition 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.generator import stationary_distribution, validate_generator
+from repro.markov.tensor import product_states, tensor_product, tensor_sum
+
+
+class TestTensorProduct:
+    def test_matches_definition_4_4(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        c = tensor_product(a, b)
+        expected = np.block([[1.0 * b, 2.0 * b], [3.0 * b, 4.0 * b]])
+        np.testing.assert_allclose(c, expected)
+
+    def test_identity_is_neutral(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(tensor_product(np.eye(1), a), a)
+
+
+class TestTensorSum:
+    def test_matches_definition_4_4(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0]])
+        expected = np.kron(a, np.eye(2)) + np.kron(np.eye(2), b)
+        np.testing.assert_allclose(tensor_sum(a, b), expected)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            tensor_sum(np.zeros((2, 3)), np.eye(2))
+        with pytest.raises(ValueError):
+            tensor_sum(np.eye(2), np.zeros((2, 3)))
+
+    def test_sum_of_generators_is_generator(
+        self, two_state_generator, three_state_cycle
+    ):
+        joint = tensor_sum(two_state_generator, three_state_cycle)
+        validate_generator(joint)
+
+    def test_independent_composition_stationary_factorizes(
+        self, two_state_generator, three_state_cycle
+    ):
+        # The tensor sum models independent parallel evolution, so the
+        # joint stationary distribution is the outer product.
+        joint = tensor_sum(two_state_generator, three_state_cycle)
+        pa = stationary_distribution(two_state_generator)
+        pb = stationary_distribution(three_state_cycle)
+        np.testing.assert_allclose(
+            stationary_distribution(joint), np.kron(pa, pb), atol=1e-12
+        )
+
+
+class TestProductStates:
+    def test_ordering_matches_kron_layout(self):
+        labels = product_states(("a", "b"), (0, 1, 2))
+        assert labels == [
+            ("a", 0),
+            ("a", 1),
+            ("a", 2),
+            ("b", 0),
+            ("b", 1),
+            ("b", 2),
+        ]

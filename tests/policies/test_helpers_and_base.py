@@ -1,0 +1,70 @@
+"""Tests for the policy interface and shared command plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.base import Decision, SystemView
+from repro.policies.helpers import command_if_needed
+
+
+def make_view(
+    paper_provider,
+    mode="active",
+    switch_target=None,
+    in_transfer=False,
+    occupancy=0,
+    event="arrival",
+):
+    return SystemView(
+        time=1.0,
+        event=event,
+        mode=mode,
+        switch_target=switch_target,
+        in_transfer=in_transfer,
+        occupancy=occupancy,
+        waiting_count=max(0, occupancy - 1),
+        is_serving=occupancy > 0,
+        capacity=5,
+        arrival_lost=False,
+        provider=paper_provider,
+    )
+
+
+class TestCommandIfNeeded:
+    def test_none_desired_no_command(self, paper_provider):
+        d = command_if_needed(make_view(paper_provider), None)
+        assert d.command is None and d.recheck_after is None
+
+    def test_already_there_no_command(self, paper_provider):
+        d = command_if_needed(make_view(paper_provider, mode="active"), "active")
+        assert d.command is None
+
+    def test_already_heading_no_command(self, paper_provider):
+        view = make_view(paper_provider, mode="active", switch_target="sleeping")
+        d = command_if_needed(view, "sleeping")
+        assert d.command is None
+
+    def test_redirect_issues_command(self, paper_provider):
+        view = make_view(paper_provider, mode="active", switch_target="sleeping")
+        d = command_if_needed(view, "waiting")
+        assert d.command == "waiting"
+
+    def test_transfer_always_explicit(self, paper_provider):
+        view = make_view(paper_provider, mode="active", in_transfer=True)
+        d = command_if_needed(view, "active")
+        assert d.command == "active"  # explicit stay resolves the transfer
+
+    def test_recheck_passthrough(self, paper_provider):
+        d = command_if_needed(make_view(paper_provider), None, recheck_after=2.0)
+        assert d.recheck_after == 2.0
+
+
+class TestSystemView:
+    def test_is_idle(self, paper_provider):
+        assert make_view(paper_provider, occupancy=0).is_idle
+        assert not make_view(paper_provider, occupancy=2).is_idle
+
+    def test_decision_defaults(self):
+        d = Decision()
+        assert d.command is None and d.recheck_after is None

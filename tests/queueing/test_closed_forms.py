@@ -1,0 +1,166 @@
+"""Tests for the closed-form queueing references.
+
+Each closed form is checked internally (formula identities) and against
+the generic CTMC stationary solver on the corresponding birth-death
+generator -- two independent code paths agreeing on textbook numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidModelError
+from repro.markov.generator import stationary_distribution
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1k import MM1KQueue
+from repro.queueing.npolicy_mm1 import NPolicyMM1Queue
+
+
+class TestMM1:
+    @pytest.fixture
+    def queue(self):
+        return MM1Queue(arrival_rate=1.0, service_rate=2.0)  # rho = 0.5
+
+    def test_utilization(self, queue):
+        assert queue.utilization == 0.5
+
+    def test_mean_number_in_system(self, queue):
+        assert queue.mean_number_in_system() == pytest.approx(1.0)
+
+    def test_littles_law(self, queue):
+        assert queue.mean_number_in_system() == pytest.approx(
+            queue.arrival_rate * queue.mean_sojourn_time()
+        )
+        assert queue.mean_number_waiting() == pytest.approx(
+            queue.arrival_rate * queue.mean_waiting_time()
+        )
+
+    def test_sojourn_decomposition(self, queue):
+        # W = Wq + 1/mu.
+        assert queue.mean_sojourn_time() == pytest.approx(
+            queue.mean_waiting_time() + 1.0 / queue.service_rate
+        )
+
+    def test_state_probabilities_geometric(self, queue):
+        probs = [queue.state_probability(n) for n in range(30)]
+        assert probs[0] == pytest.approx(0.5)
+        assert sum(probs) == pytest.approx(1.0, abs=1e-6)
+
+    def test_against_truncated_ctmc(self, queue):
+        g = queue.birth_death_generator(truncation=60)
+        pi = stationary_distribution(g)
+        expected = [queue.state_probability(n) for n in range(60)]
+        np.testing.assert_allclose(pi, expected, atol=1e-8)
+
+    def test_stability_required(self):
+        with pytest.raises(InvalidModelError):
+            MM1Queue(2.0, 1.0)
+        with pytest.raises(InvalidModelError):
+            MM1Queue(0.0, 1.0)
+
+
+class TestMM1K:
+    @pytest.fixture
+    def queue(self):
+        # The paper's queue under always-on: lambda=1/6, mu=1/1.5, K=5.
+        return MM1KQueue(1 / 6, 1 / 1.5, capacity=5)
+
+    def test_probabilities_normalize(self, queue):
+        assert queue.state_probabilities().sum() == pytest.approx(1.0)
+
+    def test_against_exact_ctmc(self, queue):
+        pi = stationary_distribution(queue.birth_death_generator())
+        np.testing.assert_allclose(pi, queue.state_probabilities(), atol=1e-12)
+
+    def test_blocking_is_last_state(self, queue):
+        assert queue.blocking_probability() == pytest.approx(
+            float(queue.state_probabilities()[-1])
+        )
+
+    def test_throughput_below_arrival_rate(self, queue):
+        assert 0 < queue.throughput() < queue.arrival_rate
+
+    def test_littles_law_on_accepted_traffic(self, queue):
+        assert queue.mean_number_in_system() == pytest.approx(
+            queue.throughput() * queue.mean_sojourn_time()
+        )
+
+    def test_rho_equal_one_uniform(self):
+        q = MM1KQueue(1.0, 1.0, capacity=4)
+        np.testing.assert_allclose(q.state_probabilities(), 0.2)
+
+    def test_overloaded_queue_allowed(self):
+        q = MM1KQueue(3.0, 1.0, capacity=3)
+        assert q.blocking_probability() > 0.5
+
+    def test_large_k_approaches_mm1(self):
+        mm1 = MM1Queue(1.0, 2.0)
+        mm1k = MM1KQueue(1.0, 2.0, capacity=80)
+        assert mm1k.mean_number_in_system() == pytest.approx(
+            mm1.mean_number_in_system(), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            MM1KQueue(1.0, 1.0, capacity=0)
+        with pytest.raises(InvalidModelError):
+            MM1KQueue(-1.0, 1.0, capacity=2)
+
+
+class TestNPolicyMM1:
+    def test_n1_reduces_to_mm1_length(self):
+        np1 = NPolicyMM1Queue(1.0, 2.0, n=1)
+        mm1 = MM1Queue(1.0, 2.0)
+        assert np1.mean_number_in_system() == pytest.approx(
+            mm1.mean_number_in_system()
+        )
+
+    def test_accumulation_penalty(self):
+        # L grows by (N-1)/2.
+        base = NPolicyMM1Queue(1.0, 2.0, n=1).mean_number_in_system()
+        for n in (2, 3, 5):
+            q = NPolicyMM1Queue(1.0, 2.0, n=n)
+            assert q.mean_number_in_system() == pytest.approx(base + (n - 1) / 2)
+
+    def test_off_fraction_independent_of_n(self):
+        for n in (1, 2, 7):
+            q = NPolicyMM1Queue(1.0, 4.0, n=n)
+            assert q.off_fraction() == pytest.approx(0.75)
+
+    def test_cycle_length(self):
+        q = NPolicyMM1Queue(1.0, 2.0, n=3)
+        # N/lambda accumulation + N/(mu - lambda) busy.
+        assert q.mean_cycle_length() == pytest.approx(3.0 + 3.0)
+
+    def test_average_power_decreases_with_n(self):
+        powers = [
+            NPolicyMM1Queue(1.0, 2.0, n=n).average_power(10.0, 0.5, 5.0)
+            for n in (1, 2, 4, 8)
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_power_components(self):
+        q = NPolicyMM1Queue(1.0, 2.0, n=2)
+        # rho P_on + (1-rho) P_off + E_cycle / E[C].
+        expected = 0.5 * 10.0 + 0.5 * 0.5 + 5.0 / q.mean_cycle_length()
+        assert q.average_power(10.0, 0.5, 5.0) == pytest.approx(expected)
+
+    def test_two_state_npolicy_tradeoff_is_pareto(self):
+        # The Section-V claim: for a 2-state server the N-policy family
+        # is Pareto-ordered -- more delay always buys less power, so no
+        # member dominates another (nothing to gain from other policies
+        # at the same delay in this family).
+        queues = [NPolicyMM1Queue(1.0, 2.0, n=n) for n in range(1, 8)]
+        delays = [q.mean_number_in_system() for q in queues]
+        powers = [q.average_power(10.0, 0.5, 5.0) for q in queues]
+        assert delays == sorted(delays)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            NPolicyMM1Queue(2.0, 1.0, n=1)
+        with pytest.raises(InvalidModelError):
+            NPolicyMM1Queue(1.0, 2.0, n=0)
+        with pytest.raises(InvalidModelError):
+            NPolicyMM1Queue(1.0, 2.0, n=1).average_power(-1.0, 0.0, 0.0)

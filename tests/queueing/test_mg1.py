@@ -1,0 +1,87 @@
+"""Tests for the M/G/1 Pollaczek--Khinchine closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidModelError
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+
+
+class TestMG1ClosedForm:
+    def test_scv1_reduces_to_mm1(self):
+        mg1 = MG1Queue(1.0, 0.5, service_scv=1.0)
+        mm1 = MM1Queue(1.0, 2.0)
+        assert mg1.mean_waiting_time() == pytest.approx(mm1.mean_waiting_time())
+        assert mg1.mean_sojourn_time() == pytest.approx(mm1.mean_sojourn_time())
+        assert mg1.mean_number_in_system() == pytest.approx(
+            mm1.mean_number_in_system()
+        )
+
+    def test_md1_halves_queueing_delay(self):
+        md1 = MG1Queue(1.0, 0.5, service_scv=0.0)
+        mm1 = MG1Queue(1.0, 0.5, service_scv=1.0)
+        assert md1.mean_waiting_time() == pytest.approx(
+            0.5 * mm1.mean_waiting_time()
+        )
+
+    def test_waiting_monotone_in_scv(self):
+        waits = [
+            MG1Queue(1.0, 0.5, service_scv=scv).mean_waiting_time()
+            for scv in (0.0, 0.25, 1.0, 4.0)
+        ]
+        assert waits == sorted(waits)
+
+    def test_littles_law(self):
+        q = MG1Queue(0.8, 0.9, service_scv=2.0)
+        assert q.mean_number_in_system() == pytest.approx(
+            q.arrival_rate * q.mean_sojourn_time()
+        )
+        assert q.mean_number_waiting() == pytest.approx(
+            q.arrival_rate * q.mean_waiting_time()
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            MG1Queue(1.0, 1.0, 1.0)  # rho = 1
+        with pytest.raises(InvalidModelError):
+            MG1Queue(1.0, 0.5, -0.1)
+        with pytest.raises(InvalidModelError):
+            MG1Queue(0.0, 0.5, 1.0)
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize(
+        "dist_name, scv",
+        [("deterministic", 0.0), ("erlang4", 0.25), ("h2", 4.0)],
+    )
+    def test_pk_formula_matches_simulation(self, paper_provider, dist_name, scv):
+        """Always-on server + deep queue ~ M/G/1; the simulated sojourn
+        must match Pollaczek-Khinchine for each service distribution."""
+        from repro.policies import AlwaysOnPolicy
+        from repro.sim import PoissonProcess, simulate
+        from repro.sim.distributions import (
+            DeterministicService,
+            ErlangService,
+            HyperexponentialService,
+        )
+
+        dist = {
+            "deterministic": DeterministicService(),
+            "erlang4": ErlangService(4),
+            "h2": HyperexponentialService(4.0),
+        }[dist_name]
+        lam, mean_service = 1.0 / 3.0, 1.5  # rho = 0.5
+        sim = simulate(
+            provider=paper_provider,
+            capacity=200,  # effectively infinite
+            workload=PoissonProcess(lam),
+            policy=AlwaysOnPolicy(paper_provider),
+            n_requests=40_000,
+            seed=5,
+            initial_mode="active",
+            service_distribution=dist,
+        )
+        expected = MG1Queue(lam, mean_service, scv).mean_sojourn_time()
+        assert sim.average_waiting_time == pytest.approx(expected, rel=0.06)

@@ -1,0 +1,155 @@
+"""Tests for the simulation timeline recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.policies import GreedyPolicy, NPolicy
+from repro.sim import PoissonProcess, TraceArrivals, simulate
+from repro.sim.recorder import ModeSegment, TimelineRecorder
+
+LAM = 1.0 / 6.0
+
+
+@pytest.fixture
+def recorded(paper_provider):
+    recorder = TimelineRecorder()
+    result = simulate(
+        provider=paper_provider,
+        capacity=5,
+        workload=PoissonProcess(LAM),
+        policy=GreedyPolicy(paper_provider),
+        n_requests=400,
+        seed=6,
+        recorder=recorder,
+    )
+    return recorder, result
+
+
+class TestModeSegments:
+    def test_segments_are_contiguous(self, recorded):
+        recorder, result = recorded
+        segments = recorder.mode_segments
+        assert segments[0].start == 0.0
+        assert segments[-1].end == pytest.approx(result.elapsed)
+        for a, b in zip(segments, segments[1:]):
+            assert b.start == pytest.approx(a.end)
+            assert b.mode != a.mode  # segments merge equal neighbors
+
+    def test_durations_match_mode_residency(self, recorded):
+        recorder, result = recorded
+        for mode, residency in result.mode_residency.items():
+            recorded_time = sum(
+                s.duration for s in recorder.mode_segments if s.mode == mode
+            )
+            assert recorded_time == pytest.approx(residency, rel=1e-9)
+
+    def test_mode_at_lookup(self, recorded):
+        recorder, _ = recorded
+        first = recorder.mode_segments[0]
+        assert recorder.mode_at(first.start) == first.mode
+        mid = 0.5 * (first.start + first.end)
+        assert recorder.mode_at(mid) == first.mode
+
+    def test_unfinalized_rejects_queries(self):
+        recorder = TimelineRecorder()
+        recorder.record_mode(0.0, "sleeping")
+        with pytest.raises(SimulationError, match="finalized"):
+            recorder.mode_segments
+
+
+class TestEnergyAccounting:
+    def test_total_energy_matches_stats(self, recorded, paper_provider):
+        recorder, result = recorded
+        energy = recorder.energy_between(paper_provider, 0.0, result.elapsed)
+        # A switch completing exactly at the end boundary may fall
+        # outside the half-open interval: allow one switch of slack.
+        assert energy == pytest.approx(
+            result.average_power * result.elapsed, abs=30.0
+        )
+
+    def test_subinterval_energy_additive(self, recorded, paper_provider):
+        recorder, result = recorded
+        t_mid = result.elapsed / 2
+        total = recorder.energy_between(paper_provider, 0.0, result.elapsed)
+        first = recorder.energy_between(paper_provider, 0.0, t_mid)
+        second = recorder.energy_between(paper_provider, t_mid, result.elapsed)
+        assert first + second == pytest.approx(total, rel=1e-9)
+
+    def test_empty_interval_rejected(self, recorded, paper_provider):
+        recorder, _ = recorded
+        with pytest.raises(SimulationError):
+            recorder.energy_between(paper_provider, 5.0, 1.0)
+
+
+class TestQueueAndRequests:
+    def test_queue_steps_monotone_times(self, recorded):
+        recorder, _ = recorded
+        times = [t for t, _ in recorder.queue_steps]
+        assert times == sorted(times)
+
+    def test_occupancy_lookup(self, recorded):
+        recorder, _ = recorded
+        assert recorder.occupancy_at(0.0) == 0
+        t, level = recorder.queue_steps[1]
+        assert recorder.occupancy_at(t) == level
+
+    def test_request_conservation(self, recorded):
+        recorder, result = recorded
+        completed = [r for r in recorder.requests if r.departure_time is not None]
+        lost = [r for r in recorder.requests if r.lost]
+        assert len(completed) == result.n_completed
+        assert len(lost) == result.n_lost
+        assert len(recorder.requests) == result.n_generated
+
+    def test_lifecycle_ordering(self, recorded):
+        recorder, _ = recorded
+        for r in recorder.requests:
+            if r.service_start_time is not None:
+                assert r.service_start_time >= r.arrival_time
+            if r.departure_time is not None:
+                assert r.departure_time >= r.service_start_time
+
+    def test_unserved_requests_recorded(self, paper_provider):
+        from repro.policies.base import Decision, PowerManagementPolicy
+
+        class NeverWake(PowerManagementPolicy):
+            def decide(self, view):
+                return Decision()
+
+        recorder = TimelineRecorder()
+        simulate(
+            paper_provider, 5, TraceArrivals([1.0, 2.0]), NeverWake(),
+            n_requests=2, seed=0, recorder=recorder,
+        )
+        unserved = [
+            r for r in recorder.requests if r.departure_time is None and not r.lost
+        ]
+        assert len(unserved) == 2
+
+
+class TestBusyFraction:
+    def test_fractions_sum_to_one(self, recorded):
+        recorder, _ = recorded
+        total = sum(
+            recorder.busy_fraction(m)
+            for m in ("active", "waiting", "sleeping")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_lazy_policy_sleeps_more(self, paper_provider):
+        fractions = {}
+        for n in (1, 4):
+            recorder = TimelineRecorder()
+            simulate(
+                paper_provider, 5, PoissonProcess(LAM), NPolicy(n, paper_provider),
+                n_requests=2000, seed=8, recorder=recorder,
+            )
+            fractions[n] = recorder.busy_fraction("sleeping")
+        assert fractions[4] > fractions[1]
+
+
+class TestModeSegmentType:
+    def test_duration(self):
+        assert ModeSegment("active", 1.0, 3.5).duration == 2.5

@@ -1,0 +1,175 @@
+"""Tests for random streams and arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidModelError
+from repro.sim.rng import RandomStreams
+from repro.sim.workload import (
+    MMPPProcess,
+    PiecewiseRateProcess,
+    PoissonProcess,
+    TraceArrivals,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_reproducible_across_instances(self):
+        a = RandomStreams(42).stream("arrivals").random(5)
+        b = RandomStreams(42).stream("arrivals").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent_of_request_order(self):
+        s1 = RandomStreams(42)
+        s1.stream("x")
+        first = s1.stream("arrivals").random(3)
+        s2 = RandomStreams(42)
+        second = s2.stream("arrivals").random(3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_names_differ(self):
+        s = RandomStreams(0)
+        assert not np.array_equal(s.stream("a").random(4), s.stream("b").random(4))
+
+    def test_exponential_helper(self):
+        s = RandomStreams(0)
+        draws = [s.exponential("svc", 2.0) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+        with pytest.raises(ValueError):
+            s.exponential("svc", 0.0)
+
+
+class TestPoissonProcess:
+    def test_mean_interarrival(self):
+        p = PoissonProcess(0.5)
+        p.reset(np.random.default_rng(0))
+        t, gaps = 0.0, []
+        for _ in range(4000):
+            nxt = p.next_arrival(t)
+            gaps.append(nxt - t)
+            t = nxt
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.05)
+
+    def test_requires_reset(self):
+        with pytest.raises(InvalidModelError):
+            PoissonProcess(1.0).next_arrival(0.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(InvalidModelError):
+            PoissonProcess(0.0)
+
+
+class TestPiecewiseRateProcess:
+    def test_rate_at_segments(self):
+        p = PiecewiseRateProcess([(10.0, 1.0), (10.0, 5.0)])
+        assert p.rate_at(0.0) == 1.0
+        assert p.rate_at(9.99) == 1.0
+        assert p.rate_at(10.0) == 5.0
+        assert p.rate_at(1e6) == 5.0  # final rate holds forever
+
+    def test_empirical_rates_per_segment(self):
+        p = PiecewiseRateProcess([(1000.0, 0.5), (1000.0, 4.0)])
+        p.reset(np.random.default_rng(3))
+        t, first, second = 0.0, 0, 0
+        while t < 2000.0:
+            t = p.next_arrival(t)
+            if t < 1000.0:
+                first += 1
+            elif t < 2000.0:
+                second += 1
+        assert first == pytest.approx(500, rel=0.2)
+        assert second == pytest.approx(4000, rel=0.1)
+
+    def test_arrivals_strictly_increase(self):
+        p = PiecewiseRateProcess([(5.0, 10.0), (5.0, 0.1)])
+        p.reset(np.random.default_rng(1))
+        t, prev = 0.0, -1.0
+        for _ in range(200):
+            t = p.next_arrival(t)
+            assert t > prev
+            prev = t
+
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            PiecewiseRateProcess([])
+        with pytest.raises(InvalidModelError):
+            PiecewiseRateProcess([(1.0, -2.0)])
+
+
+class TestMMPPProcess:
+    def test_long_run_rate_matches_stationary_mix(self):
+        from repro.markov.generator import stationary_distribution
+
+        modulator = np.array([[-0.1, 0.1], [0.3, -0.3]])
+        rates = (9.0, 1.0)
+        p = MMPPProcess(rates, modulator)
+        p.reset(np.random.default_rng(5))
+        horizon = 20_000.0
+        t, count = 0.0, 0
+        while True:
+            t = p.next_arrival(t)
+            if t > horizon:
+                break
+            count += 1
+        pi = stationary_distribution(modulator)
+        expected = float(pi @ np.array(rates))
+        assert count / horizon == pytest.approx(expected, rel=0.05)
+
+    def test_zero_rate_phase_produces_gaps(self):
+        # On/off source: no arrivals while "off".
+        modulator = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        p = MMPPProcess((100.0, 0.0), modulator)
+        p.reset(np.random.default_rng(2))
+        t = 0.0
+        gaps = []
+        for _ in range(3000):
+            nxt = p.next_arrival(t)
+            gaps.append(nxt - t)
+            t = nxt
+        # Burst gaps ~10 ms; off periods ~1 s appear as outliers.
+        assert max(gaps) > 0.5
+        assert np.median(gaps) < 0.05
+
+    def test_validation(self):
+        good_mod = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(InvalidModelError):
+            MMPPProcess((1.0,), good_mod)  # shape mismatch
+        with pytest.raises(InvalidModelError):
+            MMPPProcess((0.0, 0.0), good_mod)  # no arrivals at all
+        with pytest.raises(InvalidModelError):
+            MMPPProcess((1.0, 1.0), good_mod, initial_phase=5)
+
+
+class TestTraceArrivals:
+    def test_replays_in_order(self):
+        trace = TraceArrivals([1.0, 2.5, 7.0])
+        trace.reset(np.random.default_rng(0))
+        assert trace.next_arrival(0.0) == 1.0
+        assert trace.next_arrival(1.0) == 2.5
+        assert trace.next_arrival(2.5) == 7.0
+        assert trace.next_arrival(7.0) is None
+
+    def test_reset_rewinds(self):
+        trace = TraceArrivals([1.0, 2.0])
+        trace.reset(np.random.default_rng(0))
+        trace.next_arrival(0.0)
+        trace.reset(np.random.default_rng(0))
+        assert trace.next_arrival(0.0) == 1.0
+
+    def test_peek_after_binary_search(self):
+        trace = TraceArrivals([1.0, 2.0, 3.0])
+        assert trace.peek_after(1.5) == 2.0
+        assert trace.peek_after(2.0) == 3.0
+        assert trace.peek_after(3.0) is None
+
+    def test_rejects_unsorted_or_negative(self):
+        with pytest.raises(InvalidModelError):
+            TraceArrivals([2.0, 1.0])
+        with pytest.raises(InvalidModelError):
+            TraceArrivals([-1.0, 1.0])

@@ -1,0 +1,76 @@
+"""Tests for the time-weighted statistics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import StatsCollector
+
+
+class TestStatsCollector:
+    def test_power_integral(self):
+        stats = StatsCollector()
+        stats.set_power(0.0, 10.0)
+        stats.set_power(2.0, 40.0)  # 10 W for 2 s
+        stats.finalize(3.0)  # 40 W for 1 s
+        assert stats.energy == pytest.approx(60.0)
+        assert stats.average_power() == pytest.approx(20.0)
+
+    def test_switch_energy_added(self):
+        stats = StatsCollector()
+        stats.set_power(0.0, 0.0)
+        stats.add_switch_energy(11.0)
+        stats.add_switch_energy(0.5)
+        stats.finalize(1.0)
+        assert stats.energy == pytest.approx(11.5)
+        assert stats.n_switches == 2
+
+    def test_queue_integral(self):
+        stats = StatsCollector()
+        stats.set_queue_length(0.0, 0)
+        stats.set_queue_length(1.0, 3)
+        stats.finalize(3.0)  # 3 requests for 2 s
+        assert stats.average_queue_length() == pytest.approx(2.0)
+
+    def test_mode_residency(self):
+        stats = StatsCollector()
+        stats.set_mode(0.0, "active")
+        stats.set_mode(2.0, "sleeping")
+        stats.finalize(5.0)
+        assert stats.mode_residency["active"] == pytest.approx(2.0)
+        assert stats.mode_residency["sleeping"] == pytest.approx(3.0)
+
+    def test_waiting_times(self):
+        stats = StatsCollector()
+        stats.record_departure(0.0, 2.0)
+        stats.record_departure(1.0, 5.0)
+        assert stats.average_waiting_time() == pytest.approx(3.0)
+        assert stats.n_completed == 2
+
+    def test_empty_run_defaults(self):
+        stats = StatsCollector()
+        stats.finalize(0.0)
+        assert stats.average_power() == 0.0
+        assert stats.average_queue_length() == 0.0
+        assert stats.average_waiting_time() == 0.0
+
+    def test_pm_counters(self):
+        stats = StatsCollector()
+        stats.record_pm_invocation(issued_command=True)
+        stats.record_pm_invocation(issued_command=False)
+        assert stats.n_pm_invocations == 2
+        assert stats.n_pm_commands == 1
+
+    def test_time_cannot_go_backwards(self):
+        stats = StatsCollector()
+        stats.set_power(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            stats.set_power(4.0, 2.0)
+
+    def test_nonzero_start_time(self):
+        stats = StatsCollector(start_time=10.0)
+        stats.set_power(10.0, 4.0)
+        stats.finalize(20.0)
+        assert stats.elapsed == pytest.approx(10.0)
+        assert stats.average_power() == pytest.approx(4.0)

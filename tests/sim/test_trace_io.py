@@ -1,0 +1,85 @@
+"""Tests for trace and result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace_io import load_result, load_trace, save_result, save_trace
+from repro.sim.workload import TraceArrivals
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_times(self, tmp_path):
+        trace = TraceArrivals([0.5, 1.25, 7.125])
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.times == trace.times
+
+    def test_round_trip_exact_floats(self, tmp_path):
+        import numpy as np
+
+        times = np.cumsum(np.random.default_rng(0).exponential(3.0, 50)).tolist()
+        path = tmp_path / "trace.csv"
+        save_trace(TraceArrivals(times), path)
+        assert load_trace(path).times == times  # repr round-trip is exact
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0\n2.0\n")
+        with pytest.raises(SimulationError, match="header"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time\n1.0\n\n2.0\n")
+        assert load_trace(path).times == [1.0, 2.0]
+
+    def test_unsorted_trace_rejected_on_load(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time\n2.0\n1.0\n")
+        from repro.errors import InvalidModelError
+
+        with pytest.raises(InvalidModelError):
+            load_trace(path)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture
+    def result(self, paper_provider):
+        from repro.policies import GreedyPolicy
+        from repro.sim import PoissonProcess, simulate
+
+        return simulate(
+            paper_provider, 5, PoissonProcess(1 / 6), GreedyPolicy(paper_provider),
+            n_requests=300, seed=2,
+        )
+
+    def test_round_trip(self, tmp_path, result):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded == result
+
+    def test_unknown_field_rejected(self, tmp_path, result):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["bogus"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SimulationError, match="unknown"):
+            load_result(path)
+
+    def test_missing_field_rejected(self, tmp_path, result):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        del payload["average_power"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SimulationError, match="missing"):
+            load_result(path)

@@ -1,0 +1,124 @@
+"""Tests for the repro-dpm command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSolveCommand:
+    def test_weighted_solve(self, capsys):
+        assert main(["solve", "--weight", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted optimum" in out
+        assert "average power [W]" in out
+
+    def test_constrained_solve(self, capsys):
+        assert main(["solve", "--max-queue-length", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "constrained optimum" in out
+
+    def test_show_policy_prints_table(self, capsys):
+        assert main(["solve", "--show-policy"]) == 0
+        out = capsys.readouterr().out
+        assert "system state" in out
+        assert "(active,q0)" in out
+
+    def test_custom_rate_and_capacity(self, capsys):
+        assert main(["solve", "--rate", "0.25", "--capacity", "3"]) == 0
+
+
+class TestSimulateCommand:
+    def test_optimal_policy(self, capsys):
+        assert main(["simulate", "--requests", "500", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PM invocations" in out
+
+    @pytest.mark.parametrize(
+        "policy", ["greedy", "always-on", "npolicy:3", "timeout:2.5"]
+    )
+    def test_named_policies(self, capsys, policy):
+        assert main(["simulate", "--policy", policy, "--requests", "300"]) == 0
+
+    def test_unknown_policy_fails(self, capsys):
+        assert main(["simulate", "--policy", "magic", "--requests", "10"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--requests",
+                    "300",
+                    "--json-out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        from repro.sim.trace_io import load_result
+
+        result = load_result(out_file)
+        assert result.n_generated == 300
+
+
+class TestFrontierCommand:
+    def test_prints_frontier(self, capsys):
+        assert main(["frontier", "--max-weight", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "power [W]" in out
+        assert out.count("\n") >= 5
+
+
+class TestDescribeCommand:
+    def test_prints_figures(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "active -> waiting  rate=10" in out
+        assert "q1 -> q1->0" in out
+        assert "joint state space: 23 states" in out
+
+    def test_custom_capacity(self, capsys):
+        assert main(["describe", "--capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "joint state space: 11 states" in out
+
+
+class TestExperimentsCommand:
+    def test_table1_small(self, capsys):
+        assert main(["experiments", "table1", "--requests", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "error [%]" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        out_file = tmp_path / "table1.csv"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "table1",
+                    "--requests",
+                    "1500",
+                    "--csv-out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        from repro.experiments.export import read_rows
+
+        rows = read_rows(out_file)
+        assert len(rows) == 6
+        assert "error_percent" in rows[0]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_exhibit_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "figure9"])

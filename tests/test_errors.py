@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InfeasibleConstraintError,
+    InvalidGeneratorError,
+    InvalidModelError,
+    InvalidPolicyError,
+    NotIrreducibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidGeneratorError,
+            NotIrreducibleError,
+            InvalidModelError,
+            InvalidPolicyError,
+            SolverError,
+            InfeasibleConstraintError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_infeasible_is_solver_error(self):
+        # Callers treating infeasibility as a solver failure still work.
+        assert issubclass(InfeasibleConstraintError, SolverError)
+
+    def test_library_failures_catchable_in_one_clause(self):
+        from repro.dpm.service_requestor import ServiceRequestor
+
+        with pytest.raises(ReproError):
+            ServiceRequestor(-1.0)
