@@ -176,17 +176,17 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     if args.exhibit == "figure4":
         from repro.experiments.figure4 import format_figure4, run_figure4
 
-        rows = run_figure4(n_requests=args.requests)
+        rows = run_figure4(n_requests=args.requests, n_jobs=args.jobs)
         print(format_figure4(rows))
     elif args.exhibit == "table1":
         from repro.experiments.table1 import format_table1, run_table1
 
-        rows = run_table1(n_requests=args.requests)
+        rows = run_table1(n_requests=args.requests, n_jobs=args.jobs)
         print(format_table1(rows))
     else:
         from repro.experiments.figure5 import format_figure5, run_figure5
 
-        rows = run_figure5(n_requests=args.requests)
+        rows = run_figure5(n_requests=args.requests, n_jobs=args.jobs)
         print(format_figure5(rows))
     if args.csv_out:
         from repro.experiments.export import export_rows
@@ -240,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate a paper exhibit")
     experiments.add_argument("exhibit", choices=("figure4", "table1", "figure5"))
     experiments.add_argument("--requests", type=int, default=50_000)
+    experiments.add_argument("--jobs", type=int, default=None,
+                             help="worker processes for independent solves/"
+                                  "simulations (-1 = all cores); results are "
+                                  "identical to a serial run")
     experiments.add_argument("--csv-out", default=None,
                              help="also export the series as CSV to this path")
     experiments.set_defaults(func=cmd_experiments)

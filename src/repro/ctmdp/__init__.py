@@ -19,8 +19,12 @@ Implements the decision-theoretic layer of the paper:
 - :mod:`repro.ctmdp.discounted` -- discounted-cost policy iteration
   (Theorem 2.2/2.3 context; used by the discount-sweep ablation).
 - :mod:`repro.ctmdp.uniformization` -- CTMDP -> DTMDP conversion.
+- :mod:`repro.ctmdp.compiled` -- one-shot dense lowering of a CTMDP into
+  stacked NumPy arrays (cached per model); backs the default
+  ``backend="compiled"`` fast paths of the solvers above.
 """
 
+from repro.ctmdp.compiled import CompiledCTMDP, compile_ctmdp
 from repro.ctmdp.discounted import discounted_policy_iteration
 from repro.ctmdp.linear_program import (
     LinearProgramResult,
@@ -35,6 +39,7 @@ from repro.ctmdp.value_iteration import ValueIterationResult, relative_value_ite
 
 __all__ = [
     "CTMDP",
+    "CompiledCTMDP",
     "LinearProgramResult",
     "Policy",
     "PolicyEvaluation",
@@ -43,6 +48,7 @@ __all__ = [
     "StateActionData",
     "UniformizedMDP",
     "ValueIterationResult",
+    "compile_ctmdp",
     "discounted_policy_iteration",
     "evaluate_policy",
     "policy_iteration",

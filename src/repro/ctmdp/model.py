@@ -84,6 +84,11 @@ class CTMDP:
         self._table: "Dict[int, Dict[Hashable, StateActionData]]" = {
             i: {} for i in range(len(self._states))
         }
+        # Per-(state, action) diagonal-completed generator rows, built
+        # lazily; rows are write-protected and shared with callers.
+        self._row_cache: "Dict[Tuple[int, Hashable], np.ndarray]" = {}
+        # Dense lowering cache; see repro.ctmdp.compiled.compile_ctmdp.
+        self._compiled = None
 
     # -- construction --------------------------------------------------------
 
@@ -133,6 +138,7 @@ class CTMDP:
             impulse_costs=imp,
             extra_costs=dict(extra_costs or {}),
         )
+        self._compiled = None  # a new pair invalidates any dense lowering
 
     def validate(self) -> None:
         """Check every state has at least one action."""
@@ -171,11 +177,21 @@ class CTMDP:
             ) from None
 
     def generator_row(self, state: Hashable, action: Hashable) -> np.ndarray:
-        """Full generator row including the Eqn.-2.4 diagonal entry."""
+        """Full generator row including the Eqn.-2.4 diagonal entry.
+
+        The row is computed once per ``(state, action)`` pair and cached;
+        the returned array is **read-only** (writing to it raises). Call
+        ``.copy()`` if you need a mutable row.
+        """
         i = self.index_of(state)
-        d = self.data(state, action)
-        row = d.rates.copy()
-        row[i] = -row.sum()
+        key = (i, action)
+        row = self._row_cache.get(key)
+        if row is None:
+            d = self.data(state, action)
+            row = d.rates.copy()
+            row[i] = -row.sum()
+            row.setflags(write=False)
+            self._row_cache[key] = row
         return row
 
     def cost(self, state: Hashable, action: Hashable) -> float:
@@ -203,6 +219,16 @@ class CTMDP:
             for d in acts.values():
                 best = max(best, float(d.rates.sum()))
         return best
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches (rebuilt lazily on demand)."""
+        state = self.__dict__.copy()
+        state["_row_cache"] = {}
+        state["_compiled"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         n_pairs = sum(len(a) for a in self._table.values())

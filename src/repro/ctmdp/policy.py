@@ -33,10 +33,11 @@ class Policy:
 
     def __init__(self, mdp: CTMDP, assignment: Mapping[Hashable, Hashable]) -> None:
         self._mdp = mdp
+        state_set = set(mdp.states)
         missing = [s for s in mdp.states if s not in assignment]
         if missing:
             raise InvalidPolicyError(f"policy misses states: {missing!r}")
-        extra = [s for s in assignment if s not in set(mdp.states)]
+        extra = [s for s in assignment if s not in state_set]
         if extra:
             raise InvalidPolicyError(f"policy names unknown states: {extra!r}")
         for state in mdp.states:
@@ -48,6 +49,19 @@ class Policy:
         self._assignment: Dict[Hashable, Hashable] = {
             s: assignment[s] for s in mdp.states
         }
+
+    @classmethod
+    def _trusted(cls, mdp: CTMDP, assignment: Mapping[Hashable, Hashable]) -> "Policy":
+        """Construct without validation.
+
+        Internal fast path for solvers that derive the assignment from
+        the model's own compiled index, where every (state, action) pair
+        is valid by construction.
+        """
+        policy = cls.__new__(cls)
+        policy._mdp = mdp
+        policy._assignment = dict(assignment)
+        return policy
 
     @property
     def mdp(self) -> CTMDP:
@@ -201,6 +215,7 @@ def evaluate_policy(
     policy,
     cost_vector: Optional[np.ndarray] = None,
     reference_state: int = 0,
+    backend: Optional[str] = None,
 ) -> PolicyEvaluation:
     """Exactly evaluate a stationary policy's average cost.
 
@@ -222,9 +237,30 @@ def evaluate_policy(
         policy's own effective costs.
     reference_state:
         Index whose bias is pinned to zero.
+    backend:
+        ``None`` (default) assembles ``G`` and ``c`` from the model's
+        compiled arrays when a dense lowering is already cached on the
+        model (and the policy is deterministic), falling back to the
+        per-state dict loops otherwise; ``"compiled"`` forces the
+        lowering; ``"reference"`` forces the dict path. All choices
+        produce bit-identical results.
     """
-    g_mat = policy.generator_matrix()
-    c = policy.cost_vector() if cost_vector is None else np.asarray(cost_vector, float)
+    comp = None
+    if backend != "reference" and isinstance(policy, Policy):
+        if backend == "compiled":
+            from repro.ctmdp.compiled import compile_ctmdp
+
+            comp = compile_ctmdp(policy.mdp)
+        else:
+            comp = getattr(policy.mdp, "_compiled", None)
+    if comp is not None:
+        g_mat, compiled_cost = comp.evaluation_system(
+            comp.policy_rows(policy.as_dict())
+        )
+        c = compiled_cost if cost_vector is None else np.asarray(cost_vector, float)
+    else:
+        g_mat = policy.generator_matrix()
+        c = policy.cost_vector() if cost_vector is None else np.asarray(cost_vector, float)
     n = g_mat.shape[0]
     if c.shape != (n,):
         raise InvalidPolicyError(f"cost vector shape {c.shape} != ({n},)")

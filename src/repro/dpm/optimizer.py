@@ -19,7 +19,7 @@ Two equivalent entry points, mirroring the paper's two formulations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.ctmdp.linear_program import solve_average_cost_lp, solve_constrained_lp
 from repro.ctmdp.policy import Policy, RandomizedPolicy
@@ -91,9 +91,23 @@ def sweep_weights(
     model: PowerManagedSystemModel,
     weights: Sequence[float],
     solver: str = "policy_iteration",
+    n_jobs: Optional[int] = None,
 ) -> "List[OptimizationResult]":
-    """Solve for every weight in *weights* (the Figure-4 tradeoff curve)."""
-    return [optimize_weighted(model, w, solver=solver) for w in weights]
+    """Solve for every weight in *weights* (the Figure-4 tradeoff curve).
+
+    The weights are independent solves, so ``n_jobs`` fans them out over
+    a process pool; results keep the order of *weights* and are
+    identical to a serial sweep.
+    """
+    # Imported lazily: repro.sim pulls in repro.policies, which imports
+    # back into repro.dpm during package initialization.
+    from repro.sim.parallel import parallel_map
+
+    return parallel_map(
+        lambda w: optimize_weighted(model, w, solver=solver),
+        list(weights),
+        n_jobs=n_jobs,
+    )
 
 
 def optimize_constrained(

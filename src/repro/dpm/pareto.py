@@ -104,9 +104,18 @@ def deterministic_frontier(
             )
         return key
 
-    def explore(w_lo: float, key_lo, w_hi: float, key_hi) -> None:
+    key_left = record(0.0)
+    key_right = record(max_weight)
+    # Explicit work stack instead of recursion: a pathological
+    # combination of tiny weight_tolerance and wide weight range would
+    # otherwise hit the interpreter recursion limit. Pushing the right
+    # half first keeps the left-first depth-first order of the original
+    # recursive exploration.
+    stack = [(0.0, key_left, max_weight, key_right)]
+    while stack:
+        w_lo, key_lo, w_hi, key_hi = stack.pop()
         if key_lo == key_hi or w_hi - w_lo <= weight_tolerance:
-            return
+            continue
         if len(points) >= max_points:
             raise SolverError(
                 f"frontier exceeded {max_points} points; "
@@ -114,12 +123,8 @@ def deterministic_frontier(
             )
         w_mid = 0.5 * (w_lo + w_hi)
         key_mid = record(w_mid)
-        explore(w_lo, key_lo, w_mid, key_mid)
-        explore(w_mid, key_mid, w_hi, key_hi)
-
-    key_left = record(0.0)
-    key_right = record(max_weight)
-    explore(0.0, key_left, max_weight, key_right)
+        stack.append((w_mid, key_mid, w_hi, key_hi))
+        stack.append((w_lo, key_lo, w_mid, key_mid))
     return sorted(points.values(), key=lambda p: p.delay)
 
 

@@ -47,6 +47,7 @@ Action-validity constraints (Section III):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -99,6 +100,9 @@ class PowerManagedSystemModel:
     #: Name of the extra-cost channel carrying the request-loss rate.
     LOSS = cost_channels.LOSS
 
+    #: Number of per-weight CTMDPs kept by :meth:`build_ctmdp`.
+    CTMDP_CACHE_SIZE = 16
+
     def __init__(
         self,
         provider: ServiceProvider,
@@ -114,6 +118,15 @@ class PowerManagedSystemModel:
         self.include_transfer_states = bool(include_transfer_states)
         self._states = self._enumerate_states()
         self._index = {x: i for i, x in enumerate(self._states)}
+        # Weight-independent (state, action) structure -- transition-rate
+        # and impulse vectors plus cost channels -- computed lazily once;
+        # only the weighted cost rate differs between built CTMDPs.
+        self._structure: "List[tuple] | None" = None
+        # LRU of built CTMDPs per weight. Each cached model carries its
+        # own dense lowering (repro.ctmdp.compiled), so workflows that
+        # re-solve the same weight (frontier bisection, constrained
+        # search) skip both the Python construction and the lowering.
+        self._ctmdp_cache: "OrderedDict[float, CTMDP]" = OrderedDict()
 
     # -- state space -----------------------------------------------------------
 
@@ -253,16 +266,15 @@ class PowerManagedSystemModel:
 
     # -- CTMDP construction ------------------------------------------------------
 
-    def build_ctmdp(self, weight: float = 0.0) -> CTMDP:
-        """Build the SYS CTMDP with cost ``C_pow + weight * C_sq``.
+    def _build_structure(self) -> "List[tuple]":
+        """The weight-independent per-(state, action) construction data.
 
-        The returned model also carries extra-cost channels ``"power"``,
-        ``"queue_length"`` and ``"loss"`` for constrained optimization
-        and post-hoc metric evaluation.
+        Rate and impulse vectors are write-protected: they are shared by
+        every CTMDP this model builds (``CTMDP.add_action`` stores them
+        by reference), and ``generator_row`` copies before completing
+        diagonals, so sharing is safe as long as nobody mutates them.
         """
-        if weight < 0:
-            raise InvalidModelError(f"performance weight must be >= 0, got {weight}")
-        mdp = CTMDP(self._states)
+        structure: List[tuple] = []
         n = self.n_states
         for state in self._states:
             for action in self.valid_actions(state):
@@ -280,17 +292,60 @@ class PowerManagedSystemModel:
                     queue_length=self.delay_cost(state),
                     loss=self.loss_rate(state),
                 )
-                mdp.add_action(
-                    state,
-                    action,
-                    rates=rates,
-                    cost_rate=self.provider.power_rate(state.mode)
-                    + weight * costs.queue_length,
-                    impulse_costs=impulses,
-                    extra_costs=costs.as_extra_costs(),
-                )
+                rates.setflags(write=False)
+                impulses.setflags(write=False)
+                structure.append((state, action, rates, impulses, costs))
+        return structure
+
+    def build_ctmdp(self, weight: float = 0.0) -> CTMDP:
+        """Build the SYS CTMDP with cost ``C_pow + weight * C_sq``.
+
+        The returned model also carries extra-cost channels ``"power"``,
+        ``"queue_length"`` and ``"loss"`` for constrained optimization
+        and post-hoc metric evaluation.
+
+        Built models are cached per weight (a small LRU), so repeated
+        calls with the same weight return the *same* CTMDP instance --
+        treat it as immutable, which :meth:`CTMDP.add_action` enforces
+        for existing pairs anyway. The weight-independent transition
+        structure is additionally shared across weights, so a frontier
+        sweep pays the Python construction loop once.
+        """
+        if weight < 0:
+            raise InvalidModelError(f"performance weight must be >= 0, got {weight}")
+        key = float(weight)
+        cached = self._ctmdp_cache.get(key)
+        if cached is not None:
+            self._ctmdp_cache.move_to_end(key)
+            return cached
+        if self._structure is None:
+            self._structure = self._build_structure()
+        mdp = CTMDP(self._states)
+        for state, action, rates, impulses, costs in self._structure:
+            mdp.add_action(
+                state,
+                action,
+                rates=rates,
+                cost_rate=self.provider.power_rate(state.mode)
+                + weight * costs.queue_length,
+                impulse_costs=impulses,
+                extra_costs=costs.as_extra_costs(),
+            )
         mdp.validate()
+        self._ctmdp_cache[key] = mdp
+        while len(self._ctmdp_cache) > self.CTMDP_CACHE_SIZE:
+            self._ctmdp_cache.popitem(last=False)
         return mdp
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived caches (rebuilt lazily on demand)."""
+        state = self.__dict__.copy()
+        state["_structure"] = None
+        state["_ctmdp_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -15,7 +15,7 @@ there is an optimal point with no more power at no more delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.dpm.analysis import evaluate_dpm_policy
 from repro.dpm.model_policies import as_policy, n_policy_assignment
@@ -26,6 +26,7 @@ from repro.experiments import setup
 from repro.experiments.reporting import format_table
 from repro.policies.npolicy import NPolicy
 from repro.policies.optimal import OptimalCTMDPPolicy
+from repro.sim.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -52,20 +53,24 @@ def run_figure4(
     n_values: Sequence[int] = setup.FIGURE4_N_VALUES,
     n_requests: int = setup.DEFAULT_N_REQUESTS,
     seed: int = setup.DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
 ) -> "List[Figure4Point]":
     """Regenerate the Figure-4 data points.
 
     Duplicate optimal policies (adjacent weights often yield the same
     policy) are collapsed so each Pareto point is simulated once.
+    ``n_jobs`` parallelizes the weight sweep and the per-point
+    simulations; point order and values match the serial run exactly.
     """
     if model is None:
         model = paper_system()
-    points: List[Figure4Point] = []
+    # Collapse duplicate Pareto points before simulating: distinct
+    # weights frequently yield the same point (the optimal policy is
+    # piecewise constant in the weight, and policies may also differ
+    # only at unreachable states).
+    unique_results = []
     seen_points = set()
-    for result in sweep_weights(model, weights):
-        # Distinct weights frequently yield the same Pareto point (the
-        # optimal policy is piecewise constant in the weight, and
-        # policies may also differ only at unreachable states).
+    for result in sweep_weights(model, weights, n_jobs=n_jobs):
         key = (
             round(result.metrics.average_power, 9),
             round(result.metrics.average_queue_length, 9),
@@ -73,12 +78,20 @@ def run_figure4(
         if key in seen_points:
             continue
         seen_points.add(key)
-        sim = setup.simulate_policy(
+        unique_results.append(result)
+
+    def _simulate_optimal(result):
+        return setup.simulate_policy(
             model,
             OptimalCTMDPPolicy(result.policy, model.capacity),
             n_requests=n_requests,
             seed=seed,
         )
+
+    points: List[Figure4Point] = []
+    for result, sim in zip(
+        unique_results, parallel_map(_simulate_optimal, unique_results, n_jobs=n_jobs)
+    ):
         points.append(
             Figure4Point(
                 kind="optimal",
@@ -91,15 +104,22 @@ def run_figure4(
             )
         )
     mdp = model.build_ctmdp(0.0)
-    for n in n_values:
-        policy = as_policy(mdp, n_policy_assignment(model, n))
-        analytic = evaluate_dpm_policy(model, policy)
-        sim = setup.simulate_policy(
+    analytics = [
+        evaluate_dpm_policy(model, as_policy(mdp, n_policy_assignment(model, n)))
+        for n in n_values
+    ]
+
+    def _simulate_npolicy(n):
+        return setup.simulate_policy(
             model,
             NPolicy(n, model.provider),
             n_requests=n_requests,
             seed=seed,
         )
+
+    for n, analytic, sim in zip(
+        n_values, analytics, parallel_map(_simulate_npolicy, list(n_values), n_jobs=n_jobs)
+    ):
         points.append(
             Figure4Point(
                 kind="npolicy",

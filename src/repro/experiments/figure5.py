@@ -17,7 +17,7 @@ the least power among all policies meeting the performance constraint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dpm.optimizer import optimize_constrained
 from repro.dpm.presets import paper_system
@@ -28,6 +28,7 @@ from repro.policies.base import PowerManagementPolicy
 from repro.policies.greedy import GreedyPolicy
 from repro.policies.optimal import StochasticCTMDPPolicy
 from repro.policies.timeout import TimeoutPolicy
+from repro.sim.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -64,10 +65,16 @@ def run_figure5(
     model_factory: Callable[[float], PowerManagedSystemModel] = (
         lambda rate: paper_system(arrival_rate=rate)
     ),
+    n_jobs: Optional[int] = None,
 ) -> "List[Figure5Point]":
-    """Regenerate the Figure-5 series: 5 policies x len(rates) points."""
-    points: List[Figure5Point] = []
-    for rate in rates:
+    """Regenerate the Figure-5 series: 5 policies x len(rates) points.
+
+    Rates are independent (each carries its own model, constrained
+    solve and the five policy simulations), so ``n_jobs`` fans them out
+    over a process pool; point order and values match the serial run.
+    """
+
+    def _points_at_rate(rate: float) -> "List[Figure5Point]":
         model = model_factory(rate)
         optimal = optimize_constrained(model, queue_length_bound)
         policies: Dict[str, PowerManagementPolicy] = {
@@ -76,11 +83,12 @@ def run_figure5(
             )
         }
         policies.update(heuristic_policies(model))
+        rate_points: List[Figure5Point] = []
         for name, policy in policies.items():
             sim = setup.simulate_policy(
                 model, policy, n_requests=n_requests, seed=seed
             )
-            points.append(
+            rate_points.append(
                 Figure5Point(
                     policy=name,
                     input_rate=rate,
@@ -90,7 +98,10 @@ def run_figure5(
                     loss_probability=sim.loss_probability,
                 )
             )
-    return points
+        return rate_points
+
+    per_rate = parallel_map(_points_at_rate, list(rates), n_jobs=n_jobs)
+    return [point for rate_points in per_rate for point in rate_points]
 
 
 def format_figure5(points: "List[Figure5Point]") -> str:

@@ -74,7 +74,7 @@ def validate_generator(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> np.nda
 
 
 def stationary_distribution(
-    matrix: np.ndarray, atol: float = DEFAULT_ATOL
+    matrix: np.ndarray, atol: float = DEFAULT_ATOL, validate: bool = True
 ) -> np.ndarray:
     """Solve ``pG = 0`` with ``sum(p) = 1`` (Theorem 2.1(2)).
 
@@ -82,13 +82,28 @@ def stationary_distribution(
     normalization constraint, which is the standard full-rank formulation
     for an irreducible chain.
 
+    Parameters
+    ----------
+    matrix:
+        Generator matrix ``G``.
+    atol:
+        Tolerance for the structural checks.
+    validate:
+        Skip :func:`validate_generator` when ``False`` -- for callers
+        whose matrix is valid by construction (e.g. rows assembled from a
+        compiled CTMDP). The checks never alter the matrix, so the
+        returned distribution is identical either way.
+
     Raises
     ------
     NotIrreducibleError
         If the solution is not unique or contains (numerically)
         negative probabilities, which indicates a reducible chain.
     """
-    g = validate_generator(matrix, atol=atol)
+    if validate:
+        g = validate_generator(matrix, atol=atol)
+    else:
+        g = np.asarray(matrix, dtype=float)
     n = g.shape[0]
     if n == 1:
         return np.array([1.0])

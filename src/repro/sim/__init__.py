@@ -18,9 +18,13 @@ management policy" (Section V). This subpackage is that simulator:
 - :mod:`repro.sim.simulator` -- the orchestrator tying SR, SQ, SP and
   PM together; the PM is invoked asynchronously on every system state
   change, exactly as the paper advocates.
+- :mod:`repro.sim.batch` -- replicated runs with confidence intervals.
+- :mod:`repro.sim.parallel` -- process-pool fan-out for replications
+  (``n_jobs=``), byte-identical to serial runs.
 """
 
 from repro.sim.batch import MetricSummary, compare_policies, run_replications, summarize
+from repro.sim.parallel import parallel_map, resolve_n_jobs
 from repro.sim.distributions import (
     DeterministicService,
     ErlangService,
@@ -61,6 +65,8 @@ __all__ = [
     "compare_policies",
     "load_result",
     "load_trace",
+    "parallel_map",
+    "resolve_n_jobs",
     "run_replications",
     "save_result",
     "save_trace",

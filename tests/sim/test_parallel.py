@@ -1,0 +1,112 @@
+"""Tests for the process-pool replication engine.
+
+The contract under test: for *any* ``n_jobs``, parallel results are
+byte-identical to the serial run -- each replication is fully determined
+by its seed, workers receive contiguous index chunks, and ``pool.map``
+preserves order.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.policies import GreedyPolicy, NPolicy
+from repro.sim.batch import compare_policies, run_replications
+from repro.sim.parallel import _chunk_indices, parallel_map, resolve_n_jobs
+from repro.sim.workload import PoissonProcess
+
+LAM = 1.0 / 6.0
+
+
+def _replications(paper_provider, n_jobs, n_replications=6, base_seed=40):
+    return run_replications(
+        provider=paper_provider,
+        capacity=5,
+        workload_factory=lambda: PoissonProcess(LAM),
+        policy_factory=lambda: GreedyPolicy(paper_provider),
+        n_requests=600,
+        n_replications=n_replications,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+    )
+
+
+class TestResolveNJobs:
+    def test_none_means_serial(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(3) == 3
+
+    def test_negative_means_all_cores(self):
+        assert resolve_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_n_jobs(0)
+
+
+class TestChunking:
+    def test_chunks_partition_in_order(self):
+        chunks = _chunk_indices(10, 4)
+        assert [i for chunk in chunks for i in chunk] == list(range(10))
+
+    def test_no_empty_chunks(self):
+        assert all(_chunk_indices(3, 8))
+
+    def test_near_equal_sizes(self):
+        sizes = {len(chunk) for chunk in _chunk_indices(13, 4)}
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        assert parallel_map(lambda x: x * x, range(23), n_jobs=4) == [
+            x * x for x in range(23)
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(lambda x: x, [], n_jobs=4) == []
+
+    def test_fewer_items_than_jobs(self):
+        assert parallel_map(lambda x: -x, [7], n_jobs=8) == [-7]
+
+    def test_nested_calls_degrade_to_serial(self):
+        def outer(x):
+            return sum(parallel_map(lambda y: x * y, range(3), n_jobs=2))
+
+        assert parallel_map(outer, range(4), n_jobs=2) == [
+            sum(x * y for y in range(3)) for x in range(4)
+        ]
+
+
+class TestReplicationIdentity:
+    @pytest.fixture(scope="class")
+    def serial(self, paper_provider):
+        return _replications(paper_provider, n_jobs=None)
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 3, 8, -1])
+    def test_identical_to_serial(self, paper_provider, serial, n_jobs):
+        assert _replications(paper_provider, n_jobs=n_jobs) == serial
+
+    def test_compare_policies_identical(self, paper_provider):
+        kwargs = dict(
+            provider=paper_provider,
+            capacity=5,
+            workload_factory=lambda: PoissonProcess(LAM),
+            policy_factories={
+                "greedy": lambda: GreedyPolicy(paper_provider),
+                "npolicy-2": lambda: NPolicy(2, paper_provider),
+            },
+            n_requests=600,
+            n_replications=4,
+            base_seed=9,
+        )
+        assert compare_policies(n_jobs=3, **kwargs) == compare_policies(**kwargs)
+
+    def test_invalid_n_jobs_rejected(self, paper_provider):
+        with pytest.raises(SimulationError):
+            _replications(paper_provider, n_jobs=0)
