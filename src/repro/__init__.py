@@ -16,7 +16,9 @@ Management Based on Continuous-Time Markov Decision Processes"
 - :mod:`repro.queueing` -- closed-form queueing results for
   cross-validation;
 - :mod:`repro.experiments` -- drivers regenerating the paper's
-  Figure 4, Table 1, and Figure 5.
+  Figure 4, Table 1, and Figure 5;
+- :mod:`repro.obs` -- observability: mergeable metrics registries,
+  span traces, run manifests, logging (no-op unless activated).
 
 Quickstart::
 

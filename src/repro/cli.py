@@ -24,6 +24,10 @@ from typing import Optional, Sequence
 from repro.dpm.optimizer import optimize_constrained, optimize_weighted
 from repro.dpm.presets import paper_system
 from repro.experiments.reporting import format_table
+from repro.obs.log import LEVELS, configure_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import instrument
+from repro.obs.trace import Tracer
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -79,7 +83,14 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _policy_factory(args: argparse.Namespace, model):
+    """A zero-argument factory building the requested policy, or None.
+
+    A factory (rather than an instance) so ``--replications`` can hand
+    it to :func:`repro.sim.batch.run_replications`, which constructs a
+    fresh policy per replication; the CTMDP solve behind ``optimal``
+    happens once, here, not per replication.
+    """
     from repro.policies import (
         AlwaysOnPolicy,
         GreedyPolicy,
@@ -87,28 +98,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         OptimalCTMDPPolicy,
         TimeoutPolicy,
     )
+
+    if args.policy == "optimal":
+        solved = optimize_weighted(model, args.weight)
+        return lambda: OptimalCTMDPPolicy(solved.policy, model.capacity)
+    if args.policy == "greedy":
+        return lambda: GreedyPolicy(model.provider)
+    if args.policy == "always-on":
+        return lambda: AlwaysOnPolicy(model.provider)
+    if args.policy.startswith("npolicy:"):
+        n = int(args.policy.split(":", 1)[1])
+        return lambda: NPolicy(n, model.provider)
+    if args.policy.startswith("timeout:"):
+        timeout = float(args.policy.split(":", 1)[1])
+        return lambda: TimeoutPolicy(timeout, model.provider)
+    return None
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim import PoissonProcess, simulate
 
     model = _build_model(args)
-    if args.policy == "optimal":
-        solved = optimize_weighted(model, args.weight)
-        policy = OptimalCTMDPPolicy(solved.policy, model.capacity)
-    elif args.policy == "greedy":
-        policy = GreedyPolicy(model.provider)
-    elif args.policy == "always-on":
-        policy = AlwaysOnPolicy(model.provider)
-    elif args.policy.startswith("npolicy:"):
-        policy = NPolicy(int(args.policy.split(":", 1)[1]), model.provider)
-    elif args.policy.startswith("timeout:"):
-        policy = TimeoutPolicy(float(args.policy.split(":", 1)[1]), model.provider)
-    else:
+    factory = _policy_factory(args, model)
+    if factory is None:
         print(f"unknown policy {args.policy!r}", file=sys.stderr)
         return 2
     result = simulate(
         provider=model.provider,
         capacity=model.capacity,
         workload=PoissonProcess(model.requestor.rate),
-        policy=policy,
+        policy=factory(),
         n_requests=args.requests,
         seed=args.seed,
     )
@@ -121,6 +140,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ("PM invocations", result.n_pm_invocations),
     ]
     print(format_table(("metric", "value"), rows))
+    if args.replications > 1:
+        from repro.sim.batch import run_replications, summarize
+
+        results = run_replications(
+            model.provider,
+            model.capacity,
+            lambda: PoissonProcess(model.requestor.rate),
+            factory,
+            n_requests=args.requests,
+            n_replications=args.replications,
+            base_seed=args.seed,
+            n_jobs=args.jobs,
+        )
+        summaries = summarize(results)
+        last_seed = args.seed + args.replications - 1
+        print()
+        print(
+            f"{args.replications} replications "
+            f"(seeds {args.seed}..{last_seed}):"
+        )
+        print(
+            format_table(
+                ("metric", "mean", "std error", "95% half-width"),
+                [
+                    (s.name, s.mean, s.std_error, s.half_width)
+                    for s in summaries.values()
+                ],
+            )
+        )
     if args.json_out:
         from repro.sim.trace_io import save_result
 
@@ -196,14 +244,40 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """Shared ``--metrics-out/--trace-out/--log-level`` flags.
+
+    Attached to every subcommand via ``parents=`` so the flags are
+    accepted after the subcommand name, where users type them.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry (counters, histograms, "
+             "convergence series) as JSON to PATH",
+    )
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write span timings as JSONL to PATH (first line: manifest)",
+    )
+    group.add_argument(
+        "--log-level", default=None, choices=LEVELS,
+        help="enable stderr logging at this level",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
         description="CTMDP-based dynamic power management (Qiu & Pedram, DAC 1999)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _observability_parent()
 
-    solve = sub.add_parser("solve", help="optimize a power-management policy")
+    solve = sub.add_parser("solve", help="optimize a power-management policy",
+                           parents=[common])
     _add_model_arguments(solve)
     solve.add_argument("--weight", type=float, default=1.0,
                        help="performance weight w of Eqn. 3.1 (default: 1)")
@@ -213,7 +287,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full state->command table")
     solve.set_defaults(func=cmd_solve)
 
-    simulate_p = sub.add_parser("simulate", help="run the event-driven simulator")
+    simulate_p = sub.add_parser("simulate", help="run the event-driven simulator",
+                                parents=[common])
     _add_model_arguments(simulate_p)
     simulate_p.add_argument("--policy", default="optimal",
                             help="optimal | greedy | always-on | npolicy:N | timeout:SECONDS")
@@ -222,22 +297,32 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--requests", type=int, default=50_000,
                             help="requests to generate (default: 50000)")
     simulate_p.add_argument("--seed", type=int, default=0)
+    simulate_p.add_argument("--replications", type=int, default=1,
+                            help="independent replications (seeds seed..seed+N-1); "
+                                 "N > 1 adds a mean +- stderr summary table")
+    simulate_p.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for the replications "
+                                 "(-1 = all cores); results are identical to "
+                                 "a serial run")
     simulate_p.add_argument("--json-out", default=None,
                             help="also dump the result as JSON to this path")
     simulate_p.set_defaults(func=cmd_simulate)
 
-    frontier = sub.add_parser("frontier", help="print the exact Pareto frontier")
+    frontier = sub.add_parser("frontier", help="print the exact Pareto frontier",
+                              parents=[common])
     _add_model_arguments(frontier)
     frontier.add_argument("--max-weight", type=float, default=1e3)
     frontier.set_defaults(func=cmd_frontier)
 
     describe = sub.add_parser(
-        "describe", help="print the model structure (Figures 1/2 as text)"
+        "describe", help="print the model structure (Figures 1/2 as text)",
+        parents=[common],
     )
     _add_model_arguments(describe)
     describe.set_defaults(func=cmd_describe)
 
-    experiments = sub.add_parser("experiments", help="regenerate a paper exhibit")
+    experiments = sub.add_parser("experiments", help="regenerate a paper exhibit",
+                                 parents=[common])
     experiments.add_argument("exhibit", choices=("figure4", "table1", "figure5"))
     experiments.add_argument("--requests", type=int, default=50_000)
     experiments.add_argument("--jobs", type=int, default=None,
@@ -253,7 +338,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    registry = MetricsRegistry() if args.metrics_out else None
+    tracer = Tracer() if args.trace_out else None
+    if registry is None and tracer is None:
+        return args.func(args)
+    from repro.obs.export import run_manifest, write_metrics, write_trace
+
+    with instrument(metrics=registry, tracer=tracer):
+        status = args.func(args)
+    manifest = run_manifest(
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=getattr(args, "seed", None),
+    )
+    if registry is not None:
+        write_metrics(registry, args.metrics_out, manifest=manifest)
+        print(f"metrics written to {args.metrics_out}")
+    if tracer is not None:
+        write_trace(tracer, args.trace_out, manifest=manifest)
+        print(f"trace written to {args.trace_out}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

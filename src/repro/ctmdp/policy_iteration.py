@@ -20,6 +20,7 @@ paper highlights.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable, List, Optional
 
@@ -29,8 +30,25 @@ from repro.errors import SolverError
 from repro.ctmdp.compiled import CompiledCTMDP, compile_ctmdp
 from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy, PolicyEvaluation, evaluate_policy
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 
 BACKENDS = ("compiled", "reference")
+
+logger = get_logger(__name__)
+
+#: Registry name of the per-iteration convergence trace. Each solve
+#: appends one row per improvement round: ``iteration`` (0 = initial
+#: evaluation), ``gain``, ``residual`` (absolute gain change, the
+#: monotone convergence witness), ``policy_changes`` (states whose
+#: action moved), and the wall-clock ``sweep_s`` (a profiling field,
+#: stripped from the deterministic view).
+CONVERGENCE_SERIES = "solver.policy_iteration.convergence"
+_SWEEP_FIELDS = ("sweep_s",)
+
+
+def _convergence_series(metrics):
+    return metrics.series(CONVERGENCE_SERIES, profiling_fields=_SWEEP_FIELDS)
 
 
 @dataclass(frozen=True)
@@ -155,7 +173,18 @@ def _policy_iteration_compiled(
     """
     from repro.errors import InvalidPolicyError
 
+    ins = obs_active()
+    metrics = ins.metrics
+    if ins.enabled:
+        lowering_start = time.perf_counter()
     comp = compile_ctmdp(mdp)
+    if ins.enabled:
+        lowering_s = time.perf_counter() - lowering_start
+        if metrics is not None:
+            metrics.histogram(
+                "profile.solver.lowering_s", profiling=True
+            ).observe(lowering_s)
+            metrics.counter("solver.policy_iteration.solves").inc()
     n = comp.n_states
     if not 0 <= reference_state < n:
         raise InvalidPolicyError(f"reference state {reference_state} out of range")
@@ -183,31 +212,68 @@ def _policy_iteration_compiled(
         return float(solution[n]), solution[:n]
 
     gain_history: List[float] = []
+    if ins.enabled:
+        sweep_start = time.perf_counter()
     gain, bias = solve_rows(sel)
     gain_history.append(gain)
+    series = _convergence_series(metrics) if metrics is not None else None
+    if series is not None:
+        series.append(
+            backend="compiled",
+            iteration=0,
+            gain=gain,
+            residual=None,
+            policy_changes=None,
+            sweep_s=time.perf_counter() - sweep_start,
+        )
     test_values = np.empty(comp.n_pairs)
-    for iteration in range(1, max_iterations + 1):
-        np.matmul(comp.generator, bias, out=test_values)
-        np.add(test_values, comp.cost, out=test_values)
-        sel, changed = comp.improve(test_values, sel, atol)
-        if changed:
-            gain, bias = solve_rows(sel)
-        # An unchanged policy selects the same rows, so re-solving would
-        # reproduce the previous (gain, bias) bit-for-bit -- reuse them.
-        gain_history.append(gain)
-        if not changed:
-            from repro.markov.generator import stationary_distribution
+    with ins.span("policy_iteration", backend="compiled", n_states=n) as span:
+        for iteration in range(1, max_iterations + 1):
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+                previous_sel = sel
+                previous_gain = gain
+            np.matmul(comp.generator, bias, out=test_values)
+            np.add(test_values, comp.cost, out=test_values)
+            sel, changed = comp.improve(test_values, sel, atol)
+            if changed:
+                gain, bias = solve_rows(sel)
+            # An unchanged policy selects the same rows, so re-solving would
+            # reproduce the previous (gain, bias) bit-for-bit -- reuse them.
+            gain_history.append(gain)
+            if series is not None:
+                series.append(
+                    backend="compiled",
+                    iteration=iteration,
+                    gain=gain,
+                    residual=abs(gain - previous_gain),
+                    policy_changes=int(np.count_nonzero(sel != previous_sel)),
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            if not changed:
+                from repro.markov.generator import stationary_distribution
 
-            return PolicyIterationResult(
-                policy=Policy._trusted(mdp, comp.assignment_from_rows(sel)),
-                gain=gain,
-                bias=bias,
-                stationary=stationary_distribution(
-                    comp.generator[sel], validate=False
-                ),
-                iterations=iteration,
-                gain_history=gain_history,
-            )
+                if ins.enabled:
+                    span.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.policy_iteration.iterations"
+                        ).observe(iteration)
+                    logger.debug(
+                        "policy iteration converged: %d states, %d rounds, "
+                        "gain %.6g",
+                        n, iteration, gain,
+                    )
+                return PolicyIterationResult(
+                    policy=Policy._trusted(mdp, comp.assignment_from_rows(sel)),
+                    gain=gain,
+                    bias=bias,
+                    stationary=stationary_distribution(
+                        comp.generator[sel], validate=False
+                    ),
+                    iterations=iteration,
+                    gain_history=gain_history,
+                )
     raise SolverError(
         f"policy iteration did not converge in {max_iterations} iterations"
     )
@@ -258,26 +324,74 @@ def policy_iteration(
             mdp, initial_policy, max_iterations, atol, reference_state
         )
     policy = initial_policy if initial_policy is not None else _default_initial_policy(mdp)
+    ins = obs_active()
+    metrics = ins.metrics
+    series = _convergence_series(metrics) if metrics is not None else None
+    if metrics is not None:
+        metrics.counter("solver.policy_iteration.solves").inc()
     gain_history: List[float] = []
+    if ins.enabled:
+        sweep_start = time.perf_counter()
     evaluation = evaluate_policy(
         policy, reference_state=reference_state, backend="reference"
     )
     gain_history.append(evaluation.gain)
-    for iteration in range(1, max_iterations + 1):
-        policy, changed = _improve(mdp, policy, evaluation, atol)
-        evaluation = evaluate_policy(
-            policy, reference_state=reference_state, backend="reference"
+    if series is not None:
+        series.append(
+            backend="reference",
+            iteration=0,
+            gain=evaluation.gain,
+            residual=None,
+            policy_changes=None,
+            sweep_s=time.perf_counter() - sweep_start,
         )
-        gain_history.append(evaluation.gain)
-        if not changed:
-            return PolicyIterationResult(
-                policy=policy,
-                gain=evaluation.gain,
-                bias=evaluation.bias,
-                stationary=evaluation.stationary,
-                iterations=iteration,
-                gain_history=gain_history,
+    with ins.span(
+        "policy_iteration", backend="reference", n_states=mdp.n_states
+    ) as span:
+        for iteration in range(1, max_iterations + 1):
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+                previous_assignment = policy.as_dict()
+                previous_gain = evaluation.gain
+            policy, changed = _improve(mdp, policy, evaluation, atol)
+            evaluation = evaluate_policy(
+                policy, reference_state=reference_state, backend="reference"
             )
+            gain_history.append(evaluation.gain)
+            if series is not None:
+                assignment = policy.as_dict()
+                series.append(
+                    backend="reference",
+                    iteration=iteration,
+                    gain=evaluation.gain,
+                    residual=abs(evaluation.gain - previous_gain),
+                    policy_changes=sum(
+                        1
+                        for state, action in assignment.items()
+                        if previous_assignment[state] != action
+                    ),
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            if not changed:
+                if ins.enabled:
+                    span.attrs.update(iterations=iteration, gain=evaluation.gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.policy_iteration.iterations"
+                        ).observe(iteration)
+                    logger.debug(
+                        "policy iteration converged: %d states, %d rounds, "
+                        "gain %.6g",
+                        mdp.n_states, iteration, evaluation.gain,
+                    )
+                return PolicyIterationResult(
+                    policy=policy,
+                    gain=evaluation.gain,
+                    bias=evaluation.bias,
+                    stationary=evaluation.stationary,
+                    iterations=iteration,
+                    gain_history=gain_history,
+                )
     raise SolverError(
         f"policy iteration did not converge in {max_iterations} iterations"
     )

@@ -18,6 +18,7 @@ ablation bench.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable, List, Optional
 
@@ -28,8 +29,21 @@ from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy
 from repro.ctmdp.uniformization import APERIODICITY_SLACK, UniformizedMDP, uniformize_ctmdp
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 
 BACKENDS = ("compiled", "reference")
+
+logger = get_logger(__name__)
+
+#: Registry name of the per-sweep convergence trace: one row per
+#: Bellman backup with the span residual (the stopping quantity) and
+#: the wall-clock ``sweep_s`` (profiling field).
+CONVERGENCE_SERIES = "solver.value_iteration.convergence"
+
+
+def _convergence_series(metrics):
+    return metrics.series(CONVERGENCE_SERIES, profiling_fields=("sweep_s",))
 
 
 @dataclass(frozen=True)
@@ -87,7 +101,17 @@ def _relative_value_iteration_compiled(
     ``c / Lambda`` -- then runs whole-state-space Bellman backups as one
     matrix-vector product per sweep.
     """
+    ins = obs_active()
+    metrics = ins.metrics
+    if ins.enabled:
+        lowering_start = time.perf_counter()
     comp = compile_ctmdp(mdp)
+    if ins.enabled and metrics is not None:
+        metrics.histogram("profile.solver.lowering_s", profiling=True).observe(
+            time.perf_counter() - lowering_start
+        )
+        metrics.counter("solver.value_iteration.solves").inc()
+    series = _convergence_series(metrics) if metrics is not None else None
     max_rate = comp.max_exit_rate()
     if uniformization_rate is None:
         lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
@@ -103,30 +127,51 @@ def _relative_value_iteration_compiled(
     n = comp.n_states
     w = np.zeros(n)
     span_history: List[float] = []
-    for iteration in range(1, max_iterations + 1):
-        values = step_cost + transition @ w
-        new_w, greedy_cols = comp.greedy(values)
-        diff = new_w - w
-        span = float(diff.max() - diff.min())
-        span_history.append(span)
-        # Renormalize to keep the values bounded (relative VI).
-        w = new_w - new_w[0]
-        if span < span_tolerance:
-            gain = float(lam * 0.5 * (diff.max() + diff.min()))
-            policy = Policy._trusted(
-                mdp,
-                {
-                    state: comp.actions[i][greedy_cols[i]]
-                    for i, state in enumerate(comp.states)
-                },
-            )
-            return ValueIterationResult(
-                policy=policy,
-                gain=gain,
-                values=w.copy(),
-                iterations=iteration,
-                span_history=span_history,
-            )
+    with ins.span("value_iteration", backend="compiled", n_states=n) as tspan:
+        for iteration in range(1, max_iterations + 1):
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+            values = step_cost + transition @ w
+            new_w, greedy_cols = comp.greedy(values)
+            diff = new_w - w
+            span = float(diff.max() - diff.min())
+            span_history.append(span)
+            if series is not None:
+                series.append(
+                    backend="compiled",
+                    iteration=iteration,
+                    span=span,
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            # Renormalize to keep the values bounded (relative VI).
+            w = new_w - new_w[0]
+            if span < span_tolerance:
+                gain = float(lam * 0.5 * (diff.max() + diff.min()))
+                policy = Policy._trusted(
+                    mdp,
+                    {
+                        state: comp.actions[i][greedy_cols[i]]
+                        for i, state in enumerate(comp.states)
+                    },
+                )
+                if ins.enabled:
+                    tspan.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.value_iteration.iterations"
+                        ).observe(iteration)
+                    logger.debug(
+                        "value iteration converged: %d states, %d sweeps, "
+                        "gain %.6g",
+                        n, iteration, gain,
+                    )
+                return ValueIterationResult(
+                    policy=policy,
+                    gain=gain,
+                    values=w.copy(),
+                    iterations=iteration,
+                    span_history=span_history,
+                )
     raise SolverError(
         f"relative value iteration did not reach span {span_tolerance:g} in "
         f"{max_iterations} sweeps (last span {span_history[-1]:g})"
@@ -173,14 +218,28 @@ def relative_value_iteration(
             mdp, span_tolerance, max_iterations, uniformization_rate
         )
     uni = uniformize_ctmdp(mdp, rate=uniformization_rate)
+    ins = obs_active()
+    metrics = ins.metrics
+    series = _convergence_series(metrics) if metrics is not None else None
+    if metrics is not None:
+        metrics.counter("solver.value_iteration.solves").inc()
     n = len(uni.states)
     w = np.zeros(n)
     span_history: List[float] = []
     for iteration in range(1, max_iterations + 1):
+        if ins.enabled:
+            sweep_start = time.perf_counter()
         new_w, greedy = _sweep(uni, w)
         diff = new_w - w
         span = float(diff.max() - diff.min())
         span_history.append(span)
+        if series is not None:
+            series.append(
+                backend="reference",
+                iteration=iteration,
+                span=span,
+                sweep_s=time.perf_counter() - sweep_start,
+            )
         # Renormalize to keep the values bounded (relative VI).
         w = new_w - new_w[0]
         if span < span_tolerance:
@@ -189,6 +248,10 @@ def relative_value_iteration(
                 mdp, {state: greedy[i] for i, state in enumerate(uni.states)}
             )
             values = w.copy()
+            if metrics is not None:
+                metrics.histogram("solver.value_iteration.iterations").observe(
+                    iteration
+                )
             return ValueIterationResult(
                 policy=policy,
                 gain=gain,

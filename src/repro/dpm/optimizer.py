@@ -29,8 +29,12 @@ from repro.dpm import cost as cost_channels
 from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy
 from repro.dpm.system import PowerManagedSystemModel
 from repro.errors import InfeasibleConstraintError, SolverError
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 
 SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -73,18 +77,30 @@ def optimize_weighted(
         on the optimal gain; they exist separately for the solver
         ablation bench.
     """
-    mdp = model.build_ctmdp(weight)
-    if solver == "policy_iteration":
-        policy: Union[Policy, RandomizedPolicy] = policy_iteration(mdp).policy
-    elif solver == "value_iteration":
-        policy = relative_value_iteration(mdp, span_tolerance=1e-9).policy
-    elif solver == "linear_program":
-        policy = solve_average_cost_lp(mdp).deterministic_policy
-    else:
-        raise SolverError(f"unknown solver {solver!r}; choose from {SOLVERS}")
-    return OptimizationResult(
-        policy=policy, metrics=evaluate_dpm_policy(model, policy), weight=weight
-    )
+    ins = obs_active()
+    if ins.metrics is not None:
+        ins.metrics.counter("optimizer.weighted_solves").inc()
+    with ins.span("optimize_weighted", weight=float(weight), solver=solver) as span:
+        mdp = model.build_ctmdp(weight)
+        if solver == "policy_iteration":
+            policy: Union[Policy, RandomizedPolicy] = policy_iteration(mdp).policy
+        elif solver == "value_iteration":
+            policy = relative_value_iteration(mdp, span_tolerance=1e-9).policy
+        elif solver == "linear_program":
+            policy = solve_average_cost_lp(mdp).deterministic_policy
+        else:
+            raise SolverError(f"unknown solver {solver!r}; choose from {SOLVERS}")
+        metrics = evaluate_dpm_policy(model, policy)
+        if ins.enabled:
+            span.attrs.update(
+                average_power=metrics.average_power,
+                average_queue_length=metrics.average_queue_length,
+            )
+            logger.debug(
+                "optimize_weighted(w=%g, solver=%s): power %.6g, queue %.6g",
+                weight, solver, metrics.average_power, metrics.average_queue_length,
+            )
+    return OptimizationResult(policy=policy, metrics=metrics, weight=weight)
 
 
 def sweep_weights(
@@ -125,16 +141,20 @@ def optimize_constrained(
     InfeasibleConstraintError
         If no stationary policy meets the bound.
     """
-    mdp = model.build_ctmdp(weight=0.0)
-    result = solve_constrained_lp(
-        mdp,
-        objective=cost_channels.POWER,
-        constraints={cost_channels.QUEUE_LENGTH: max_queue_length},
-    )
-    policy = result.policy
-    return OptimizationResult(
-        policy=policy, metrics=evaluate_dpm_policy(model, policy), weight=None
-    )
+    ins = obs_active()
+    if ins.metrics is not None:
+        ins.metrics.counter("optimizer.constrained_solves").inc()
+    with ins.span("optimize_constrained", max_queue_length=float(max_queue_length)):
+        mdp = model.build_ctmdp(weight=0.0)
+        result = solve_constrained_lp(
+            mdp,
+            objective=cost_channels.POWER,
+            constraints={cost_channels.QUEUE_LENGTH: max_queue_length},
+        )
+        policy = result.policy
+        return OptimizationResult(
+            policy=policy, metrics=evaluate_dpm_policy(model, policy), weight=None
+        )
 
 
 def find_weight_for_constraint(
@@ -172,27 +192,39 @@ def find_weight_for_constraint(
     InfeasibleConstraintError
         If even ``weight_upper_bound`` cannot meet the bound.
     """
-    low = 0.0
-    low_result = optimize_weighted(model, low, solver=solver)
-    if low_result.metrics.average_queue_length <= max_queue_length:
-        return low_result
-    high = weight_upper_bound
-    high_result = optimize_weighted(model, high, solver=solver)
-    if high_result.metrics.average_queue_length > max_queue_length:
-        raise InfeasibleConstraintError(
-            f"queue-length bound {max_queue_length:g} unreachable even at "
-            f"weight {weight_upper_bound:g} "
-            f"(achieved {high_result.metrics.average_queue_length:g})"
-        )
-    best = high_result
-    for _ in range(max_bisections):
-        if high - low <= tolerance:
-            break
-        mid = 0.5 * (low + high)
-        mid_result = optimize_weighted(model, mid, solver=solver)
-        if mid_result.metrics.average_queue_length <= max_queue_length:
-            high = mid
-            best = mid_result
-        else:
-            low = mid
-    return best
+    ins = obs_active()
+    with ins.span(
+        "find_weight_for_constraint",
+        max_queue_length=float(max_queue_length),
+        solver=solver,
+    ) as span:
+        low = 0.0
+        low_result = optimize_weighted(model, low, solver=solver)
+        if low_result.metrics.average_queue_length <= max_queue_length:
+            if ins.enabled:
+                span.attrs.update(weight=low, bisections=0)
+            return low_result
+        high = weight_upper_bound
+        high_result = optimize_weighted(model, high, solver=solver)
+        if high_result.metrics.average_queue_length > max_queue_length:
+            raise InfeasibleConstraintError(
+                f"queue-length bound {max_queue_length:g} unreachable even at "
+                f"weight {weight_upper_bound:g} "
+                f"(achieved {high_result.metrics.average_queue_length:g})"
+            )
+        best = high_result
+        bisections = 0
+        for _ in range(max_bisections):
+            if high - low <= tolerance:
+                break
+            mid = 0.5 * (low + high)
+            mid_result = optimize_weighted(model, mid, solver=solver)
+            bisections += 1
+            if mid_result.metrics.average_queue_length <= max_queue_length:
+                high = mid
+                best = mid_result
+            else:
+                low = mid
+        if ins.enabled:
+            span.attrs.update(weight=best.weight, bisections=bisections)
+        return best

@@ -22,6 +22,10 @@ from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy
 from repro.dpm.optimizer import optimize_constrained, optimize_weighted
 from repro.dpm.system import PowerManagedSystemModel
 from repro.errors import SolverError
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -92,10 +96,14 @@ def deterministic_frontier(
     """
     if max_weight <= 0:
         raise SolverError(f"max_weight must be positive, got {max_weight}")
+    ins = obs_active()
     points: "dict[tuple, FrontierPoint]" = {}
+    solves = 0
 
     def record(weight: float) -> "tuple":
+        nonlocal solves
         result = optimize_weighted(model, weight, solver=solver)
+        solves += 1
         key = _point_key(result.metrics)
         existing = points.get(key)
         if existing is None or weight < existing.weight:
@@ -104,27 +112,36 @@ def deterministic_frontier(
             )
         return key
 
-    key_left = record(0.0)
-    key_right = record(max_weight)
-    # Explicit work stack instead of recursion: a pathological
-    # combination of tiny weight_tolerance and wide weight range would
-    # otherwise hit the interpreter recursion limit. Pushing the right
-    # half first keeps the left-first depth-first order of the original
-    # recursive exploration.
-    stack = [(0.0, key_left, max_weight, key_right)]
-    while stack:
-        w_lo, key_lo, w_hi, key_hi = stack.pop()
-        if key_lo == key_hi or w_hi - w_lo <= weight_tolerance:
-            continue
-        if len(points) >= max_points:
-            raise SolverError(
-                f"frontier exceeded {max_points} points; "
-                "raise max_points if this model is genuinely that rich"
+    with ins.span(
+        "deterministic_frontier", max_weight=float(max_weight), solver=solver
+    ) as span:
+        key_left = record(0.0)
+        key_right = record(max_weight)
+        # Explicit work stack instead of recursion: a pathological
+        # combination of tiny weight_tolerance and wide weight range would
+        # otherwise hit the interpreter recursion limit. Pushing the right
+        # half first keeps the left-first depth-first order of the original
+        # recursive exploration.
+        stack = [(0.0, key_left, max_weight, key_right)]
+        while stack:
+            w_lo, key_lo, w_hi, key_hi = stack.pop()
+            if key_lo == key_hi or w_hi - w_lo <= weight_tolerance:
+                continue
+            if len(points) >= max_points:
+                raise SolverError(
+                    f"frontier exceeded {max_points} points; "
+                    "raise max_points if this model is genuinely that rich"
+                )
+            w_mid = 0.5 * (w_lo + w_hi)
+            key_mid = record(w_mid)
+            stack.append((w_mid, key_mid, w_hi, key_hi))
+            stack.append((w_lo, key_lo, w_mid, key_mid))
+        if ins.enabled:
+            span.attrs.update(points=len(points), solves=solves)
+            logger.debug(
+                "deterministic frontier: %d points from %d solves",
+                len(points), solves,
             )
-        w_mid = 0.5 * (w_lo + w_hi)
-        key_mid = record(w_mid)
-        stack.append((w_mid, key_mid, w_hi, key_hi))
-        stack.append((w_lo, key_lo, w_mid, key_mid))
     return sorted(points.values(), key=lambda p: p.delay)
 
 

@@ -24,9 +24,13 @@ from repro.dpm.presets import paper_system
 from repro.dpm.system import PowerManagedSystemModel
 from repro.experiments import setup
 from repro.experiments.reporting import format_table
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 from repro.policies.npolicy import NPolicy
 from repro.policies.optimal import OptimalCTMDPPolicy
 from repro.sim.parallel import parallel_map
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,22 @@ def run_figure4(
     """
     if model is None:
         model = paper_system()
+    ins = obs_active()
+    if ins.metrics is not None:
+        ins.metrics.counter("experiment.figure4.runs").inc()
+        ins.metrics.gauge("experiment.figure4.n_requests").set(n_requests)
+    with ins.span(
+        "experiment.figure4", n_weights=len(weights), n_requests=n_requests
+    ) as espan:
+        points = _run_figure4(
+            model, weights, n_values, n_requests, seed, n_jobs, ins
+        )
+        if ins.enabled:
+            espan.attrs.update(points=len(points))
+    return points
+
+
+def _run_figure4(model, weights, n_values, n_requests, seed, n_jobs, ins):
     # Collapse duplicate Pareto points before simulating: distinct
     # weights frequently yield the same point (the optimal policy is
     # piecewise constant in the weight, and policies may also differ
@@ -79,6 +99,15 @@ def run_figure4(
             continue
         seen_points.add(key)
         unique_results.append(result)
+    if ins.enabled:
+        logger.debug(
+            "figure4: %d unique Pareto points from %d weights",
+            len(unique_results), len(weights),
+        )
+        if ins.metrics is not None:
+            ins.metrics.counter("experiment.figure4.unique_pareto_points").inc(
+                len(unique_results)
+            )
 
     def _simulate_optimal(result):
         return setup.simulate_policy(

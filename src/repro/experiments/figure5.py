@@ -24,6 +24,7 @@ from repro.dpm.presets import paper_system
 from repro.dpm.system import PowerManagedSystemModel
 from repro.experiments import setup
 from repro.experiments.reporting import format_table
+from repro.obs.runtime import active as obs_active
 from repro.policies.base import PowerManagementPolicy
 from repro.policies.greedy import GreedyPolicy
 from repro.policies.optimal import StochasticCTMDPPolicy
@@ -100,8 +101,17 @@ def run_figure5(
             )
         return rate_points
 
-    per_rate = parallel_map(_points_at_rate, list(rates), n_jobs=n_jobs)
-    return [point for rate_points in per_rate for point in rate_points]
+    ins = obs_active()
+    if ins.metrics is not None:
+        ins.metrics.counter("experiment.figure5.runs").inc()
+    with ins.span(
+        "experiment.figure5", n_rates=len(rates), n_requests=n_requests
+    ) as espan:
+        per_rate = parallel_map(_points_at_rate, list(rates), n_jobs=n_jobs)
+        points = [point for rate_points in per_rate for point in rate_points]
+        if ins.enabled:
+            espan.attrs.update(points=len(points))
+    return points
 
 
 def format_figure5(points: "List[Figure5Point]") -> str:

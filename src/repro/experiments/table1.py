@@ -19,6 +19,7 @@ from repro.dpm.optimizer import optimize_constrained
 from repro.dpm.presets import paper_system
 from repro.experiments import setup
 from repro.experiments.reporting import format_table
+from repro.obs.runtime import active as obs_active
 from repro.policies.optimal import StochasticCTMDPPolicy
 from repro.sim.parallel import parallel_map
 
@@ -77,7 +78,13 @@ def run_table1(
             actual_queue_length=sim.average_queue_length,
         )
 
-    return parallel_map(_row, list(rates), n_jobs=n_jobs)
+    ins = obs_active()
+    if ins.metrics is not None:
+        ins.metrics.counter("experiment.table1.runs").inc()
+    with ins.span(
+        "experiment.table1", n_rates=len(rates), n_requests=n_requests
+    ):
+        return parallel_map(_row, list(rates), n_jobs=n_jobs)
 
 
 def format_table1(rows: "List[Table1Row]") -> str:

@@ -1,0 +1,66 @@
+"""Observability layer: metrics, traces, logging, run manifests.
+
+A dependency-free instrumentation stack threaded through the solvers,
+the event-driven simulator, the parallel replication engine, and the
+experiment drivers:
+
+- :mod:`repro.obs.metrics` -- ``Counter`` / ``Gauge`` / ``Histogram``
+  (fixed log-spaced buckets) / ``Series`` instruments in a
+  ``MetricsRegistry`` whose merges are deterministic bit-for-bit
+  (exact float accumulation), so parallel runs report the same metrics
+  as serial ones;
+- :mod:`repro.obs.trace` -- ``span()`` wall-clock timers emitting a
+  JSONL trace with parent ids;
+- :mod:`repro.obs.runtime` -- the ambient ``active()`` /
+  ``instrument()`` context; a true no-op by default, so instrumented
+  hot paths cost nothing unless observability is switched on;
+- :mod:`repro.obs.export` -- metrics-JSON / trace-JSONL writers plus a
+  run manifest (git sha, argv, seed, versions);
+- :mod:`repro.obs.log` -- stdlib ``logging`` wiring under the
+  ``repro`` namespace (the CLI's ``--log-level``).
+"""
+
+from repro.obs.export import (
+    read_metrics,
+    read_trace,
+    run_manifest,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+    Series,
+    log_buckets,
+)
+from repro.obs.runtime import DISABLED, Instrumentation, active, instrument
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DISABLED",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "ObservabilityError",
+    "Series",
+    "SpanRecord",
+    "Tracer",
+    "active",
+    "configure_logging",
+    "get_logger",
+    "instrument",
+    "log_buckets",
+    "read_metrics",
+    "read_trace",
+    "run_manifest",
+    "write_metrics",
+    "write_trace",
+]

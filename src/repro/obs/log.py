@@ -1,0 +1,59 @@
+"""Stdlib-logging wiring for the :mod:`repro` package.
+
+Every module logs through :func:`get_logger`, which namespaces under
+the ``repro`` root logger. The library itself never configures
+handlers (library best practice -- a ``NullHandler`` keeps "no handler"
+warnings away); the CLI's ``--log-level`` calls
+:func:`configure_logging`, which attaches one stderr handler with a
+compact timestamped format and sets the level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: Accepted ``--log-level`` names, lowest to highest severity.
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: str, stream: "Optional[object]" = None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root at *level*.
+
+    Idempotent: re-configuring replaces the previously attached handler
+    rather than stacking duplicates.
+
+    Raises
+    ------
+    ValueError
+        If *level* is not one of :data:`LEVELS`.
+    """
+    level = level.lower()
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    return root

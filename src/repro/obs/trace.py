@@ -1,0 +1,138 @@
+"""Span-based wall-clock tracing with JSONL output.
+
+A :class:`Tracer` records :class:`SpanRecord` entries -- name, start
+time, duration, free-form attributes, and the id of the enclosing span
+-- via the :meth:`Tracer.span` context manager. The result is a flat
+list that serializes to JSONL (one JSON object per line), cheap to
+append to and trivially greppable; parent ids reconstruct the call
+tree.
+
+Spans measure *wall clock* (``time.perf_counter`` relative to the
+tracer's epoch), so traces are inherently non-deterministic; they live
+beside, not inside, the deterministic metrics registry. Worker tracers
+from the process pool are adopted into the parent with
+:meth:`Tracer.adopt`, which renumbers span ids to keep them unique and
+re-parents worker roots under the parent's currently open span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration: Optional[float]
+    attrs: "Dict[str, Any]" = field(default_factory=dict)
+
+    def to_dict(self) -> "Dict[str, Any]":
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects spans; one instance per instrumented run (not thread-safe)."""
+
+    def __init__(self, epoch: "Optional[float]" = None) -> None:
+        # Forked workers pass the parent tracer's epoch so their span
+        # start times land on the parent's timeline (perf_counter is a
+        # system-wide monotonic clock on the platforms we fork on).
+        self._epoch = time.perf_counter() if epoch is None else epoch
+        self._next_id = 1
+        self._open: List[SpanRecord] = []
+        self.records: List[SpanRecord] = []
+
+    @property
+    def epoch(self) -> float:
+        return self._epoch
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    @property
+    def current_span_id(self) -> "Optional[int]":
+        return self._open[-1].span_id if self._open else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> "Iterator[SpanRecord]":
+        """Time a block; nesting establishes the parent chain.
+
+        The yielded record's ``attrs`` may be updated inside the block
+        (e.g. to attach an iteration count discovered mid-span).
+        """
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=self.current_span_id,
+            name=name,
+            start=self._now(),
+            duration=None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._open.append(record)
+        self.records.append(record)
+        try:
+            yield record
+        finally:
+            record.duration = self._now() - record.start
+            self._open.pop()
+
+    def adopt(self, records: "Iterable[Dict[str, Any]]") -> None:
+        """Merge serialized spans from a worker tracer.
+
+        Ids are renumbered into this tracer's sequence (preserving the
+        internal parent structure) and parentless worker roots are
+        attached to the currently open span, so a fan-out's worker spans
+        appear as children of the span that launched the pool.
+        """
+        id_map: Dict[int, int] = {}
+        adopted: List[SpanRecord] = []
+        for payload in records:
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[payload["span_id"]] = new_id
+            adopted.append(
+                SpanRecord(
+                    span_id=new_id,
+                    parent_id=payload["parent_id"],
+                    name=payload["name"],
+                    start=payload["start"],
+                    duration=payload["duration"],
+                    attrs=dict(payload.get("attrs") or {}),
+                )
+            )
+        root_parent = self.current_span_id
+        for record in adopted:
+            if record.parent_id is None:
+                record.parent_id = root_parent
+            else:
+                record.parent_id = id_map.get(record.parent_id, root_parent)
+        self.records.extend(adopted)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dicts(self) -> "List[Dict[str, Any]]":
+        return [record.to_dict() for record in self.records]
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL: one span object per line."""
+        return "".join(
+            json.dumps(record.to_dict(), sort_keys=True) + "\n"
+            for record in self.records
+        )

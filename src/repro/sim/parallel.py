@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import SimulationError
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -72,10 +75,31 @@ def _chunk_indices(n_items: int, n_chunks: int) -> "List[range]":
     return chunks
 
 
-def _run_chunk(indices: "range") -> "List[Any]":
-    """Evaluate one chunk of the published work (runs in a worker)."""
+def _run_chunk(indices: "range") -> "Tuple[List[Any], Optional[dict], Optional[list]]":
+    """Evaluate one chunk of the published work (runs in a worker).
+
+    When the forked-in parent context carries instrumentation, the
+    chunk runs under a *fresh* worker registry/tracer whose snapshot is
+    shipped back beside the results; the parent merges snapshots in
+    chunk (= input) order, so the merged registry is bit-for-bit the
+    registry a serial run would have built (wall-clock instruments are
+    flagged ``profiling`` and exempt from that identity).
+    """
     fn, items = _WORK
-    return [fn(items[i]) for i in indices]
+    parent = obs_runtime.active()
+    if not parent.enabled:
+        return [fn(items[i]) for i in indices], None, None
+    registry = MetricsRegistry() if parent.metrics is not None else None
+    tracer = (
+        Tracer(epoch=parent.tracer.epoch) if parent.tracer is not None else None
+    )
+    with obs_runtime.instrument(metrics=registry, tracer=tracer):
+        results = [fn(items[i]) for i in indices]
+    return (
+        results,
+        registry.to_dict() if registry is not None else None,
+        tracer.to_dicts() if tracer is not None else None,
+    )
 
 
 def parallel_map(
@@ -108,4 +132,12 @@ def parallel_map(
             chunk_results = pool.map(_run_chunk, chunks)
     finally:
         _WORK = None
-    return [result for chunk in chunk_results for result in chunk]
+    parent = obs_runtime.active()
+    results: "List[R]" = []
+    for chunk, metrics_snapshot, trace_spans in chunk_results:
+        results.extend(chunk)
+        if metrics_snapshot is not None and parent.metrics is not None:
+            parent.metrics.merge_dict(metrics_snapshot)
+        if trace_spans is not None and parent.tracer is not None:
+            parent.tracer.adopt(trace_spans)
+    return results

@@ -16,6 +16,7 @@ aggregate statistics path.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -59,6 +60,7 @@ class TimelineRecorder:
     _mode_since: float = 0.0
     _switch_energies: "List[Tuple[float, float]]" = field(default_factory=list)
     _finalized: bool = False
+    _segment_starts: "List[float]" = field(default_factory=list)
 
     # -- hooks driven by the simulator -----------------------------------------
 
@@ -90,6 +92,7 @@ class TimelineRecorder:
             self._mode_segments.append(
                 ModeSegment(self._current_mode, self._mode_since, end_time)
             )
+        self._segment_starts = [s.start for s in self._mode_segments]
         self._finalized = True
 
     # -- queries ---------------------------------------------------------------
@@ -101,22 +104,45 @@ class TimelineRecorder:
         return list(self._mode_segments)
 
     def mode_at(self, time: float) -> str:
-        """The SP mode at absolute *time*."""
-        for segment in self.mode_segments:
-            if segment.start <= time < segment.end:
-                return segment.mode
-        if self._mode_segments and time >= self._mode_segments[-1].end:
-            return self._mode_segments[-1].mode
-        raise SimulationError(f"time {time:g} precedes the recorded timeline")
+        """The SP mode at absolute *time* (binary search over segments)."""
+        if not self._finalized:
+            raise SimulationError("timeline not finalized; run the simulation first")
+        segments = self._mode_segments
+        if not segments:
+            raise SimulationError(
+                "no mode segments recorded; the simulation saw no SP activity"
+            )
+        if time < segments[0].start:
+            raise SimulationError(
+                f"time {time:g} precedes the recorded timeline "
+                f"(starts at {segments[0].start:g})"
+            )
+        if time >= segments[-1].end:
+            return segments[-1].mode
+        idx = bisect.bisect_right(self._segment_starts, time) - 1
+        segment = segments[idx]
+        if time >= segment.end:
+            # Segments are contiguous in normal operation, but report a
+            # genuine gap honestly instead of claiming the query time
+            # precedes the run.
+            raise SimulationError(
+                f"time {time:g} falls in a gap of the recorded timeline "
+                f"([{segment.end:g}, {segments[idx + 1].start:g}))"
+            )
+        return segment.mode
 
     def occupancy_at(self, time: float) -> int:
-        """Queue occupancy at absolute *time* (0 before the first step)."""
-        level = 0
-        for step_time, occupancy in self.queue_steps:
-            if step_time > time:
-                break
-            level = occupancy
-        return level
+        """Queue occupancy at absolute *time* (0 before the first step).
+
+        Binary search over the step signal: O(log n) per query. The
+        sentinel pairs ``(time, inf)`` after any recorded ``(time, k)``,
+        so steps exactly at *time* are included, matching the previous
+        linear scan's ``step_time <= time`` semantics.
+        """
+        idx = bisect.bisect_right(self.queue_steps, (time, float("inf")))
+        if idx == 0:
+            return 0
+        return self.queue_steps[idx - 1][1]
 
     def energy_between(
         self, provider: ServiceProvider, start: float, end: float

@@ -26,11 +26,14 @@ Semantics (matching the CTMDP model; see :mod:`repro.sim.provider`):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.dpm.service_provider import ServiceProvider
 from repro.errors import SimulationError
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 from repro.policies.base import Decision, PowerManagementPolicy, SystemView
 from repro.sim.distributions import ServiceDistribution
 from repro.sim.engine import EventHandle, EventScheduler
@@ -48,6 +51,12 @@ TIMER = "timer"
 START = "start"
 
 BUSY_POWERDOWN_MODES = ("reject", "preempt")
+
+logger = get_logger(__name__)
+
+#: Queue-occupancy histogram buckets: occupancies are small integers,
+#: so unit-width buckets up to 64 then the overflow bucket.
+OCCUPANCY_BUCKETS = tuple(float(i) for i in range(65))
 
 
 @dataclass(frozen=True)
@@ -146,6 +155,22 @@ class Simulator:
     # -- run -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        # Observability is resolved once per run: the per-event cost of
+        # the disabled default is a single ``is not None`` check.
+        ins = obs_active()
+        self._metrics = ins.metrics
+        self._occ_hist = None
+        self._lat_hist = None
+        event_counts: "Optional[Dict[str, int]]" = None
+        if self._metrics is not None:
+            self._occ_hist = self._metrics.histogram(
+                "sim.queue_occupancy", bounds=OCCUPANCY_BUCKETS
+            )
+            self._lat_hist = self._metrics.histogram(
+                "profile.sim.pm_decision_latency_s", profiling=True
+            )
+            event_counts = {}
+            wall_start = time.perf_counter()
         self.streams = RandomStreams(self.seed)
         self.scheduler = EventScheduler()
         self.sp = SimulatedProvider(
@@ -160,6 +185,8 @@ class Simulator:
         if self.recorder is not None:
             self.recorder.record_mode(0.0, self.sp.mode)
             self.recorder.record_queue(0.0, 0)
+        if self._occ_hist is not None:
+            self._occ_hist.observe(0)
         self.in_transfer = False
         self.version = 0
         self.n_generated = 0
@@ -178,6 +205,8 @@ class Simulator:
                 break
             if self.recorder is not None:
                 self.recorder.record_event(self.scheduler.now, event.kind)
+            if event_counts is not None:
+                event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
             if event.kind == ARRIVAL:
                 self._on_arrival()
             elif event.kind == SERVICE_COMPLETE:
@@ -205,6 +234,8 @@ class Simulator:
                     )
                 )
             self.recorder.finalize(end_time)
+        if self._metrics is not None:
+            self._publish_metrics(event_counts, time.perf_counter() - wall_start)
         return SimulationResult(
             policy_name=self.policy.name,
             seed=self.seed,
@@ -221,6 +252,45 @@ class Simulator:
             n_pm_invocations=self.stats.n_pm_invocations,
             n_pm_commands=self.stats.n_pm_commands,
             mode_residency=dict(self.stats.mode_residency),
+        )
+
+    def _publish_metrics(
+        self, event_counts: "Dict[str, int]", wall_s: float
+    ) -> None:
+        """Fold this run's aggregates into the active metrics registry.
+
+        Everything here is either integer-counted or exactly summed, so
+        registries merged from parallel workers reproduce the serial
+        registry bit-for-bit (wall-clock instruments are flagged
+        ``profiling`` and excluded from that contract).
+        """
+        m = self._metrics
+        n_events = sum(event_counts.values())
+        m.counter("sim.runs").inc()
+        m.counter("sim.events").inc(n_events)
+        for kind in sorted(event_counts):
+            m.counter(f"sim.events.{kind}").inc(event_counts[kind])
+        m.counter("sim.requests.generated").inc(self.n_generated)
+        m.counter("sim.requests.accepted").inc(self.queue.n_accepted)
+        m.counter("sim.requests.lost").inc(self.queue.n_lost)
+        m.counter("sim.requests.completed").inc(self.stats.n_completed)
+        m.counter("sim.switches").inc(self.stats.n_switches)
+        m.counter("sim.pm.invocations").inc(self.stats.n_pm_invocations)
+        m.counter("sim.pm.commands").inc(self.stats.n_pm_commands)
+        m.counter("sim.time_simulated_s").inc(float(self.stats.elapsed))
+        waiting = m.histogram("sim.waiting_time_s")
+        for sojourn in self.stats.waiting_times:
+            waiting.observe(sojourn)
+        m.histogram("profile.sim.wall_s", profiling=True).observe(wall_s)
+        if wall_s > 0:
+            m.histogram("profile.sim.events_per_s", profiling=True).observe(
+                n_events / wall_s
+            )
+        logger.debug(
+            "simulation finished: %d events in %.3fs wall (%.0f events/s), "
+            "%d requests, policy %s",
+            n_events, wall_s, n_events / wall_s if wall_s > 0 else 0.0,
+            self.n_generated, self.policy.name,
         )
 
     def _drained(self) -> bool:
@@ -257,6 +327,8 @@ class Simulator:
             self.stats.set_queue_length(now, self.queue.occupancy)
             if self.recorder is not None:
                 self.recorder.record_queue(now, self.queue.occupancy)
+            if self._occ_hist is not None:
+                self._occ_hist.observe(self.queue.occupancy)
         elif self.recorder is not None:
             self.recorder.record_request(
                 RequestRecord(
@@ -278,6 +350,8 @@ class Simulator:
         request = self.queue.complete_service(now)
         self.stats.record_departure(request.arrival_time, now)
         self.stats.set_queue_length(now, self.queue.occupancy)
+        if self._occ_hist is not None:
+            self._occ_hist.observe(self.queue.occupancy)
         if self.recorder is not None:
             self.recorder.record_queue(now, self.queue.occupancy)
             self.recorder.record_request(
@@ -345,7 +419,12 @@ class Simulator:
     def _invoke_policy(self, event: str, arrival_lost: bool) -> Optional[str]:
         """Call the PM; apply its decision. Returns the command issued."""
         self.version += 1
-        decision = self.policy.decide(self._view(event, arrival_lost))
+        if self._lat_hist is not None:
+            decide_start = time.perf_counter()
+            decision = self.policy.decide(self._view(event, arrival_lost))
+            self._lat_hist.observe(time.perf_counter() - decide_start)
+        else:
+            decision = self.policy.decide(self._view(event, arrival_lost))
         if not isinstance(decision, Decision):
             raise SimulationError(
                 f"policy {self.policy.name} returned {type(decision).__name__}, "

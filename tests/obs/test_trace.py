@@ -1,0 +1,97 @@
+"""Tests for span tracing: nesting, attrs, and worker adoption."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Tracer
+
+
+class TestSpans:
+    def test_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3):
+            pass
+        (record,) = tracer.records
+        assert record.name == "work"
+        assert record.attrs == {"n": 3}
+        assert record.duration is not None and record.duration >= 0.0
+        assert record.parent_id is None
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert inner.parent_id == outer.span_id
+        assert tracer.current_span_id is None
+
+    def test_attrs_updatable_in_block(self):
+        tracer = Tracer()
+        with tracer.span("solve") as span:
+            span.attrs.update(iterations=7)
+        assert tracer.records[0].attrs["iterations"] == 7
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        _, a, b = tracer.records
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_duration_recorded_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError()
+        except ValueError:
+            pass
+        assert tracer.records[0].duration is not None
+
+
+class TestAdoption:
+    def test_ids_renumbered_and_reparented(self):
+        worker = Tracer()
+        with worker.span("w_root"):
+            with worker.span("w_child"):
+                pass
+        parent = Tracer()
+        with parent.span("fan_out") as fan:
+            parent.adopt(worker.to_dicts())
+        by_name = {r.name: r for r in parent.records}
+        assert by_name["w_root"].parent_id == fan.span_id
+        assert by_name["w_child"].parent_id == by_name["w_root"].span_id
+        ids = [r.span_id for r in parent.records]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_outside_span_keeps_roots_parentless(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.to_dicts())
+        assert parent.records[0].parent_id is None
+
+    def test_worker_epoch_aligns_timeline(self):
+        parent = Tracer()
+        worker = Tracer(epoch=parent.epoch)
+        assert worker.epoch == parent.epoch
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", k="v"):
+            pass
+        lines = tracer.to_jsonl().strip().split("\n")
+        assert len(lines) == 1
+        obj = json.loads(lines[0])
+        assert obj["name"] == "a"
+        assert obj["attrs"] == {"k": "v"}
+        assert set(obj) == {
+            "span_id", "parent_id", "name", "start", "duration", "attrs"
+        }

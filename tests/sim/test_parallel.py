@@ -83,6 +83,72 @@ class TestParallelMap:
         ]
 
 
+class TestWorkerMetricsMerge:
+    """Worker registries merge back into the parent, equal to serial."""
+
+    @staticmethod
+    def _work(x):
+        from repro.obs.runtime import active
+
+        ins = active()
+        if ins.metrics is not None:
+            ins.metrics.counter("work.calls").inc()
+            ins.metrics.counter("work.total").inc(x * 0.1)
+            ins.metrics.histogram("work.values", bounds=(2.0, 8.0)).observe(x)
+            ins.metrics.series("work.rows").append(x=x)
+        with ins.span("work.item", x=x):
+            return x * x
+
+    def _run(self, n_jobs):
+        import json
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.runtime import instrument
+        from repro.obs.trace import Tracer
+
+        registry, tracer = MetricsRegistry(), Tracer()
+        with instrument(metrics=registry, tracer=tracer):
+            results = parallel_map(self._work, range(17), n_jobs=n_jobs)
+        return results, json.dumps(registry.to_dict(), sort_keys=True), tracer
+
+    @pytest.mark.parametrize("n_jobs", [2, 3, 8])
+    def test_parallel_metrics_equal_serial_bitwise(self, n_jobs):
+        serial_results, serial_metrics, _ = self._run(1)
+        par_results, par_metrics, _ = self._run(n_jobs)
+        assert par_results == serial_results
+        assert par_metrics == serial_metrics
+
+    def test_series_rows_keep_input_order(self):
+        _, metrics_json, _ = self._run(4)
+        import json
+
+        rows = json.loads(metrics_json)["work.rows"]["records"]
+        assert [r["x"] for r in rows] == list(range(17))
+
+    def test_worker_spans_adopted_under_open_span(self):
+        import json
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.runtime import instrument
+        from repro.obs.trace import Tracer
+
+        registry, tracer = MetricsRegistry(), Tracer()
+        with instrument(metrics=registry, tracer=tracer) as ins:
+            with ins.span("fan_out") as fan:
+                parallel_map(self._work, range(6), n_jobs=2)
+        spans = tracer.to_dicts()
+        workers = [s for s in spans if s["name"] == "work.item"]
+        assert len(workers) == 6
+        assert all(s["parent_id"] == fan.span_id for s in workers)
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+    def test_uninstrumented_pool_returns_plain_results(self):
+        assert parallel_map(self._work, range(5), n_jobs=2) == [
+            x * x for x in range(5)
+        ]
+
+
 class TestReplicationIdentity:
     @pytest.fixture(scope="class")
     def serial(self, paper_provider):

@@ -52,11 +52,49 @@ class TestModeSegments:
         mid = 0.5 * (first.start + first.end)
         assert recorder.mode_at(mid) == first.mode
 
+    def test_mode_at_matches_linear_scan(self, recorded):
+        recorder, result = recorded
+        segments = recorder.mode_segments
+
+        def linear(t):
+            for segment in segments:
+                if segment.start <= t < segment.end:
+                    return segment.mode
+            return segments[-1].mode  # at/after the end of the run
+
+        probes = [s.start for s in segments]
+        probes += [0.5 * (s.start + s.end) for s in segments]
+        for t in probes:
+            assert recorder.mode_at(t) == linear(t)
+
+    def test_mode_at_boundaries(self, recorded):
+        recorder, result = recorded
+        segments = recorder.mode_segments
+        # A shared boundary belongs to the segment that starts there.
+        boundary = segments[1].start
+        assert recorder.mode_at(boundary) == segments[1].mode
+        # At or past the end of the run: the final mode.
+        assert recorder.mode_at(segments[-1].end) == segments[-1].mode
+        assert recorder.mode_at(segments[-1].end + 100.0) == segments[-1].mode
+
+    def test_mode_at_before_start_rejected(self, recorded):
+        recorder, _ = recorded
+        with pytest.raises(SimulationError, match="precedes"):
+            recorder.mode_at(-1.0)
+
+    def test_mode_at_empty_timeline_reports_no_segments(self):
+        recorder = TimelineRecorder()
+        recorder.finalize(0.0)
+        with pytest.raises(SimulationError, match="no mode segments"):
+            recorder.mode_at(0.0)
+
     def test_unfinalized_rejects_queries(self):
         recorder = TimelineRecorder()
         recorder.record_mode(0.0, "sleeping")
         with pytest.raises(SimulationError, match="finalized"):
             recorder.mode_segments
+        with pytest.raises(SimulationError, match="finalized"):
+            recorder.mode_at(0.0)
 
 
 class TestEnergyAccounting:
@@ -94,6 +132,32 @@ class TestQueueAndRequests:
         assert recorder.occupancy_at(0.0) == 0
         t, level = recorder.queue_steps[1]
         assert recorder.occupancy_at(t) == level
+
+    def test_occupancy_matches_linear_scan(self, recorded):
+        recorder, _ = recorded
+        def linear(time):
+            level = 0
+            for step_time, occupancy in recorder.queue_steps:
+                if step_time > time:
+                    break
+                level = occupancy
+            return level
+
+        steps = recorder.queue_steps
+        probes = [t for t, _ in steps]
+        probes += [0.5 * (a[0] + b[0]) for a, b in zip(steps, steps[1:])]
+        probes += [-1.0, steps[-1][0] + 10.0]
+        for t in probes:
+            assert recorder.occupancy_at(t) == linear(t)
+
+    def test_occupancy_before_first_step_is_zero(self, recorded):
+        recorder, _ = recorded
+        assert recorder.occupancy_at(-5.0) == 0
+
+    def test_occupancy_after_last_step_holds(self, recorded):
+        recorder, _ = recorded
+        t, level = recorder.queue_steps[-1]
+        assert recorder.occupancy_at(t + 1e6) == level
 
     def test_request_conservation(self, recorded):
         recorder, result = recorded

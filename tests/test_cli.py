@@ -114,6 +114,132 @@ class TestExperimentsCommand:
         assert "error_percent" in rows[0]
 
 
+class TestReplications:
+    def test_summary_table_printed(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    "greedy",
+                    "--requests",
+                    "300",
+                    "--replications",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 replications (seeds 0..2)" in out
+        assert "std error" in out
+        assert "average_power" in out
+
+    def test_parallel_matches_serial(self, capsys):
+        argv = [
+            "simulate", "--policy", "npolicy:2", "--requests", "300",
+            "--replications", "4", "--seed", "5",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_single_replication_prints_no_summary(self, capsys):
+        assert main(["simulate", "--requests", "200"]) == 0
+        assert "replications" not in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_solve_writes_convergence_metrics(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["solve", "--metrics-out", str(path)]) == 0
+        from repro.obs.export import read_metrics
+
+        data = read_metrics(path)
+        assert data["manifest"]["argv"][0] == "solve"
+        conv = data["metrics"]["solver.policy_iteration.convergence"]
+        rows = conv["records"]
+        assert len(rows) >= 2
+        assert {"iteration", "residual", "policy_changes"} <= set(rows[-1])
+        assert rows[-1]["policy_changes"] == 0  # converged
+        assert data["metrics"]["solver.policy_iteration.solves"]["value"] == 1
+
+    def test_simulate_writes_metrics_and_trace(self, tmp_path, capsys):
+        m_path, t_path = tmp_path / "m.json", tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    "greedy",
+                    "--requests",
+                    "400",
+                    "--metrics-out",
+                    str(m_path),
+                    "--trace-out",
+                    str(t_path),
+                ]
+            )
+            == 0
+        )
+        from repro.obs.export import read_metrics, read_trace
+
+        metrics = read_metrics(m_path)["metrics"]
+        assert metrics["sim.requests.generated"]["value"] == 400
+        assert metrics["sim.events"]["value"] > 400
+        assert metrics["sim.queue_occupancy"]["count"] > 0
+        assert metrics["sim.waiting_time_s"]["count"] > 0
+        assert metrics["sim.pm.invocations"]["value"] > 0
+        manifest, spans = read_trace(t_path)
+        assert manifest["seed"] == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {m_path}" in out
+
+    def test_log_level_accepted(self, capsys):
+        assert main(["describe", "--log-level", "info"]) == 0
+
+    def test_experiments_metrics_identical_across_jobs(self, tmp_path, capsys):
+        import json
+
+        paths = {}
+        for jobs in ("1", "2"):
+            paths[jobs] = tmp_path / f"m{jobs}.json"
+            assert (
+                main(
+                    [
+                        "experiments",
+                        "table1",
+                        "--requests",
+                        "800",
+                        "--jobs",
+                        jobs,
+                        "--metrics-out",
+                        str(paths[jobs]),
+                    ]
+                )
+                == 0
+            )
+
+        def deterministic(path):
+            metrics = json.load(open(path))["metrics"]
+            out = {}
+            for name, payload in metrics.items():
+                if payload.get("profiling"):
+                    continue
+                if payload.get("type") == "series":
+                    drop = set(payload.get("profiling_fields", ()))
+                    payload = dict(payload)
+                    payload["records"] = [
+                        {k: v for k, v in r.items() if k not in drop}
+                        for r in payload["records"]
+                    ]
+                out[name] = payload
+            return json.dumps(out, sort_keys=True)
+
+        assert deterministic(paths["1"]) == deterministic(paths["2"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -122,3 +248,17 @@ class TestParser:
     def test_exhibit_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiments", "figure9"])
+
+    def test_observability_flags_after_subcommand(self):
+        args = build_parser().parse_args(
+            ["solve", "--metrics-out", "m.json", "--log-level", "debug"]
+        )
+        assert args.metrics_out == "m.json"
+        assert args.log_level == "debug"
+        assert args.trace_out is None
+
+    def test_observability_flags_default_off(self):
+        args = build_parser().parse_args(["frontier"])
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.log_level is None
