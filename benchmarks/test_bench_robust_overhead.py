@@ -1,0 +1,179 @@
+"""Robustness-layer overhead: the no-fault hot path must stay <3 %.
+
+Two costs were added by the fault-tolerance PR, and both are designed to
+be invisible when nothing fails:
+
+- **Solver guardrails**: every evaluation solve now pays one residual
+  acceptance check (O(n^2) matvec next to the O(n^3) factorization).
+  Measured as policy iteration with guardrails enabled vs the
+  ``guardrails_disabled()`` escape hatch (the pre-guardrail baseline).
+- **Fault-tolerant pool**: per-worker pipes, deadline bookkeeping, and
+  chunk-attribution state replace the previous plain ``Pool.map``.
+  Measured against an inline minimal fork-pool control that reproduces
+  the old dispatch (same ``_WORK`` publication, same chunking, no
+  recovery machinery), on a replication workload where compute
+  dominates -- exactly the no-fault production profile.
+
+Both overhead fractions are recorded in ``BENCH_robust_overhead.json``
+and asserted <3 %.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, once
+from repro.ctmdp.compiled import compile_ctmdp
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.dpm.presets import paper_service_provider, paper_system
+from repro.policies import GreedyPolicy
+from repro.robust.guardrails import guardrails_disabled
+from repro.sim import PoissonProcess, simulate
+from repro.sim.parallel import _chunk_indices, parallel_map
+import repro.sim.parallel as parallel_module
+
+BENCH_JSON = Path(__file__).parent / "BENCH_robust_overhead.json"
+
+#: Headline budget: the no-fault hot path may cost at most 3 % extra.
+OVERHEAD_BUDGET = 0.03
+
+#: Solver-scaling operating point: large enough that the O(n^3)
+#: factorization dominates the O(n^2) acceptance check, matching the
+#: regime of benchmarks/test_bench_solver_scaling.py.
+POOL_CAPACITY_SOLVER = 100
+
+POOL_N_JOBS = 2
+POOL_N_REPLICATIONS = 8
+POOL_N_REQUESTS = 4_000
+
+
+def _record(key: str, payload) -> None:
+    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    data[key] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats: int = 5):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_guardrail_overhead(benchmark):
+    """Residual acceptance check vs raw ``np.linalg.solve`` baseline."""
+
+    def measure():
+        mdp = paper_system(capacity=POOL_CAPACITY_SOLVER).build_ctmdp(weight=1.0)
+        compile_ctmdp(mdp)  # warm the lowering cache out of the timing
+        guarded_s, guarded = _best_of(lambda: policy_iteration(mdp))
+
+        def baseline_run():
+            with guardrails_disabled():
+                return policy_iteration(mdp)
+
+        baseline_s, baseline = _best_of(baseline_run)
+        return guarded_s, guarded, baseline_s, baseline
+
+    guarded_s, guarded, baseline_s, baseline = once(benchmark, measure)
+    # The acceptance check must not change the solution.
+    assert guarded.gain == baseline.gain
+    assert guarded.policy.as_dict() == baseline.policy.as_dict()
+    overhead = guarded_s / baseline_s - 1.0
+    _record(
+        "policy_iteration_q100_guardrails",
+        {
+            "capacity": POOL_CAPACITY_SOLVER,
+            "baseline_s": baseline_s,
+            "guarded_s": guarded_s,
+            "overhead_fraction": overhead,
+            "budget": OVERHEAD_BUDGET,
+        },
+    )
+    print(
+        f"\nguardrails: baseline {baseline_s * 1e3:.2f} ms, guarded "
+        f"{guarded_s * 1e3:.2f} ms ({overhead:+.2%})"
+    )
+    assert overhead < OVERHEAD_BUDGET
+
+
+def _replicate(seed: int):
+    provider = paper_service_provider()
+    return simulate(
+        provider=provider,
+        capacity=5,
+        workload=PoissonProcess(1 / 6),
+        policy=GreedyPolicy(provider),
+        n_requests=POOL_N_REQUESTS,
+        seed=seed,
+    )
+
+
+def _plain_chunk(bounds):
+    """Chunk runner of the minimal control pool (no fault machinery)."""
+    fn, items = parallel_module._WORK
+    return [fn(items[i]) for i in range(bounds[0], bounds[1])]
+
+
+def _plain_pool_map(fn, items, n_jobs):
+    """The pre-fault-tolerance dispatch: plain fork ``Pool.map`` over
+    the same ``_WORK`` publication and chunking as ``parallel_map``."""
+    items = list(items)
+    chunks = _chunk_indices(len(items), n_jobs * 4)
+    context = multiprocessing.get_context("fork")
+    parallel_module._WORK = (fn, items)
+    try:
+        with context.Pool(processes=n_jobs) as pool:
+            payloads = pool.map(
+                _plain_chunk, [(c.start, c.stop) for c in chunks]
+            )
+    finally:
+        parallel_module._WORK = None
+    return [result for chunk in payloads for result in chunk]
+
+
+def test_bench_fault_tolerant_pool_overhead(benchmark):
+    """Fault-tolerant pool vs minimal plain fork pool, no faults."""
+    seeds = [BENCH_SEED + k for k in range(POOL_N_REPLICATIONS)]
+
+    def measure():
+        fault_tolerant_s, ft_results = _best_of(
+            lambda: parallel_map(_replicate, seeds, n_jobs=POOL_N_JOBS),
+            repeats=3,
+        )
+        plain_s, plain_results = _best_of(
+            lambda: _plain_pool_map(_replicate, seeds, POOL_N_JOBS),
+            repeats=3,
+        )
+        return fault_tolerant_s, ft_results, plain_s, plain_results
+
+    fault_tolerant_s, ft_results, plain_s, plain_results = once(
+        benchmark, measure
+    )
+    # Identical work, identical results -- the pools differ only in
+    # dispatch machinery.
+    assert ft_results == plain_results
+    overhead = fault_tolerant_s / plain_s - 1.0
+    _record(
+        "replication_pool",
+        {
+            "n_jobs": POOL_N_JOBS,
+            "n_replications": POOL_N_REPLICATIONS,
+            "n_requests": POOL_N_REQUESTS,
+            "plain_pool_s": plain_s,
+            "fault_tolerant_s": fault_tolerant_s,
+            "overhead_fraction": overhead,
+            "budget": OVERHEAD_BUDGET,
+        },
+    )
+    print(
+        f"\npool: plain {plain_s:.3f} s, fault-tolerant "
+        f"{fault_tolerant_s:.3f} s ({overhead:+.2%})"
+    )
+    assert overhead < OVERHEAD_BUDGET

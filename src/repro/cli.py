@@ -13,6 +13,11 @@ Subcommands:
 
 All subcommands default to the paper's Section-V system; ``--rate``,
 ``--capacity``, and ``--weight`` adjust it.
+
+Library failures (:class:`repro.errors.ReproError` subclasses) exit
+with a one-line ``error: ...`` message on stderr and a distinct
+nonzero code per failure family (see :data:`EXIT_CODES`; the README
+documents the table). ``--debug`` re-raises with the full traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import errors
 from repro.dpm.optimizer import optimize_constrained, optimize_weighted
 from repro.dpm.presets import paper_system
 from repro.experiments.reporting import format_table
@@ -28,6 +34,29 @@ from repro.obs.log import LEVELS, configure_logging
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import instrument
 from repro.obs.trace import Tracer
+
+#: Exit-code mapping for library failures, most specific class first
+#: (2 is argparse's usage-error code, so library codes start at 3).
+EXIT_CODES = (
+    (errors.InfeasibleConstraintError, 5),
+    (errors.SolverError, 4),
+    (errors.WorkerFailureError, 8),
+    (errors.SimulationError, 6),
+    (errors.CheckpointError, 7),
+    (errors.InvalidGeneratorError, 3),
+    (errors.NotIrreducibleError, 3),
+    (errors.InvalidModelError, 3),
+    (errors.InvalidPolicyError, 3),
+    (errors.ReproError, 9),
+)
+
+
+def exit_code_for(exc: Exception) -> int:
+    """The CLI exit code for a library exception (9 = generic ReproError)."""
+    for cls, code in EXIT_CODES:
+        if isinstance(exc, cls):
+            return code
+    return 9
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +72,29 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _build_model(args: argparse.Namespace):
     return paper_system(arrival_rate=args.rate, capacity=args.capacity)
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("checkpointing")
+    group.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist completed sub-results to PATH (JSON) so a killed "
+             "run can be resumed with --resume",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="load previously completed sub-results from --checkpoint "
+             "(must match this run's configuration) and only compute "
+             "the rest; output is identical to an uninterrupted run",
+    )
+
+
+def _open_checkpoint(args: argparse.Namespace, config: dict):
+    from repro.robust.checkpoint import open_checkpoint
+
+    if args.resume and args.checkpoint is None:
+        raise errors.CheckpointError("--resume requires --checkpoint PATH")
+    return open_checkpoint(args.checkpoint, config, resume=args.resume)
 
 
 def _metrics_rows(metrics) -> "list[tuple[str, float]]":
@@ -143,6 +195,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.replications > 1:
         from repro.sim.batch import run_replications, summarize
 
+        checkpoint = _open_checkpoint(args, {
+            "task": "simulate-replications",
+            "rate": args.rate,
+            "capacity": args.capacity,
+            "policy": args.policy,
+            "weight": args.weight,
+            "requests": args.requests,
+            "seed": args.seed,
+            "replications": args.replications,
+        })
         results = run_replications(
             model.provider,
             model.capacity,
@@ -152,6 +214,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             n_replications=args.replications,
             base_seed=args.seed,
             n_jobs=args.jobs,
+            checkpoint=checkpoint,
         )
         summaries = summarize(results)
         last_seed = args.seed + args.replications - 1
@@ -181,7 +244,19 @@ def cmd_frontier(args: argparse.Namespace) -> int:
     from repro.dpm.pareto import deterministic_frontier
 
     model = _build_model(args)
-    frontier = deterministic_frontier(model, max_weight=args.max_weight)
+    checkpoint = _open_checkpoint(args, {
+        "task": "frontier",
+        "rate": args.rate,
+        "capacity": args.capacity,
+        "max_weight": args.max_weight,
+        "weight_tolerance": args.weight_tolerance,
+    })
+    frontier = deterministic_frontier(
+        model,
+        max_weight=args.max_weight,
+        weight_tolerance=args.weight_tolerance,
+        checkpoint=checkpoint,
+    )
     rows = [
         (f"{p.weight:.5f}", p.power, p.delay, p.metrics.average_waiting_time)
         for p in frontier
@@ -265,6 +340,11 @@ def _observability_parent() -> argparse.ArgumentParser:
         "--log-level", default=None, choices=LEVELS,
         help="enable stderr logging at this level",
     )
+    group.add_argument(
+        "--debug", action="store_true",
+        help="re-raise library errors with a full traceback instead of "
+             "the one-line message + exit code",
+    )
     return common
 
 
@@ -306,12 +386,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  "a serial run")
     simulate_p.add_argument("--json-out", default=None,
                             help="also dump the result as JSON to this path")
+    _add_checkpoint_arguments(simulate_p)
     simulate_p.set_defaults(func=cmd_simulate)
 
     frontier = sub.add_parser("frontier", help="print the exact Pareto frontier",
                               parents=[common])
     _add_model_arguments(frontier)
     frontier.add_argument("--max-weight", type=float, default=1e3)
+    frontier.add_argument("--weight-tolerance", type=float, default=1e-4,
+                          help="bisection resolution on the weight axis "
+                               "(default: 1e-4)")
+    _add_checkpoint_arguments(frontier)
     frontier.set_defaults(func=cmd_frontier)
 
     describe = sub.add_parser(
@@ -336,8 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace, argv: "Optional[Sequence[str]]") -> int:
     if args.log_level is not None:
         configure_logging(args.log_level)
     registry = MetricsRegistry() if args.metrics_out else None
@@ -359,6 +443,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         write_trace(tracer, args.trace_out, manifest=manifest)
         print(f"trace written to {args.trace_out}")
     return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, argv)
+    except errors.ReproError as exc:
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,7 +20,7 @@ from typing import Dict, Hashable, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import InvalidPolicyError, SolverError
+from repro.errors import InvalidPolicyError
 from repro.ctmdp.model import CTMDP
 from repro.markov.chain import ContinuousTimeMarkovChain
 
@@ -273,13 +273,12 @@ def evaluate_policy(
     a[:n, n] = -1.0
     a[n, reference_state] = 1.0
     b = np.concatenate([-c, [0.0]])
-    try:
-        solution = np.linalg.solve(a, b)
-    except np.linalg.LinAlgError as exc:
-        raise SolverError(
-            "policy evaluation system is singular; induced chain is likely "
-            "multichain -- check the model's action constraints"
-        ) from exc
+    from repro.robust.guardrails import solve_with_fallback
+
+    solution = solve_with_fallback(
+        a, b, what="policy evaluation system",
+        context={"reference_state": reference_state},
+    )
     h = solution[:n]
     gain = float(solution[n])
 

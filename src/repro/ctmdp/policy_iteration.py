@@ -32,6 +32,7 @@ from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy, PolicyEvaluation, evaluate_policy
 from repro.obs.log import get_logger
 from repro.obs.runtime import active as obs_active
+from repro.robust.guardrails import solve_with_fallback
 
 BACKENDS = ("compiled", "reference")
 
@@ -85,6 +86,66 @@ def _default_initial_policy(mdp: CTMDP) -> Policy:
     return Policy(mdp, {s: mdp.actions(s)[0] for s in mdp.states})
 
 
+def _policy_payload(assignment, limit: int = 200) -> "List[List[str]]":
+    """A JSON-serializable rendering of a policy for diagnostics."""
+    pairs = [[repr(s), repr(a)] for s, a in assignment.items()]
+    return pairs[:limit]
+
+
+def _check_budget(
+    started: float, time_budget_s: "Optional[float]", iteration: int,
+    gain_history: "List[float]",
+) -> None:
+    """Raise a structured SolverError when the wall-clock budget is spent."""
+    if time_budget_s is None:
+        return
+    elapsed = time.perf_counter() - started
+    if elapsed > time_budget_s:
+        raise SolverError(
+            f"policy iteration exceeded its wall-clock budget "
+            f"({elapsed:.3f}s > {time_budget_s:g}s) after {iteration} "
+            "iterations",
+            diagnostics={
+                "reason": "time_budget_exceeded",
+                "iteration": iteration,
+                "elapsed_s": elapsed,
+                "time_budget_s": time_budget_s,
+                "gain_history": gain_history[-10:],
+            },
+        )
+
+
+class _CycleDetector:
+    """Detects policy iteration revisiting a previously seen policy.
+
+    With the ``atol`` incumbent-keeping rule the gain is strictly
+    decreasing across policy changes, so a revisit signals numerical
+    trouble (e.g. an evaluation solved in a degraded mode). Raising a
+    structured error with the offending policy beats iterating to the
+    ``max_iterations`` wall.
+    """
+
+    def __init__(self) -> None:
+        self._seen: "dict" = {}
+
+    def check(self, key, iteration: int, gain_history: "List[float]",
+              policy_payload) -> None:
+        first = self._seen.setdefault(key, iteration)
+        if first != iteration:
+            raise SolverError(
+                f"policy iteration is cycling: the policy of iteration "
+                f"{iteration} was already visited at iteration {first}",
+                diagnostics={
+                    "reason": "policy_cycle",
+                    "iteration": iteration,
+                    "first_seen": first,
+                    "cycle_length": iteration - first,
+                    "gain_history": gain_history[-10:],
+                    "policy": policy_payload,
+                },
+            )
+
+
 def _improve(
     mdp: CTMDP, policy: Policy, evaluation: PolicyEvaluation, atol: float
 ) -> "tuple[Policy, bool]":
@@ -133,13 +194,10 @@ def _solve_gain_bias(
     a[:n, n] = -1.0
     a[n, reference_state] = 1.0
     b = np.concatenate([-c, [0.0]])
-    try:
-        solution = np.linalg.solve(a, b)
-    except np.linalg.LinAlgError as exc:
-        raise SolverError(
-            "policy evaluation system is singular; induced chain is likely "
-            "multichain -- check the model's action constraints"
-        ) from exc
+    solution = solve_with_fallback(
+        a, b, what="policy evaluation system",
+        context={"reference_state": reference_state},
+    )
     return float(solution[n]), solution[:n]
 
 
@@ -163,6 +221,7 @@ def _policy_iteration_compiled(
     max_iterations: int,
     atol: float,
     reference_state: int,
+    time_budget_s: "Optional[float]" = None,
 ) -> PolicyIterationResult:
     """Vectorized policy iteration over the compiled arrays.
 
@@ -202,15 +261,14 @@ def _policy_iteration_compiled(
     def solve_rows(rows: np.ndarray) -> "tuple[float, np.ndarray]":
         a[:n, :n] = comp.generator[rows]
         np.negative(comp.cost[rows], out=b[:n])
-        try:
-            solution = np.linalg.solve(a, b)
-        except np.linalg.LinAlgError as exc:
-            raise SolverError(
-                "policy evaluation system is singular; induced chain is likely "
-                "multichain -- check the model's action constraints"
-            ) from exc
+        solution = solve_with_fallback(
+            a, b, what="policy evaluation system",
+            context={"reference_state": reference_state},
+        )
         return float(solution[n]), solution[:n]
 
+    started = time.perf_counter()
+    cycles = _CycleDetector()
     gain_history: List[float] = []
     if ins.enabled:
         sweep_start = time.perf_counter()
@@ -226,9 +284,11 @@ def _policy_iteration_compiled(
             policy_changes=None,
             sweep_s=time.perf_counter() - sweep_start,
         )
+    cycles.check(sel.tobytes(), 0, gain_history, None)
     test_values = np.empty(comp.n_pairs)
     with ins.span("policy_iteration", backend="compiled", n_states=n) as span:
         for iteration in range(1, max_iterations + 1):
+            _check_budget(started, time_budget_s, iteration, gain_history)
             if ins.enabled:
                 sweep_start = time.perf_counter()
                 previous_sel = sel
@@ -237,6 +297,10 @@ def _policy_iteration_compiled(
             np.add(test_values, comp.cost, out=test_values)
             sel, changed = comp.improve(test_values, sel, atol)
             if changed:
+                cycles.check(
+                    sel.tobytes(), iteration, gain_history,
+                    _policy_payload(comp.assignment_from_rows(sel)),
+                )
                 gain, bias = solve_rows(sel)
             # An unchanged policy selects the same rows, so re-solving would
             # reproduce the previous (gain, bias) bit-for-bit -- reuse them.
@@ -275,7 +339,13 @@ def _policy_iteration_compiled(
                     gain_history=gain_history,
                 )
     raise SolverError(
-        f"policy iteration did not converge in {max_iterations} iterations"
+        f"policy iteration did not converge in {max_iterations} iterations",
+        diagnostics={
+            "reason": "max_iterations_exhausted",
+            "iteration": max_iterations,
+            "gain_history": gain_history[-10:],
+            "policy": _policy_payload(comp.assignment_from_rows(sel)),
+        },
     )
 
 
@@ -286,6 +356,7 @@ def policy_iteration(
     atol: float = 1e-9,
     reference_state: int = 0,
     backend: str = "compiled",
+    time_budget_s: Optional[float] = None,
 ) -> PolicyIterationResult:
     """Solve a unichain average-cost CTMDP by policy iteration.
 
@@ -309,19 +380,29 @@ def policy_iteration(
         dense lowering of :mod:`repro.ctmdp.compiled`; ``"reference"``
         runs the original per-state dict loops. Both produce the same
         policies, gains and biases (the equivalence suite asserts it).
+    time_budget_s:
+        Optional wall-clock budget; exceeding it raises a structured
+        :class:`SolverError` (``reason: time_budget_exceeded``) instead
+        of running unbounded on a pathological model.
 
     Raises
     ------
     SolverError
-        If ``max_iterations`` is exhausted (indicates a modeling bug --
-        e.g. a multichain model slipping through) or evaluation fails.
+        If ``max_iterations`` or ``time_budget_s`` is exhausted, a
+        policy cycle is detected (both indicate a modeling bug -- e.g.
+        a multichain model slipping through), or evaluation fails even
+        in the least-squares fallback of
+        :mod:`repro.robust.guardrails`. The exception's ``diagnostics``
+        mapping carries the iteration count, recent gain history, and
+        the offending policy.
     """
     if backend not in BACKENDS:
         raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     mdp.validate()
     if backend == "compiled":
         return _policy_iteration_compiled(
-            mdp, initial_policy, max_iterations, atol, reference_state
+            mdp, initial_policy, max_iterations, atol, reference_state,
+            time_budget_s,
         )
     policy = initial_policy if initial_policy is not None else _default_initial_policy(mdp)
     ins = obs_active()
@@ -329,6 +410,8 @@ def policy_iteration(
     series = _convergence_series(metrics) if metrics is not None else None
     if metrics is not None:
         metrics.counter("solver.policy_iteration.solves").inc()
+    started = time.perf_counter()
+    cycles = _CycleDetector()
     gain_history: List[float] = []
     if ins.enabled:
         sweep_start = time.perf_counter()
@@ -336,6 +419,9 @@ def policy_iteration(
         policy, reference_state=reference_state, backend="reference"
     )
     gain_history.append(evaluation.gain)
+    cycles.check(
+        tuple(sorted(policy.as_dict().items(), key=repr)), 0, gain_history, None
+    )
     if series is not None:
         series.append(
             backend="reference",
@@ -349,11 +435,17 @@ def policy_iteration(
         "policy_iteration", backend="reference", n_states=mdp.n_states
     ) as span:
         for iteration in range(1, max_iterations + 1):
+            _check_budget(started, time_budget_s, iteration, gain_history)
             if ins.enabled:
                 sweep_start = time.perf_counter()
                 previous_assignment = policy.as_dict()
                 previous_gain = evaluation.gain
             policy, changed = _improve(mdp, policy, evaluation, atol)
+            if changed:
+                cycles.check(
+                    tuple(sorted(policy.as_dict().items(), key=repr)),
+                    iteration, gain_history, _policy_payload(policy.as_dict()),
+                )
             evaluation = evaluate_policy(
                 policy, reference_state=reference_state, backend="reference"
             )
@@ -393,5 +485,11 @@ def policy_iteration(
                     gain_history=gain_history,
                 )
     raise SolverError(
-        f"policy iteration did not converge in {max_iterations} iterations"
+        f"policy iteration did not converge in {max_iterations} iterations",
+        diagnostics={
+            "reason": "max_iterations_exhausted",
+            "iteration": max_iterations,
+            "gain_history": gain_history[-10:],
+            "policy": _policy_payload(policy.as_dict()),
+        },
     )

@@ -89,11 +89,49 @@ def _sweep(uni: UniformizedMDP, w: np.ndarray) -> "tuple[np.ndarray, list]":
     return new_w, greedy
 
 
+def _budget_error(
+    started: float, time_budget_s: "Optional[float]", iteration: int,
+    span_history: "List[float]",
+) -> None:
+    """Raise a structured SolverError when the wall-clock budget is spent."""
+    if time_budget_s is None:
+        return
+    elapsed = time.perf_counter() - started
+    if elapsed > time_budget_s:
+        raise SolverError(
+            f"relative value iteration exceeded its wall-clock budget "
+            f"({elapsed:.3f}s > {time_budget_s:g}s) after {iteration} sweeps",
+            diagnostics={
+                "reason": "time_budget_exceeded",
+                "iteration": iteration,
+                "elapsed_s": elapsed,
+                "time_budget_s": time_budget_s,
+                "span_history": span_history[-10:],
+            },
+        )
+
+
+def _nonconvergence_error(
+    span_tolerance: float, max_iterations: int, span_history: "List[float]"
+) -> SolverError:
+    return SolverError(
+        f"relative value iteration did not reach span {span_tolerance:g} in "
+        f"{max_iterations} sweeps (last span {span_history[-1]:g})",
+        diagnostics={
+            "reason": "max_iterations_exhausted",
+            "iteration": max_iterations,
+            "span_tolerance": span_tolerance,
+            "span_history": span_history[-10:],
+        },
+    )
+
+
 def _relative_value_iteration_compiled(
     mdp: CTMDP,
     span_tolerance: float,
     max_iterations: int,
     uniformization_rate: Optional[float],
+    time_budget_s: "Optional[float]" = None,
 ) -> ValueIterationResult:
     """Vectorized relative value iteration over the compiled arrays.
 
@@ -126,9 +164,11 @@ def _relative_value_iteration_compiled(
     step_cost = comp.cost / lam
     n = comp.n_states
     w = np.zeros(n)
+    started = time.perf_counter()
     span_history: List[float] = []
     with ins.span("value_iteration", backend="compiled", n_states=n) as tspan:
         for iteration in range(1, max_iterations + 1):
+            _budget_error(started, time_budget_s, iteration, span_history)
             if ins.enabled:
                 sweep_start = time.perf_counter()
             values = step_cost + transition @ w
@@ -172,10 +212,7 @@ def _relative_value_iteration_compiled(
                     iterations=iteration,
                     span_history=span_history,
                 )
-    raise SolverError(
-        f"relative value iteration did not reach span {span_tolerance:g} in "
-        f"{max_iterations} sweeps (last span {span_history[-1]:g})"
-    )
+    raise _nonconvergence_error(span_tolerance, max_iterations, span_history)
 
 
 def relative_value_iteration(
@@ -184,6 +221,7 @@ def relative_value_iteration(
     max_iterations: int = 1_000_000,
     uniformization_rate: Optional[float] = None,
     backend: str = "compiled",
+    time_budget_s: Optional[float] = None,
 ) -> ValueIterationResult:
     """Solve a unichain average-cost CTMDP by relative value iteration.
 
@@ -204,18 +242,24 @@ def relative_value_iteration(
         matrix-vector product per Bellman backup; ``"reference"`` keeps
         the original per-state dict loops. Policies agree exactly and
         gains to floating-point roundoff.
+    time_budget_s:
+        Optional wall-clock budget; exceeding it raises a structured
+        :class:`SolverError` (``reason: time_budget_exceeded``).
 
     Raises
     ------
     SolverError
-        If the span does not contract within ``max_iterations``.
+        If the span does not contract within ``max_iterations`` or the
+        wall-clock budget runs out; ``diagnostics`` carries the sweep
+        count and recent span history.
     """
     if backend not in BACKENDS:
         raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     if backend == "compiled":
         mdp.validate()
         return _relative_value_iteration_compiled(
-            mdp, span_tolerance, max_iterations, uniformization_rate
+            mdp, span_tolerance, max_iterations, uniformization_rate,
+            time_budget_s,
         )
     uni = uniformize_ctmdp(mdp, rate=uniformization_rate)
     ins = obs_active()
@@ -225,8 +269,10 @@ def relative_value_iteration(
         metrics.counter("solver.value_iteration.solves").inc()
     n = len(uni.states)
     w = np.zeros(n)
+    started = time.perf_counter()
     span_history: List[float] = []
     for iteration in range(1, max_iterations + 1):
+        _budget_error(started, time_budget_s, iteration, span_history)
         if ins.enabled:
             sweep_start = time.perf_counter()
         new_w, greedy = _sweep(uni, w)
@@ -259,7 +305,4 @@ def relative_value_iteration(
                 iterations=iteration,
                 span_history=span_history,
             )
-    raise SolverError(
-        f"relative value iteration did not reach span {span_tolerance:g} in "
-        f"{max_iterations} sweeps (last span {span_history[-1]:g})"
-    )
+    raise _nonconvergence_error(span_tolerance, max_iterations, span_history)

@@ -18,8 +18,9 @@ Two equivalent entry points, mirroring the paper's two formulations:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.ctmdp.linear_program import solve_average_cost_lp, solve_constrained_lp
 from repro.ctmdp.policy import Policy, RandomizedPolicy
@@ -103,27 +104,90 @@ def optimize_weighted(
     return OptimizationResult(policy=policy, metrics=metrics, weight=weight)
 
 
+def serialize_result(result: OptimizationResult) -> "Dict[str, Any]":
+    """A JSON payload reconstructing *result* bit-identically.
+
+    Used by the checkpoint/resume layer: the policy is stored as its
+    action list in model state order (actions are plain strings) and
+    the metrics as their exact float fields (JSON floats round-trip
+    through Python's shortest repr). Only deterministic policies are
+    checkpointable -- the weighted sweeps and frontier bisection never
+    produce randomized ones.
+    """
+    if not isinstance(result.policy, Policy):
+        raise SolverError(
+            "only deterministic policies are checkpointable; got "
+            f"{type(result.policy).__name__}"
+        )
+    assignment = result.policy.as_dict()
+    return {
+        "weight": result.weight,
+        "actions": [assignment[s] for s in result.policy.mdp.states],
+        "metrics": dataclasses.asdict(result.metrics),
+    }
+
+
+def deserialize_result(
+    model: PowerManagedSystemModel, payload: "Dict[str, Any]"
+) -> OptimizationResult:
+    """Rebuild a checkpointed :func:`serialize_result` payload.
+
+    The policy is revalidated against the freshly built model, so a
+    checkpoint from a drifted configuration fails loudly
+    (:class:`~repro.errors.InvalidPolicyError`) instead of evaluating
+    garbage; the stored metrics are reused verbatim (exact floats), not
+    recomputed.
+    """
+    mdp = model.build_ctmdp(payload["weight"])
+    policy = Policy(mdp, dict(zip(mdp.states, payload["actions"])))
+    return OptimizationResult(
+        policy=policy,
+        metrics=AnalyticMetrics(**payload["metrics"]),
+        weight=payload["weight"],
+    )
+
+
 def sweep_weights(
     model: PowerManagedSystemModel,
     weights: Sequence[float],
     solver: str = "policy_iteration",
     n_jobs: Optional[int] = None,
+    checkpoint=None,
 ) -> "List[OptimizationResult]":
     """Solve for every weight in *weights* (the Figure-4 tradeoff curve).
 
     The weights are independent solves, so ``n_jobs`` fans them out over
     a process pool; results keep the order of *weights* and are
-    identical to a serial sweep.
+    identical to a serial sweep. An optional
+    :class:`repro.robust.checkpoint.Checkpoint` persists each completed
+    solve (keyed ``repr(weight)``); on resume, cached weights are
+    reconstructed without re-solving and the returned list is identical
+    to an uninterrupted sweep.
     """
     # Imported lazily: repro.sim pulls in repro.policies, which imports
     # back into repro.dpm during package initialization.
     from repro.sim.parallel import parallel_map
 
-    return parallel_map(
+    weights = list(weights)
+    if checkpoint is None:
+        return parallel_map(
+            lambda w: optimize_weighted(model, w, solver=solver),
+            weights,
+            n_jobs=n_jobs,
+        )
+    missing = [w for w in weights if repr(float(w)) not in checkpoint]
+    solved = parallel_map(
         lambda w: optimize_weighted(model, w, solver=solver),
-        list(weights),
+        missing,
         n_jobs=n_jobs,
     )
+    for w, result in zip(missing, solved):
+        checkpoint.put(repr(float(w)), serialize_result(result))
+    checkpoint.flush()
+    return [
+        deserialize_result(model, checkpoint.get(repr(float(w))))
+        for w in weights
+    ]
 
 
 def optimize_constrained(

@@ -19,7 +19,12 @@ from typing import List, Optional
 
 from repro.ctmdp.policy import Policy
 from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy
-from repro.dpm.optimizer import optimize_constrained, optimize_weighted
+from repro.dpm.optimizer import (
+    deserialize_result,
+    optimize_constrained,
+    optimize_weighted,
+    serialize_result,
+)
 from repro.dpm.system import PowerManagedSystemModel
 from repro.errors import SolverError
 from repro.obs.log import get_logger
@@ -66,6 +71,7 @@ def deterministic_frontier(
     weight_tolerance: float = 1e-4,
     solver: str = "policy_iteration",
     max_points: int = 200,
+    checkpoint=None,
 ) -> "List[FrontierPoint]":
     """All deterministic Pareto points reachable by weighted optimization.
 
@@ -89,6 +95,12 @@ def deterministic_frontier(
         Passed to :func:`repro.dpm.optimizer.optimize_weighted`.
     max_points:
         Safety bound on the number of distinct points collected.
+    checkpoint:
+        Optional :class:`repro.robust.checkpoint.Checkpoint`. Every
+        solved weight is persisted (keyed ``repr(weight)``); resuming a
+        killed sweep replays cached solves exactly, so the bisection
+        revisits the same weights and the final frontier is
+        bit-identical to an uninterrupted run.
 
     Returns
     -------
@@ -102,8 +114,14 @@ def deterministic_frontier(
 
     def record(weight: float) -> "tuple":
         nonlocal solves
-        result = optimize_weighted(model, weight, solver=solver)
-        solves += 1
+        ckpt_key = repr(float(weight))
+        if checkpoint is not None and ckpt_key in checkpoint:
+            result = deserialize_result(model, checkpoint.get(ckpt_key))
+        else:
+            result = optimize_weighted(model, weight, solver=solver)
+            solves += 1
+            if checkpoint is not None:
+                checkpoint.put(ckpt_key, serialize_result(result))
         key = _point_key(result.metrics)
         existing = points.get(key)
         if existing is None or weight < existing.weight:
@@ -142,6 +160,8 @@ def deterministic_frontier(
                 "deterministic frontier: %d points from %d solves",
                 len(points), solves,
             )
+    if checkpoint is not None:
+        checkpoint.flush()
     return sorted(points.values(), key=lambda p: p.delay)
 
 

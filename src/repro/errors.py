@@ -7,6 +7,8 @@ clause while letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -38,7 +40,21 @@ class InvalidPolicyError(ReproError):
 
 
 class SolverError(ReproError):
-    """An optimization algorithm failed to converge or found no solution."""
+    """An optimization algorithm failed to converge or found no solution.
+
+    Carries an optional structured ``diagnostics`` mapping (iteration
+    counts, condition numbers, residuals, the offending policy, ...) so
+    callers and operators can act on the failure programmatically
+    instead of parsing the message. The payload is JSON-serializable by
+    construction; :mod:`repro.robust.guardrails` documents the schema
+    of the entries it emits.
+    """
+
+    def __init__(
+        self, message: str, diagnostics: "Optional[Dict[str, Any]]" = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: "Dict[str, Any]" = dict(diagnostics or {})
 
 
 class InfeasibleConstraintError(SolverError):
@@ -47,3 +63,25 @@ class InfeasibleConstraintError(SolverError):
 
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent internal state."""
+
+
+class WorkerFailureError(SimulationError):
+    """Parallel work could not complete even after retries and the
+    serial degradation path also failed.
+
+    Raised by :func:`repro.sim.parallel.parallel_map` only when every
+    recovery rung (bounded retry with backoff, then in-process serial
+    re-execution) has been exhausted; carries the per-chunk failure
+    history in ``diagnostics``.
+    """
+
+    def __init__(
+        self, message: str, diagnostics: "Optional[Dict[str, Any]]" = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: "Dict[str, Any]" = dict(diagnostics or {})
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable, corrupt, or belongs to a
+    different configuration than the resuming run."""

@@ -16,6 +16,7 @@ estimators) cannot leak state across runs.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -65,6 +66,7 @@ def run_replications(
     n_replications: int,
     base_seed: int = 0,
     n_jobs: Optional[int] = None,
+    checkpoint=None,
     **simulate_kwargs,
 ) -> "List[SimulationResult]":
     """Run *n_replications* independent simulations (seeds differ).
@@ -74,6 +76,12 @@ def run_replications(
     fully determined by its seed ``base_seed + k``, so the results are
     identical to a serial run for any ``n_jobs``. Factories are invoked
     inside the worker, keeping per-replication policy state isolated.
+
+    An optional :class:`repro.robust.checkpoint.Checkpoint` persists
+    each completed replication keyed by its seed; resuming a killed
+    campaign reruns only the missing seeds and -- because every
+    replication is a pure function of its seed -- returns the same list
+    as an uninterrupted run.
     """
     if n_replications < 1:
         raise SimulationError(
@@ -92,7 +100,14 @@ def run_replications(
         )
 
     seeds = [base_seed + k for k in range(n_replications)]
-    return parallel_map(_replicate, seeds, n_jobs=n_jobs)
+    if checkpoint is None:
+        return parallel_map(_replicate, seeds, n_jobs=n_jobs)
+    missing = [s for s in seeds if str(s) not in checkpoint]
+    fresh = parallel_map(_replicate, missing, n_jobs=n_jobs)
+    for seed, result in zip(missing, fresh):
+        checkpoint.put(str(seed), dataclasses.asdict(result))
+    checkpoint.flush()
+    return [SimulationResult(**checkpoint.get(str(s))) for s in seeds]
 
 
 def summarize(

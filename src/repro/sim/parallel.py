@@ -1,15 +1,19 @@
-"""Process-pool fan-out for independent simulation work.
+"""Fault-tolerant process-pool fan-out for independent simulation work.
 
 Replications in :mod:`repro.sim.batch` are embarrassingly parallel:
 every run is fully determined by its seed, and runs share no state.
-:func:`parallel_map` exploits that with a ``fork``-based process pool
+:func:`parallel_map` exploits that with a ``fork``-based worker pool
 while preserving the serial semantics exactly:
 
-- **Determinism** -- each item is evaluated by exactly one call of the
-  mapped function, and results are returned in input order. A function
-  whose output depends only on its item (e.g. a seeded simulation)
-  therefore produces output identical to the serial map, byte for byte,
-  for every ``n_jobs``.
+- **Determinism** -- each item's result comes from exactly one
+  *successful* evaluation of the mapped function, and results are
+  returned in input order. A function whose output depends only on its
+  item (e.g. a seeded simulation) therefore produces output identical
+  to the serial map, byte for byte, for every ``n_jobs`` -- even when
+  workers crash, hang, or return rejected results along the way,
+  because every recovery path re-executes the same chunk of items and
+  chunk results are merged in input order regardless of completion
+  order.
 - **No pickling of work** -- the function and item list are published in
   a module global *before* the fork, so workers inherit them through the
   process image. Closures over local factories (how
@@ -20,23 +24,66 @@ while preserving the serial semantics exactly:
   (about four per worker) to amortize dispatch overhead while keeping
   the pool load-balanced when per-item runtimes vary.
 
+**Failure semantics** (the degradation ladder; DESIGN.md section 8):
+
+1. A **crashed** worker (abrupt exit, segfault, OOM kill) is detected
+   through its closed result pipe; its chunk is requeued and a
+   replacement worker is forked.
+2. A **hung** worker (no result within ``timeout_s`` of its chunk
+   assignment; detection off when ``timeout_s`` is ``None``) is
+   terminated and replaced, and its chunk requeued.
+3. A chunk whose results fail the optional ``validate`` predicate
+   (e.g. NaN contamination) is treated exactly like a crash.
+4. Each requeue counts against the chunk's ``max_retries`` budget, with
+   deterministic exponential backoff (``backoff_s * 2**(attempt-1)``,
+   no jitter) between attempts.
+5. A chunk that exhausts its budget **degrades to serial**: the parent
+   re-executes it in-process after the pool drains. Only if that also
+   fails (validation still rejecting) does
+   :class:`~repro.errors.WorkerFailureError` surface, carrying the full
+   per-chunk failure history.
+
+Recovery events are counted in ``repro.obs`` under ``parallel.*``
+(worker_crashes, worker_timeouts, validation_failures, retries,
+degraded_chunks, serial_fallbacks); the counters are created with
+``profiling=True`` since they describe the *execution*, not the result,
+and must not break the deterministic parallel-equals-serial view.
+Deterministic fault injection for exercising every rung lives in
+:mod:`repro.robust.faultinject`.
+
 ``n_jobs`` follows the common convention: ``None`` or ``1`` runs
 serially in-process, ``k > 1`` uses ``k`` workers, ``-1`` uses all
 available cores, and ``0`` is rejected. Platforms without the ``fork``
-start method (and nested calls from inside a worker) degrade to the
-serial path -- same results, no pool.
+start method and nested calls from inside a worker degrade to the
+serial path -- same results, no pool -- and announce the capacity loss
+through a :class:`RuntimeWarning` plus the
+``parallel.serial_fallbacks`` counter instead of hiding it.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerFailureError
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.robust import faultinject
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -44,6 +91,13 @@ R = TypeVar("R")
 #: Work shared with forked workers: ``(fn, items)`` published before the
 #: fork so the pool inherits it; ``None`` whenever no pool is running.
 _WORK: "Optional[tuple]" = None
+
+#: Default per-chunk retry budget before degrading to serial.
+MAX_RETRIES = 2
+
+#: Base of the deterministic exponential backoff between retries, in
+#: seconds: attempt ``k`` (1-based) waits ``BACKOFF_S * 2**(k-1)``.
+BACKOFF_S = 0.05
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -75,26 +129,61 @@ def _chunk_indices(n_items: int, n_chunks: int) -> "List[range]":
     return chunks
 
 
-def _run_chunk(indices: "range") -> "Tuple[List[Any], Optional[dict], Optional[list]]":
-    """Evaluate one chunk of the published work (runs in a worker).
+def _serial_fallback_observed(reason: str) -> None:
+    """Announce a silent-capacity-loss serial fallback (counter + warning).
 
-    When the forked-in parent context carries instrumentation, the
-    chunk runs under a *fresh* worker registry/tracer whose snapshot is
-    shipped back beside the results; the parent merges snapshots in
-    chunk (= input) order, so the merged registry is bit-for-bit the
-    registry a serial run would have built (wall-clock instruments are
-    flagged ``profiling`` and exempt from that identity).
+    The counter is ``profiling`` because it describes execution
+    placement, which legitimately differs between serial and parallel
+    runs, and so must stay out of the deterministic metrics view.
+    """
+    ins = obs_runtime.active()
+    if ins.metrics is not None:
+        ins.metrics.counter("parallel.serial_fallbacks", profiling=True).inc()
+    warnings.warn(
+        f"parallel_map: falling back to serial execution ({reason}); "
+        "requested parallelism is not being used",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _recovery_counter(name: str) -> None:
+    ins = obs_runtime.active()
+    if ins.metrics is not None:
+        ins.metrics.counter(name, profiling=True).inc()
+
+
+ChunkPayload = Tuple[List[Any], Optional[dict], Optional[list]]
+
+
+def _execute_chunk(indices: "range", attempt: int) -> ChunkPayload:
+    """Evaluate one chunk of the published work (worker or parent).
+
+    When the ambient context carries instrumentation, the chunk runs
+    under a *fresh* registry/tracer whose snapshot is shipped back
+    beside the results; the caller merges snapshots in chunk (= input)
+    order, so the merged registry is bit-for-bit the registry a serial
+    run would have built (wall-clock instruments are flagged
+    ``profiling`` and exempt from that identity). ``attempt`` is the
+    chunk's retry count, threaded through so deterministic fault
+    injection can disarm after a chosen number of attempts.
     """
     fn, items = _WORK
     parent = obs_runtime.active()
     if not parent.enabled:
-        return [fn(items[i]) for i in indices], None, None
+        return (
+            [faultinject.maybe_fault(i, attempt, fn(items[i])) for i in indices],
+            None,
+            None,
+        )
     registry = MetricsRegistry() if parent.metrics is not None else None
     tracer = (
         Tracer(epoch=parent.tracer.epoch) if parent.tracer is not None else None
     )
     with obs_runtime.instrument(metrics=registry, tracer=tracer):
-        results = [fn(items[i]) for i in indices]
+        results = [
+            faultinject.maybe_fault(i, attempt, fn(items[i])) for i in indices
+        ]
     return (
         results,
         registry.to_dict() if registry is not None else None,
@@ -102,17 +191,263 @@ def _run_chunk(indices: "range") -> "Tuple[List[Any], Optional[dict], Optional[l
     )
 
 
+def _worker_loop(conn) -> None:
+    """Worker main: serve ``(chunk_id, start, stop, attempt)`` requests."""
+    faultinject.mark_worker()
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            chunk_id, start, stop, attempt = task
+            payload = _execute_chunk(range(start, stop), attempt)
+            conn.send((chunk_id, payload))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one pool worker."""
+
+    process: Any
+    conn: Any
+    chunk_id: "Optional[int]" = None
+    attempt: int = 0
+    deadline: float = float("inf")
+
+    @property
+    def busy(self) -> bool:
+        return self.chunk_id is not None
+
+
+@dataclass
+class _ChunkState:
+    """Scheduling state of one chunk across retries."""
+
+    indices: "range"
+    failures: int = 0
+    history: "List[str]" = field(default_factory=list)
+
+
+class _FaultTolerantPool:
+    """The scheduler behind :func:`parallel_map`'s parallel path.
+
+    One duplex pipe per worker keeps chunk attribution exact: the
+    parent always knows which chunk a dead or overdue worker held, so
+    recovery never guesses. ``multiprocessing.connection.wait``
+    multiplexes the pipes; per-chunk deadlines are enforced between
+    wakeups.
+    """
+
+    def __init__(
+        self,
+        context,
+        n_workers: int,
+        chunks: "List[range]",
+        timeout_s: "Optional[float]",
+        max_retries: int,
+        backoff_s: float,
+        validate: "Optional[Callable[[List[Any]], bool]]",
+    ) -> None:
+        self._context = context
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+        self._backoff_s = backoff_s
+        self._validate = validate
+        self._chunks = [_ChunkState(indices) for indices in chunks]
+        self._pending: "List[Tuple[int, int]]" = [
+            (chunk_id, 0) for chunk_id in reversed(range(len(chunks)))
+        ]
+        self._payloads: "Dict[int, ChunkPayload]" = {}
+        self._degraded: "List[int]" = []
+        self._workers: "List[_Worker]" = [
+            self._spawn() for _ in range(n_workers)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_loop, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _retire(self, worker: _Worker, terminate: bool) -> None:
+        self._workers.remove(worker)
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        worker.process.join()
+
+    def shutdown(self) -> None:
+        """Stop all workers; called on every exit path."""
+        for worker in list(self._workers):
+            if not worker.busy and worker.process.is_alive():
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            self._retire(worker, terminate=worker.busy)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _assign(self) -> None:
+        for worker in self._workers:
+            if not self._pending:
+                return
+            if worker.busy:
+                continue
+            chunk_id, attempt = self._pending.pop()
+            try:
+                indices = self._chunks[chunk_id].indices
+                worker.conn.send(
+                    (chunk_id, indices.start, indices.stop, attempt)
+                )
+            except (BrokenPipeError, OSError):
+                # The worker died while idle; replace it and requeue.
+                self._pending.append((chunk_id, attempt))
+                self._retire(worker, terminate=True)
+                self._workers.append(self._spawn())
+                continue
+            worker.chunk_id = chunk_id
+            worker.attempt = attempt
+            worker.deadline = (
+                time.monotonic() + self._timeout_s
+                if self._timeout_s is not None
+                else float("inf")
+            )
+
+    def _fail(self, worker: _Worker, reason: str, counter: str) -> None:
+        """One failed attempt: replace the worker, requeue or degrade."""
+        chunk_id = worker.chunk_id
+        self._retire(worker, terminate=True)
+        self._workers.append(self._spawn())
+        _recovery_counter(counter)
+        state = self._chunks[chunk_id]
+        state.failures += 1
+        state.history.append(reason)
+        if state.failures <= self._max_retries:
+            _recovery_counter("parallel.retries")
+            # Deterministic exponential backoff -- no jitter, so retry
+            # schedules are reproducible in tests and traces.
+            time.sleep(self._backoff_s * 2 ** (state.failures - 1))
+            self._pending.append((chunk_id, state.failures))
+        else:
+            _recovery_counter("parallel.degraded_chunks")
+            self._degraded.append(chunk_id)
+
+    def _complete(self, worker: _Worker, payload: ChunkPayload) -> None:
+        chunk_id = worker.chunk_id
+        if self._validate is not None and not self._validate(payload[0]):
+            self._fail(
+                worker,
+                f"attempt {worker.attempt}: results rejected by validation",
+                "parallel.validation_failures",
+            )
+            return
+        self._payloads[chunk_id] = payload
+        worker.chunk_id = None
+        worker.deadline = float("inf")
+
+    def run(self) -> "Tuple[Dict[int, ChunkPayload], List[int], List[_ChunkState]]":
+        """Drive the pool until every chunk completed or degraded."""
+        while self._pending or any(w.busy for w in self._workers):
+            self._assign()
+            busy = [w for w in self._workers if w.busy]
+            if not busy:
+                continue
+            now = time.monotonic()
+            next_deadline = min(w.deadline for w in busy)
+            wait_s = (
+                None
+                if next_deadline == float("inf")
+                else max(0.0, next_deadline - now)
+            )
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in busy], timeout=wait_s
+            )
+            for conn in ready:
+                worker = next(w for w in self._workers if w.conn is conn)
+                try:
+                    chunk_id, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._fail(
+                        worker,
+                        f"attempt {worker.attempt}: worker "
+                        f"pid={worker.process.pid} crashed "
+                        f"(exitcode={worker.process.exitcode})",
+                        "parallel.worker_crashes",
+                    )
+                    continue
+                assert chunk_id == worker.chunk_id
+                self._complete(worker, payload)
+            now = time.monotonic()
+            for worker in [w for w in self._workers if w.busy]:
+                if worker.deadline <= now:
+                    self._fail(
+                        worker,
+                        f"attempt {worker.attempt}: no result within "
+                        f"{self._timeout_s:g}s, worker terminated",
+                        "parallel.worker_timeouts",
+                    )
+        return self._payloads, sorted(self._degraded), self._chunks
+
+
 def parallel_map(
     fn: "Callable[[T], R]",
     items: "Sequence[T]",
     n_jobs: Optional[int] = None,
+    timeout_s: "Optional[float]" = None,
+    max_retries: int = MAX_RETRIES,
+    backoff_s: float = BACKOFF_S,
+    validate: "Optional[Callable[[List[R]], bool]]" = None,
 ) -> "List[R]":
-    """Map *fn* over *items*, optionally on a fork-based process pool.
+    """Map *fn* over *items*, optionally on a fault-tolerant fork pool.
 
-    Results come back in input order regardless of ``n_jobs``; see the
-    module docstring for the determinism and pickling guarantees.
+    Results come back in input order regardless of ``n_jobs`` and of
+    any recovery that happened along the way; see the module docstring
+    for the determinism, pickling, and failure-semantics guarantees.
+
+    Parameters
+    ----------
+    fn, items, n_jobs:
+        As before; ``n_jobs in (None, 1)`` runs serially in-process.
+    timeout_s:
+        Per-chunk deadline for hang detection; ``None`` (default)
+        disables it -- crash detection is always on.
+    max_retries:
+        Failed-attempt budget per chunk before it degrades to serial
+        re-execution in the parent.
+    backoff_s:
+        Base of the deterministic exponential backoff between retries.
+    validate:
+        Optional predicate over one chunk's result list; returning
+        ``False`` marks the attempt failed (retry, then serial). When
+        fault injection is active and no validator is given, NaN
+        contamination is rejected by default so the injected-corruption
+        recovery path is closed out of the box.
+
+    Raises
+    ------
+    WorkerFailureError
+        Only when a chunk failed validation even after serial
+        re-execution by the parent; ``diagnostics`` lists each failed
+        chunk's attempt history.
     """
     items = list(items)
+    if max_retries < 0:
+        raise SimulationError(f"max_retries must be >= 0, got {max_retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise SimulationError(f"timeout_s must be positive, got {timeout_s}")
     jobs = min(resolve_n_jobs(n_jobs), len(items))
     if jobs <= 1:
         return [fn(item) for item in items]
@@ -120,22 +455,58 @@ def parallel_map(
     if _WORK is not None:
         # Nested call from inside a worker: run serially rather than
         # oversubscribing with a pool-per-worker.
+        _serial_fallback_observed("nested parallel_map call inside a worker")
         return [fn(item) for item in items]
     try:
         context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - fork exists on posix
+    except ValueError:
+        _serial_fallback_observed("no 'fork' start method on this platform")
         return [fn(item) for item in items]
+    if validate is None and faultinject.active_plan() is not None:
+        validate = lambda results: not faultinject.nan_contaminated(results)
+    chunks = _chunk_indices(len(items), jobs * 4)
     _WORK = (fn, items)
+    pool = None
     try:
-        chunks = _chunk_indices(len(items), jobs * 4)
-        with context.Pool(processes=jobs) as pool:
-            chunk_results = pool.map(_run_chunk, chunks)
+        pool = _FaultTolerantPool(
+            context, jobs, chunks, timeout_s, max_retries, backoff_s, validate
+        )
+        payloads, degraded, states = pool.run()
+        pool.shutdown()
+        pool = None
+        # Graceful degradation: re-execute exhausted chunks serially in
+        # the parent (fault injection never fires here), still under a
+        # fresh registry so the final merge stays in chunk order.
+        bad: "List[Dict[str, Any]]" = []
+        for chunk_id in degraded:
+            state = states[chunk_id]
+            payload = _execute_chunk(state.indices, state.failures)
+            if validate is not None and not validate(payload[0]):
+                state.history.append("serial re-execution rejected by validation")
+                bad.append(
+                    {
+                        "chunk": [state.indices.start, state.indices.stop],
+                        "failures": state.failures,
+                        "history": state.history,
+                    }
+                )
+                continue
+            payloads[chunk_id] = payload
+        if bad:
+            raise WorkerFailureError(
+                f"{len(bad)} chunk(s) failed validation even after serial "
+                "re-execution",
+                diagnostics={"chunks": bad},
+            )
     finally:
+        if pool is not None:
+            pool.shutdown()
         _WORK = None
     parent = obs_runtime.active()
     results: "List[R]" = []
-    for chunk, metrics_snapshot, trace_spans in chunk_results:
-        results.extend(chunk)
+    for chunk_id in range(len(chunks)):
+        chunk_results, metrics_snapshot, trace_spans = payloads[chunk_id]
+        results.extend(chunk_results)
         if metrics_snapshot is not None and parent.metrics is not None:
             parent.metrics.merge_dict(metrics_snapshot)
         if trace_spans is not None and parent.tracer is not None:

@@ -1,0 +1,101 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.robust import faultinject
+from repro.robust.faultinject import (
+    Fault,
+    FaultInjectionError,
+    FaultPlan,
+    inject,
+    maybe_fault,
+    nan_contaminated,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Fault(kind="explode", item=0)
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Fault(kind="crash", item=-1)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Fault(kind="nan", item=0, times=0)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(FaultInjectionError, ReproError)
+
+
+class TestFaultPlanArming:
+    def test_fires_on_early_attempts_only(self):
+        plan = FaultPlan().add("crash", item=3, times=2)
+        assert plan.fault_for(3, 0) is not None
+        assert plan.fault_for(3, 1) is not None
+        assert plan.fault_for(3, 2) is None  # disarmed by arithmetic
+
+    def test_other_items_unaffected(self):
+        plan = FaultPlan().add("nan", item=3)
+        assert plan.fault_for(4, 0) is None
+
+    def test_add_chains(self):
+        plan = FaultPlan().add("crash", item=0).add("hang", item=1)
+        assert len(plan.faults) == 2
+
+
+class TestInjectContext:
+    def test_installs_and_restores(self):
+        assert faultinject.active_plan() is None
+        plan = FaultPlan().add("nan", item=0)
+        with inject(plan):
+            assert faultinject.active_plan() is plan
+        assert faultinject.active_plan() is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with inject(FaultPlan()):
+                raise RuntimeError("boom")
+        assert faultinject.active_plan() is None
+
+    def test_nested_plans_restore_outer(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with inject(outer):
+            with inject(inner):
+                assert faultinject.active_plan() is inner
+            assert faultinject.active_plan() is outer
+
+
+class TestMaybeFault:
+    def test_noop_without_plan(self):
+        assert maybe_fault(0, 0, 42) == 42
+
+    def test_noop_outside_workers(self):
+        # Even with an armed plan, the parent process is immune: the
+        # serial degradation path must always make progress.
+        with inject(FaultPlan().add("nan", item=0)):
+            assert maybe_fault(0, 0, 42) == 42
+
+    def test_nan_fires_in_worker(self, monkeypatch):
+        monkeypatch.setattr(faultinject, "_in_worker", True)
+        with inject(FaultPlan().add("nan", item=0)):
+            result = maybe_fault(0, 0, 42)
+        assert result != result  # NaN
+
+    def test_disarmed_attempt_passes_through_in_worker(self, monkeypatch):
+        monkeypatch.setattr(faultinject, "_in_worker", True)
+        with inject(FaultPlan().add("nan", item=0, times=1)):
+            assert maybe_fault(0, 1, 42) == 42
+
+
+class TestNanContaminated:
+    def test_detects_float_nan(self):
+        assert nan_contaminated([1.0, float("nan"), 2.0])
+
+    def test_clean_results_pass(self):
+        assert not nan_contaminated([1.0, 2, "x", None])

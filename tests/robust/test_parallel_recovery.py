@@ -1,0 +1,167 @@
+"""Recovery-path tests for the fault-tolerant ``parallel_map``.
+
+Every rung of the degradation ladder (crash -> retry, hang -> timeout ->
+requeue, NaN -> validation -> retry, retry exhaustion -> serial
+degradation) is driven deterministically via
+:mod:`repro.robust.faultinject`, and in every scenario the results must
+stay byte-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkerFailureError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import active, instrument
+from repro.robust.faultinject import FaultPlan, inject
+from repro.sim.parallel import parallel_map
+
+ITEMS = list(range(8))
+
+#: Fast deterministic retry schedule for tests.
+FAST = dict(n_jobs=2, backoff_s=0.001)
+
+
+def _square(x):
+    return x * x
+
+
+def _instrumented_square(x):
+    ins = active()
+    if ins.metrics is not None:
+        ins.metrics.counter("work.calls").inc()
+        ins.metrics.series("work.rows").append(x=x)
+    return x * x
+
+
+def _run(plan=None, fn=_square, **kwargs):
+    """Run ``parallel_map`` under a fresh registry; return (results, registry)."""
+    registry = MetricsRegistry()
+    kwargs = {**FAST, **kwargs}
+    with instrument(metrics=registry):
+        if plan is None:
+            results = parallel_map(fn, ITEMS, **kwargs)
+        else:
+            with inject(plan):
+                results = parallel_map(fn, ITEMS, **kwargs)
+    return results, registry
+
+
+def _count(registry, name):
+    return registry.counter(name, profiling=True).value
+
+
+SERIAL = [x * x for x in ITEMS]
+
+
+class TestCrashRecovery:
+    def test_crash_then_retry_succeeds(self):
+        results, registry = _run(FaultPlan().add("crash", item=3))
+        assert results == SERIAL
+        assert _count(registry, "parallel.worker_crashes") == 1
+        assert _count(registry, "parallel.retries") == 1
+        assert _count(registry, "parallel.degraded_chunks") == 0
+
+    def test_multiple_crashes_recovered(self):
+        plan = FaultPlan().add("crash", item=1).add("crash", item=6)
+        results, registry = _run(plan)
+        assert results == SERIAL
+        assert _count(registry, "parallel.worker_crashes") == 2
+        assert _count(registry, "parallel.retries") == 2
+
+
+class TestHangRecovery:
+    def test_hang_hits_timeout_and_requeues(self):
+        plan = FaultPlan().add("hang", item=2, seconds=30.0)
+        results, registry = _run(plan, timeout_s=0.3)
+        assert results == SERIAL
+        assert _count(registry, "parallel.worker_timeouts") == 1
+        assert _count(registry, "parallel.retries") == 1
+
+    def test_no_timeout_detection_when_disabled_but_crashes_still_caught(self):
+        # timeout_s=None turns off hang detection only; crash detection
+        # does not depend on it.
+        results, registry = _run(
+            FaultPlan().add("crash", item=0), timeout_s=None
+        )
+        assert results == SERIAL
+        assert _count(registry, "parallel.worker_crashes") == 1
+
+
+class TestNanRecovery:
+    def test_nan_rejected_by_default_validator_then_retried(self):
+        results, registry = _run(FaultPlan().add("nan", item=5))
+        assert results == SERIAL
+        assert _count(registry, "parallel.validation_failures") == 1
+        assert _count(registry, "parallel.retries") == 1
+
+
+class TestSerialDegradation:
+    def test_exhausted_retries_degrade_to_serial_parent(self):
+        # The fault stays armed longer than the retry budget, so the
+        # chunk degrades -- and the parent re-executes it successfully
+        # because faults never fire outside workers.
+        plan = FaultPlan().add("crash", item=2, times=5)
+        results, registry = _run(plan, max_retries=1)
+        assert results == SERIAL
+        assert _count(registry, "parallel.worker_crashes") == 2
+        assert _count(registry, "parallel.retries") == 1
+        assert _count(registry, "parallel.degraded_chunks") == 1
+
+    def test_worker_failure_error_when_serial_also_rejected(self):
+        # A validator that rejects item 3's chunk forever fails all
+        # pool attempts AND the serial re-execution.
+        with pytest.raises(WorkerFailureError) as excinfo:
+            _run(
+                validate=lambda rs: 9 not in rs,
+                max_retries=1,
+            )
+        diag = excinfo.value.diagnostics
+        assert len(diag["chunks"]) == 1
+        bad = diag["chunks"][0]
+        assert bad["chunk"] == [3, 4]
+        assert bad["failures"] == 2
+        assert bad["history"][-1] == "serial re-execution rejected by validation"
+        assert len(bad["history"]) == 3  # two pool attempts + serial
+
+
+class TestByteIdentityUnderRecovery:
+    """Recovery must not leak into results or deterministic metrics."""
+
+    def _deterministic(self, registry):
+        return json.dumps(
+            registry.to_dict(deterministic_only=True), sort_keys=True
+        )
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan().add("crash", item=4),
+            FaultPlan().add("nan", item=0),
+            FaultPlan().add("crash", item=6, times=5),  # degrades
+        ],
+        ids=["crash", "nan", "degraded"],
+    )
+    def test_metrics_and_results_match_serial(self, plan):
+        serial_results, serial_registry = _run(fn=_instrumented_square, n_jobs=1)
+        results, registry = _run(plan, fn=_instrumented_square, max_retries=1)
+        assert results == serial_results
+        assert self._deterministic(registry) == self._deterministic(
+            serial_registry
+        )
+
+    def test_recovery_counters_stay_out_of_deterministic_view(self):
+        _, registry = _run(FaultPlan().add("crash", item=3))
+        deterministic = registry.to_dict(deterministic_only=True)
+        assert not any(name.startswith("parallel.") for name in deterministic)
+        full = registry.to_dict()
+        assert "parallel.worker_crashes" in full
+
+
+class TestUninstrumentedRecovery:
+    def test_recovery_works_without_registry(self):
+        with inject(FaultPlan().add("crash", item=1)):
+            assert parallel_map(_square, ITEMS, **FAST) == SERIAL

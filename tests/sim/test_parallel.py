@@ -82,6 +82,79 @@ class TestParallelMap:
             sum(x * y for y in range(3)) for x in range(4)
         ]
 
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(SimulationError):
+            parallel_map(lambda x: x, [1], max_retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            parallel_map(lambda x: x, [1], timeout_s=0.0)
+
+
+class TestSerialFallbackAnnouncement:
+    """Silent capacity loss is forbidden: both serial-fallback paths
+    must emit a RuntimeWarning naming the reason plus the
+    ``parallel.serial_fallbacks`` profiling counter."""
+
+    def _run_counting(self, **kwargs):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.runtime import instrument
+
+        registry = MetricsRegistry()
+        with instrument(metrics=registry):
+            results = parallel_map(lambda x: x + 1, range(5), **kwargs)
+        return results, registry
+
+    def test_nested_call_warns_and_counts(self, monkeypatch):
+        import repro.sim.parallel as parallel_module
+
+        # A non-None _WORK is exactly the state a forked worker sees.
+        monkeypatch.setattr(parallel_module, "_WORK", (None, None))
+        with pytest.warns(RuntimeWarning, match="nested parallel_map"):
+            results, registry = self._run_counting(n_jobs=2)
+        assert results == [1, 2, 3, 4, 5]
+        assert (
+            registry.counter("parallel.serial_fallbacks", profiling=True).value
+            == 1
+        )
+
+    def test_missing_fork_warns_and_counts(self, monkeypatch):
+        import types
+
+        import repro.sim.parallel as parallel_module
+
+        def no_fork(method):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(
+            parallel_module, "multiprocessing",
+            types.SimpleNamespace(get_context=no_fork),
+        )
+        with pytest.warns(RuntimeWarning, match="no 'fork' start method"):
+            results, registry = self._run_counting(n_jobs=2)
+        assert results == [1, 2, 3, 4, 5]
+        assert (
+            registry.counter("parallel.serial_fallbacks", profiling=True).value
+            == 1
+        )
+
+    def test_plain_serial_run_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results, registry = self._run_counting(n_jobs=1)
+        assert results == [1, 2, 3, 4, 5]
+        assert "parallel.serial_fallbacks" not in registry
+
+    def test_parallel_run_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results, _ = self._run_counting(n_jobs=2)
+        assert results == [1, 2, 3, 4, 5]
+
 
 class TestWorkerMetricsMerge:
     """Worker registries merge back into the parent, equal to serial."""

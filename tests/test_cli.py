@@ -240,6 +240,81 @@ class TestObservabilityFlags:
         assert deterministic(paths["1"]) == deterministic(paths["2"])
 
 
+class TestExitCodes:
+    """Library failures map to distinct exit codes + one-line messages."""
+
+    def test_mapping_most_specific_first(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        assert exit_code_for(errors.InvalidGeneratorError("x")) == 3
+        assert exit_code_for(errors.NotIrreducibleError("x")) == 3
+        assert exit_code_for(errors.InvalidModelError("x")) == 3
+        assert exit_code_for(errors.InvalidPolicyError("x")) == 3
+        assert exit_code_for(errors.SolverError("x")) == 4
+        assert exit_code_for(errors.InfeasibleConstraintError("x")) == 5
+        assert exit_code_for(errors.SimulationError("x")) == 6
+        assert exit_code_for(errors.CheckpointError("x")) == 7
+        assert exit_code_for(errors.WorkerFailureError("x")) == 8
+        assert exit_code_for(errors.ReproError("x")) == 9
+
+    def test_infeasible_constraint_exits_5(self, capsys):
+        assert main(["solve", "--max-queue-length", "1e-9"]) == 5
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_solver_error_exits_4(self, capsys):
+        assert main(["frontier", "--max-weight", "-1"]) == 4
+        assert "error: max_weight must be positive" in capsys.readouterr().err
+
+    def test_checkpoint_error_exits_7(self, capsys):
+        assert main(["frontier", "--resume"]) == 7
+        assert "error: --resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_debug_reraises_with_traceback(self):
+        from repro.errors import InfeasibleConstraintError
+
+        with pytest.raises(InfeasibleConstraintError):
+            main(["solve", "--max-queue-length", "1e-9", "--debug"])
+
+
+class TestCheckpointFlags:
+    def test_frontier_checkpoint_resume_identical(self, tmp_path, capsys):
+        args = [
+            "frontier", "--max-weight", "50", "--weight-tolerance", "0.01",
+        ]
+        assert main(args) == 0
+        reference = capsys.readouterr().out
+        ck = tmp_path / "front.json"
+        assert main(args + ["--checkpoint", str(ck)]) == 0
+        assert capsys.readouterr().out == reference
+        # Resume from the completed checkpoint: no re-solves, same output.
+        assert main(args + ["--checkpoint", str(ck), "--resume"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_mismatched_config_rejected(self, tmp_path, capsys):
+        ck = tmp_path / "front.json"
+        base = ["frontier", "--weight-tolerance", "0.01", "--checkpoint", str(ck)]
+        assert main(base + ["--max-weight", "50"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--max-weight", "60", "--resume"]) == 7
+        assert "different configuration" in capsys.readouterr().err
+
+    def test_simulate_replications_checkpoint(self, tmp_path, capsys):
+        args = [
+            "simulate", "--policy", "greedy", "--requests", "300",
+            "--replications", "3",
+        ]
+        assert main(args) == 0
+        reference = capsys.readouterr().out
+        ck = tmp_path / "reps.json"
+        assert main(args + ["--checkpoint", str(ck)]) == 0
+        assert capsys.readouterr().out == reference
+        assert main(args + ["--checkpoint", str(ck), "--resume"]) == 0
+        assert capsys.readouterr().out == reference
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
