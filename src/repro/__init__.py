@@ -32,10 +32,12 @@ Quickstart::
 __version__ = "1.0.0"
 
 from repro.errors import (
+    DomainError,
     InfeasibleConstraintError,
     InvalidGeneratorError,
     InvalidModelError,
     InvalidPolicyError,
+    ModelRejectedError,
     NotIrreducibleError,
     ReproError,
     SimulationError,
@@ -43,10 +45,12 @@ from repro.errors import (
 )
 
 __all__ = [
+    "DomainError",
     "InfeasibleConstraintError",
     "InvalidGeneratorError",
     "InvalidModelError",
     "InvalidPolicyError",
+    "ModelRejectedError",
     "NotIrreducibleError",
     "ReproError",
     "SimulationError",

@@ -10,6 +10,10 @@ Subcommands:
 - ``frontier`` -- print the exact deterministic power--delay frontier.
 - ``experiments`` -- regenerate the paper's Figure 4, Table 1, or
   Figure 5 tables.
+- ``validate`` -- run a model (paper preset or a JSON config) through
+  the admission gate and print the report; exits 0 when admitted
+  as-is, :data:`EXIT_REPAIRED` when an exact remediation was applied,
+  and 3 when rejected.
 
 All subcommands default to the paper's Section-V system; ``--rate``,
 ``--capacity``, and ``--weight`` adjust it.
@@ -49,6 +53,11 @@ EXIT_CODES = (
     (errors.InvalidPolicyError, 3),
     (errors.ReproError, 9),
 )
+
+
+#: ``validate`` verdict ``"repaired"``: the model is solvable, but only
+#: after the (exact) remediation recorded in the printed report.
+EXIT_REPAIRED = 10
 
 
 def exit_code_for(exc: Exception) -> int:
@@ -295,6 +304,57 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.robust.admission import admit_model
+
+    if args.config is not None:
+        from repro.dpm.config import load_system
+
+        model = load_system(args.config)
+    else:
+        model = _build_model(args)
+    report = admit_model(
+        model, level=args.level, weight=args.weight, raise_on_reject=False,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"verdict: {report.verdict} (level: {report.level})")
+        diag_rows = sorted(
+            (k, v if isinstance(v, (int, bool)) else f"{float(v):g}"
+             if isinstance(v, float) else v)
+            for k, v in report.diagnostics.items()
+        )
+        if diag_rows:
+            print(format_table(("diagnostic", "value"), diag_rows))
+        if report.findings:
+            print(format_table(
+                ("severity", "code", "where", "message"),
+                [(f.severity, f.code,
+                  f.state if f.state is not None else "-",
+                  f.message)
+                 for f in report.findings],
+            ))
+        if report.remediation:
+            print("remediation:", _json.dumps(report.remediation, sort_keys=True))
+    if args.report_out:
+        from repro.obs.export import run_manifest, write_admission_report
+
+        write_admission_report(
+            report, args.report_out,
+            manifest=run_manifest(seed=None),
+        )
+        if not args.json:
+            print(f"report written to {args.report_out}")
+    if report.verdict == "rejected":
+        return 3
+    if report.verdict == "repaired":
+        return EXIT_REPAIRED
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.exhibit == "figure4":
         from repro.experiments.figure4 import format_figure4, run_figure4
@@ -417,6 +477,29 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--csv-out", default=None,
                              help="also export the series as CSV to this path")
     experiments.set_defaults(func=cmd_experiments)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run a model through the admission gate and print the report",
+        parents=[common],
+    )
+    validate.add_argument(
+        "config", nargs="?", default=None,
+        help="JSON model config (see repro.dpm.config); defaults to the "
+             "paper preset adjusted by --rate/--capacity",
+    )
+    _add_model_arguments(validate)
+    validate.add_argument("--weight", type=float, default=1.0,
+                          help="cost weight used for the built CTMDP")
+    validate.add_argument("--level", default="full",
+                          choices=("entry", "standard", "full"),
+                          help="admission depth (default: full)")
+    validate.add_argument("--json", action="store_true",
+                          help="print the report as JSON instead of tables")
+    validate.add_argument("--report-out", default=None, metavar="PATH",
+                          help="also write the report (with a run manifest) "
+                               "as JSON to PATH")
+    validate.set_defaults(func=cmd_validate)
 
     return parser
 

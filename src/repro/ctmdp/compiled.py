@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.ctmdp.model import CTMDP
 from repro.errors import InvalidPolicyError
+from repro.markov.generator import canonical_shift
 
 
 class CompiledCTMDP:
@@ -115,6 +116,9 @@ class CompiledCTMDP:
         self.pad_index = pad
         self._dense_slot = self.pair_state * self.max_actions + self.pair_col
         self._state_range = np.arange(n)
+        self.rate_scale = float(getattr(mdp, "rate_scale", 1.0))
+        self._canonical = None
+        self._sparse = None
         for array in (self.generator, self.cost, self.pair_state,
                       self.pair_col, self.pair_offset, self.pad_index):
             array.setflags(write=False)
@@ -219,6 +223,50 @@ class CompiledCTMDP:
             return 0.0
         diagonal = self.generator[np.arange(self.n_pairs), self.pair_state]
         return max(0.0, float(np.max(-diagonal)))
+
+    @property
+    def canonical_shift(self) -> int:
+        """Binary exponent normalizing :meth:`max_exit_rate` into [1, 2)."""
+        return canonical_shift(self.max_exit_rate())
+
+    def canonical(self) -> "tuple[np.ndarray, np.ndarray, int]":
+        """``(G, c, shift)`` with the generator and cost arrays rescaled
+        into canonical units by the exact exponent shift ``2**-shift``.
+
+        Solvers assemble their policy-evaluation systems from these
+        arrays so that models differing only by a power-of-two time
+        rescaling run through bit-identical float computations; the
+        resulting gain is mapped back with ``ldexp(gain, +shift)``
+        (also exact). Computed once and cached.
+        """
+        if self._canonical is None:
+            shift = self.canonical_shift
+            g = np.ldexp(self.generator, -shift)
+            c = np.ldexp(self.cost, -shift)
+            g.setflags(write=False)
+            c.setflags(write=False)
+            self._canonical = (g, c, shift)
+        return self._canonical
+
+    def sparse_entries(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(rows, cols, vals)`` of the nonzero generator entries in
+        row-major order, computed once and cached.
+
+        Generator rows have bounded out-degree, so whole-model scans
+        (the admission gate's structural and numerical reductions) run
+        over the ~nnz entries instead of the dense
+        ``(n_pairs, n_states)`` array. NaN/inf compare unequal to zero
+        and are therefore retained.
+        """
+        if self._sparse is None:
+            flat = np.flatnonzero(self.generator != 0.0)
+            rows = flat // max(self.n_states, 1)
+            cols = flat - rows * self.n_states
+            vals = self.generator.ravel()[flat]
+            for array in (rows, cols, vals):
+                array.setflags(write=False)
+            self._sparse = (rows, cols, vals)
+        return self._sparse
 
 
 def compile_ctmdp(mdp: CTMDP) -> CompiledCTMDP:

@@ -67,6 +67,14 @@ class CTMDP:
     ----------
     states:
         Unique hashable state labels.
+    rate_scale:
+        Time-unit rescaling applied by the caller when building this
+        model: all stored rates and cost rates are *original* units
+        multiplied by ``rate_scale``. Solvers report solutions in the
+        stored units; callers holding a repaired (rescaled) model divide
+        gains by ``rate_scale`` to recover original-unit values. The
+        admission remediation ladder only ever uses exact powers of two
+        here, so the division is exact.
 
     Build the model incrementally with :meth:`add_action`, then query it
     through :meth:`actions`, :meth:`data`, :meth:`generator_row` and
@@ -74,12 +82,17 @@ class CTMDP:
     action and all shapes agree.
     """
 
-    def __init__(self, states: Sequence[Hashable]) -> None:
+    def __init__(self, states: Sequence[Hashable], rate_scale: float = 1.0) -> None:
         self._states: Tuple[Hashable, ...] = tuple(states)
         if len(set(self._states)) != len(self._states):
             raise InvalidModelError("state labels must be unique")
         if not self._states:
             raise InvalidModelError("a CTMDP needs at least one state")
+        if not (np.isfinite(rate_scale) and rate_scale > 0.0):
+            raise InvalidModelError(
+                f"rate_scale must be finite and positive, got {rate_scale!r}"
+            )
+        self.rate_scale = float(rate_scale)
         self._index = {s: i for i, s in enumerate(self._states)}
         self._table: "Dict[int, Dict[Hashable, StateActionData]]" = {
             i: {} for i in range(len(self._states))
@@ -115,6 +128,10 @@ class CTMDP:
         if r.shape != (n,):
             raise InvalidModelError(
                 f"rates shape {r.shape} does not match {n} states"
+            )
+        if not np.all(np.isfinite(r)):
+            raise InvalidModelError(
+                f"non-finite rate in {state!r}/{action!r}"
             )
         if np.any(r < 0):
             raise InvalidModelError(

@@ -203,12 +203,13 @@ class PolicyEvaluation:
     bias:
         The relative-value vector ``h`` with ``h[reference] = 0``.
     stationary:
-        The stationary distribution of the induced chain.
+        The stationary distribution of the induced chain (``None`` when
+        the evaluation was run with ``compute_stationary=False``).
     """
 
     gain: float
     bias: np.ndarray
-    stationary: np.ndarray
+    stationary: Optional[np.ndarray]
 
 
 def evaluate_policy(
@@ -216,6 +217,7 @@ def evaluate_policy(
     cost_vector: Optional[np.ndarray] = None,
     reference_state: int = 0,
     backend: Optional[str] = None,
+    compute_stationary: bool = True,
 ) -> PolicyEvaluation:
     """Exactly evaluate a stationary policy's average cost.
 
@@ -267,12 +269,19 @@ def evaluate_policy(
     if not 0 <= reference_state < n:
         raise InvalidPolicyError(f"reference state {reference_state} out of range")
     # Unknowns: h_0..h_{n-1}, g. Equations: G h - g 1 = -c (n rows) plus
-    # h[ref] = 0.
+    # h[ref] = 0. Assembled in canonical units -- G and c scaled by the
+    # exact exponent shift that brings the *model-wide* max exit rate
+    # into [1, 2), the same shift the compiled solver uses, so both
+    # paths run the identical float computation. The gain shifts back
+    # exactly; the bias is scale-invariant.
+    from repro.markov.generator import canonical_shift
+
+    shift = canonical_shift(policy.mdp.max_exit_rate())
     a = np.zeros((n + 1, n + 1))
-    a[:n, :n] = g_mat
+    a[:n, :n] = np.ldexp(g_mat, -shift)
     a[:n, n] = -1.0
     a[n, reference_state] = 1.0
-    b = np.concatenate([-c, [0.0]])
+    b = np.concatenate([np.ldexp(-c, -shift), [0.0]])
     from repro.robust.guardrails import solve_with_fallback
 
     solution = solve_with_fallback(
@@ -280,7 +289,14 @@ def evaluate_policy(
         context={"reference_state": reference_state},
     )
     h = solution[:n]
-    gain = float(solution[n])
+    gain = float(np.ldexp(solution[n], shift))
+
+    if not compute_stationary:
+        # Policy iteration's improvement step needs only gain and bias;
+        # intermediate policies may induce multichain generators whose
+        # stationary solve would (rightly) raise, so the solve is
+        # deferred to the converged policy.
+        return PolicyEvaluation(gain=gain, bias=h, stationary=None)
 
     from repro.markov.generator import stationary_distribution
 

@@ -149,7 +149,15 @@ class _CycleDetector:
 def _improve(
     mdp: CTMDP, policy: Policy, evaluation: PolicyEvaluation, atol: float
 ) -> "tuple[Policy, bool]":
-    """One improvement sweep; returns (new policy, changed?)."""
+    """One improvement sweep; returns (new policy, changed?).
+
+    ``atol`` is an original-unit threshold; the test quantities here are
+    in the model's stored units (original times ``rate_scale``), so the
+    threshold is scaled accordingly. For unscaled models
+    (``rate_scale == 1``) this multiplies by exactly 1.0 and decisions
+    are unchanged.
+    """
+    atol = atol * getattr(mdp, "rate_scale", 1.0)
     h = evaluation.bias
     assignment = {}
     changed = False
@@ -188,17 +196,20 @@ def _solve_gain_bias(
     n = comp.n_states
     if not 0 <= reference_state < n:
         raise InvalidPolicyError(f"reference state {reference_state} out of range")
-    g_mat, c = comp.evaluation_system(sel)
+    g_all, c_all, shift = comp.canonical()
     a = np.zeros((n + 1, n + 1))
-    a[:n, :n] = g_mat
+    a[:n, :n] = g_all[sel]
     a[:n, n] = -1.0
     a[n, reference_state] = 1.0
-    b = np.concatenate([-c, [0.0]])
+    b = np.concatenate([-c_all[sel], [0.0]])
     solution = solve_with_fallback(
         a, b, what="policy evaluation system",
         context={"reference_state": reference_state},
     )
-    return float(solution[n]), solution[:n]
+    # The system was assembled in canonical units; the gain carries a
+    # unit of [cost/time] and is shifted back exactly, while the bias
+    # (a pure cost) is scale-invariant.
+    return float(np.ldexp(solution[n], shift)), solution[:n]
 
 
 def evaluate_rows(
@@ -252,20 +263,31 @@ def _policy_iteration_compiled(
     else:
         sel = comp.policy_rows(initial_policy.as_dict())
     # Bordered evaluation system, allocated once: only the top-left G
-    # block and the -c right-hand side change between rounds.
+    # block and the -c right-hand side change between rounds. Assembled
+    # from the canonical (exponent-normalized) arrays so that extreme
+    # rate magnitudes never reach the factorization and power-of-two
+    # rescalings of the model solve bit-identically; the gain is mapped
+    # back by the exact inverse shift, the bias is scale-invariant.
+    g_can, c_can, shift = comp.canonical()
     a = np.zeros((n + 1, n + 1))
     a[:n, n] = -1.0
     a[n, reference_state] = 1.0
     b = np.zeros(n + 1)
+    # Per-pair row maxima, computed once: ``max |a_ij|`` of any round's
+    # bordered system is the selected rows' maximum or the unit border
+    # entries, so the guardrail acceptance scale costs O(n) per solve
+    # instead of two O(n^2) scans.
+    row_inf = np.max(np.abs(g_can), axis=1, initial=0.0)
 
     def solve_rows(rows: np.ndarray) -> "tuple[float, np.ndarray]":
-        a[:n, :n] = comp.generator[rows]
-        np.negative(comp.cost[rows], out=b[:n])
+        a[:n, :n] = g_can[rows]
+        np.negative(c_can[rows], out=b[:n])
         solution = solve_with_fallback(
             a, b, what="policy evaluation system",
             context={"reference_state": reference_state},
+            a_max=max(1.0, float(np.max(row_inf[rows]))),
         )
-        return float(solution[n]), solution[:n]
+        return float(np.ldexp(solution[n], shift)), solution[:n]
 
     started = time.perf_counter()
     cycles = _CycleDetector()
@@ -286,6 +308,13 @@ def _policy_iteration_compiled(
         )
     cycles.check(sel.tobytes(), 0, gain_history, None)
     test_values = np.empty(comp.n_pairs)
+    # The sweep runs on canonical-unit test quantities, so the
+    # original-unit improvement threshold gets the same exact exponent
+    # shift (plus the rate_scale of a repaired model). Both factors are
+    # powers of two for every model this library builds, making the
+    # displacement decisions bit-identical to a stored-unit sweep --
+    # and, for unscaled models, to the unnormalized implementation.
+    atol_can = float(np.ldexp(atol * comp.rate_scale, -shift))
     with ins.span("policy_iteration", backend="compiled", n_states=n) as span:
         for iteration in range(1, max_iterations + 1):
             _check_budget(started, time_budget_s, iteration, gain_history)
@@ -293,9 +322,9 @@ def _policy_iteration_compiled(
                 sweep_start = time.perf_counter()
                 previous_sel = sel
                 previous_gain = gain
-            np.matmul(comp.generator, bias, out=test_values)
-            np.add(test_values, comp.cost, out=test_values)
-            sel, changed = comp.improve(test_values, sel, atol)
+            np.matmul(g_can, bias, out=test_values)
+            np.add(test_values, c_can, out=test_values)
+            sel, changed = comp.improve(test_values, sel, atol_can)
             if changed:
                 cycles.check(
                     sel.tobytes(), iteration, gain_history,
@@ -416,7 +445,8 @@ def policy_iteration(
     if ins.enabled:
         sweep_start = time.perf_counter()
     evaluation = evaluate_policy(
-        policy, reference_state=reference_state, backend="reference"
+        policy, reference_state=reference_state, backend="reference",
+        compute_stationary=False,
     )
     gain_history.append(evaluation.gain)
     cycles.check(
@@ -447,7 +477,8 @@ def policy_iteration(
                     iteration, gain_history, _policy_payload(policy.as_dict()),
                 )
             evaluation = evaluate_policy(
-                policy, reference_state=reference_state, backend="reference"
+                policy, reference_state=reference_state, backend="reference",
+                compute_stationary=False,
             )
             gain_history.append(evaluation.gain)
             if series is not None:
@@ -476,11 +507,15 @@ def policy_iteration(
                         "gain %.6g",
                         mdp.n_states, iteration, evaluation.gain,
                     )
+                from repro.markov.generator import stationary_distribution
+
                 return PolicyIterationResult(
                     policy=policy,
                     gain=evaluation.gain,
                     bias=evaluation.bias,
-                    stationary=evaluation.stationary,
+                    stationary=stationary_distribution(
+                        policy.generator_matrix()
+                    ),
                     iterations=iteration,
                     gain_history=gain_history,
                 )

@@ -52,7 +52,11 @@ class UniformizedMDP:
     rate: float
 
 
-def uniformize_ctmdp(mdp: CTMDP, rate: Optional[float] = None) -> UniformizedMDP:
+def uniformize_ctmdp(
+    mdp: CTMDP,
+    rate: Optional[float] = None,
+    slack: Optional[float] = None,
+) -> UniformizedMDP:
     """Convert *mdp* to a DTMDP at uniformization rate ``Lambda``.
 
     Parameters
@@ -61,11 +65,22 @@ def uniformize_ctmdp(mdp: CTMDP, rate: Optional[float] = None) -> UniformizedMDP
         Source CTMDP.
     rate:
         Uniformization constant; defaults to
-        ``APERIODICITY_SLACK * max exit rate`` (or 1.0 for a rate-free
-        model) so the result is aperiodic.
+        ``slack * max exit rate`` (or 1.0 for a rate-free model) so the
+        result is aperiodic. Mutually exclusive with ``slack``.
+    slack:
+        Override for :data:`APERIODICITY_SLACK` (must be > 1 so the
+        fastest state keeps a positive self-loop). The admission gate
+        recommends a value here for stiff chains
+        (``remediation["uniformization_slack"]``).
     """
     mdp.validate()
     max_rate = mdp.max_exit_rate()
+    if slack is not None:
+        if rate is not None:
+            raise ValueError("pass either rate or slack, not both")
+        if not slack > 1.0:
+            raise ValueError(f"uniformization slack must be > 1, got {slack!r}")
+        rate = slack * max_rate if max_rate > 0 else 1.0
     if rate is None:
         lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
     else:

@@ -1,0 +1,117 @@
+"""Loading SYS model configurations from JSON files.
+
+The on-disk format mirrors the :class:`ServiceProvider` constructor:
+
+.. code-block:: json
+
+    {
+      "provider": {
+        "modes": ["active", "standby", "sleep"],
+        "switching_rates": [[0, 10, 10], [100, 0, 10], [2, 2, 0]],
+        "service_rates": [0.5, 0, 0],
+        "power": [2.3, 0.8, 0.1],
+        "switching_energy": [[0, 0.1, 0.4], [0.1, 0, 0.3], [2, 1.5, 0]],
+        "self_switch_rate": 10000.0
+      },
+      "arrival_rate": 0.166,
+      "capacity": 5,
+      "include_transfer_states": true
+    }
+
+``switching_times`` (mean transition delays, the paper's Table) may be
+given instead of ``switching_rates``. Malformed files raise
+:class:`~repro.errors.InvalidModelError` with the offending key, so the
+``validate`` CLI can point at the exact configuration problem; the
+*values* are then judged by the admission gate, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import InvalidModelError
+
+
+def _require(config: "Dict[str, Any]", key: str, where: str) -> Any:
+    if key not in config:
+        raise InvalidModelError(f"config is missing {where}{key!r}")
+    return config[key]
+
+
+def load_config(path: "str | os.PathLike") -> "Dict[str, Any]":
+    """Parse a config file into a dict, with typed errors."""
+    try:
+        with open(path) as fh:
+            config = json.load(fh)
+    except OSError as exc:
+        raise InvalidModelError(f"cannot read config {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise InvalidModelError(f"config {path} is not valid JSON: {exc}") from exc
+    if not isinstance(config, dict):
+        raise InvalidModelError(
+            f"config {path} must be a JSON object, got {type(config).__name__}"
+        )
+    return config
+
+
+def system_from_config(config: "Dict[str, Any]"):
+    """Build a :class:`PowerManagedSystemModel` from a parsed config.
+
+    Raises :class:`InvalidModelError` on missing/ill-typed keys; the
+    provider/requestor constructors and the entry-level admission gate
+    then enforce the value domains.
+    """
+    from repro.dpm.service_provider import ServiceProvider
+    from repro.dpm.service_requestor import ServiceRequestor
+    from repro.dpm.system import PowerManagedSystemModel
+
+    p = _require(config, "provider", "")
+    if not isinstance(p, dict):
+        raise InvalidModelError("config 'provider' must be a JSON object")
+    modes = _require(p, "modes", "provider.")
+    kwargs: Dict[str, Any] = {}
+    if "self_switch_rate" in p:
+        kwargs["self_switch_rate"] = float(p["self_switch_rate"])
+    try:
+        if "switching_times" in p:
+            provider = ServiceProvider.from_switching_times(
+                modes=modes,
+                switching_times=np.asarray(p["switching_times"], dtype=float),
+                service_rates=np.asarray(
+                    _require(p, "service_rates", "provider."), dtype=float),
+                power=np.asarray(_require(p, "power", "provider."), dtype=float),
+                switching_energy=np.asarray(
+                    _require(p, "switching_energy", "provider."), dtype=float),
+                **kwargs,
+            )
+        else:
+            provider = ServiceProvider(
+                modes,
+                np.asarray(
+                    _require(p, "switching_rates", "provider."), dtype=float),
+                np.asarray(
+                    _require(p, "service_rates", "provider."), dtype=float),
+                np.asarray(_require(p, "power", "provider."), dtype=float),
+                np.asarray(
+                    _require(p, "switching_energy", "provider."), dtype=float),
+                **kwargs,
+            )
+    except (TypeError, ValueError) as exc:
+        raise InvalidModelError(f"malformed provider arrays: {exc}") from exc
+    requestor = ServiceRequestor(float(_require(config, "arrival_rate", "")))
+    return PowerManagedSystemModel(
+        provider,
+        requestor,
+        int(_require(config, "capacity", "")),
+        include_transfer_states=bool(
+            config.get("include_transfer_states", True)),
+    )
+
+
+def load_system(path: "str | os.PathLike"):
+    """Load a config file straight into a SYS model."""
+    return system_from_config(load_config(path))

@@ -87,6 +87,8 @@ class ServiceProvider:
             raise InvalidModelError(
                 f"service_rates shape {mu.shape} does not match {s} modes"
             )
+        if not np.all(np.isfinite(mu)):
+            raise InvalidModelError("service rates must be finite")
         if np.any(mu < 0):
             raise InvalidModelError("service rates must be non-negative")
         if not np.any(mu > 0):
@@ -94,6 +96,8 @@ class ServiceProvider:
         p = np.asarray(power, dtype=float)
         if p.shape != (s,):
             raise InvalidModelError(f"power shape {p.shape} does not match {s} modes")
+        if not np.all(np.isfinite(p)):
+            raise InvalidModelError("power rates must be finite")
         if np.any(p < 0):
             raise InvalidModelError("power rates must be non-negative")
         ene = np.asarray(switching_energy, dtype=float)
@@ -101,6 +105,8 @@ class ServiceProvider:
             raise InvalidModelError(
                 f"switching_energy shape {ene.shape} does not match {s} modes"
             )
+        if not np.all(np.isfinite(ene[~np.eye(s, dtype=bool)])):
+            raise InvalidModelError("switching energies must be finite")
         if np.any(ene[~np.eye(s, dtype=bool)] < 0):
             raise InvalidModelError("switching energies must be non-negative")
         if self_switch_rate <= 0 or not np.isfinite(self_switch_rate):
@@ -228,6 +234,28 @@ class ServiceProvider:
     def fastest_active_mode(self) -> str:
         """The active mode with the highest service rate."""
         return max(self.active_modes, key=self.service_rate)
+
+    def rescaled(self, exponent: int) -> "ServiceProvider":
+        """A copy with every *rate* multiplied by ``2**exponent``.
+
+        Rates (``chi``, ``mu``, ``self_switch_rate``) and power rates
+        (energy per time) carry a 1/time unit and get the factor;
+        switching energies are pure costs and stay put. The exact
+        power-of-two factor makes this the time-unit rescaling used by
+        the admission remediation ladder: a model built from the
+        rescaled provider is the original model in different units, and
+        (given the canonical solver normalization) solves to
+        bit-identical policies, biases and distributions.
+        """
+        factor = float(np.ldexp(1.0, exponent))
+        return ServiceProvider(
+            self._modes,
+            np.ldexp(self._chi, exponent),
+            np.ldexp(self._mu, exponent),
+            np.ldexp(self._power, exponent),
+            self._ene,
+            self_switch_rate=self._self_switch_rate * factor,
+        )
 
     def generator_matrix(self, action: str) -> np.ndarray:
         """SP-only generator ``G_SP(a)`` under the constant action *a*.

@@ -10,6 +10,8 @@ is the model-side description used to build the joint CTMDP.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import InvalidModelError
 
 
@@ -24,8 +26,10 @@ class ServiceRequestor:
     """
 
     def __init__(self, rate: float) -> None:
-        if not rate > 0:
-            raise InvalidModelError(f"arrival rate must be positive, got {rate}")
+        if not rate > 0 or not math.isfinite(rate):
+            raise InvalidModelError(
+                f"arrival rate must be positive and finite, got {rate}"
+            )
         self._rate = float(rate)
 
     @property

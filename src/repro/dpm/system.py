@@ -91,6 +91,16 @@ class PowerManagedSystemModel:
         service completions go directly ``q_i -> q_{i-1}``, and
         constraint (1) is dropped (the SP may power down mid-service --
         exactly the inaccuracy the transfer states remove).
+    rate_scale:
+        Time-unit rescaling applied to every built CTMDP: transition
+        and cost *rates* are multiplied by this factor, while pure
+        costs (switching energies) and dimensionless observables (the
+        extra-cost channels) stay in original units. Policies, biases
+        and stationary distributions are invariant; solver gains come
+        out multiplied by ``rate_scale``. The admission remediation
+        ladder uses exact powers of two, for which the whole transform
+        is exact on IEEE-754 floats -- dividing a gain by
+        ``rate_scale`` recovers the original-unit value bit-for-bit.
     """
 
     #: Name of the extra-cost channel carrying the effective power rate.
@@ -109,13 +119,25 @@ class PowerManagedSystemModel:
         requestor: ServiceRequestor,
         capacity: int,
         include_transfer_states: bool = True,
+        rate_scale: float = 1.0,
     ) -> None:
         if capacity < 1:
             raise InvalidModelError(f"queue capacity must be >= 1, got {capacity}")
+        if not (np.isfinite(rate_scale) and rate_scale > 0.0):
+            raise InvalidModelError(
+                f"rate_scale must be finite and positive, got {rate_scale!r}"
+            )
         self.provider = provider
         self.requestor = requestor
         self.capacity = int(capacity)
         self.include_transfer_states = bool(include_transfer_states)
+        self.rate_scale = float(rate_scale)
+        # Entry-level admission: cheap input-domain checks shared with
+        # every other entry point (lazy import -- repro.robust.admission
+        # itself builds models through this class at deeper levels).
+        from repro.robust.admission import admit_inputs
+
+        admit_inputs(provider, requestor, self.capacity)
         self._states = self._enumerate_states()
         self._index = {x: i for i, x in enumerate(self._states)}
         # Weight-independent (state, action) structure -- transition-rate
@@ -311,6 +333,8 @@ class PowerManagedSystemModel:
         structure is additionally shared across weights, so a frontier
         sweep pays the Python construction loop once.
         """
+        if not np.isfinite(weight):
+            raise InvalidModelError(f"performance weight must be finite, got {weight}")
         if weight < 0:
             raise InvalidModelError(f"performance weight must be >= 0, got {weight}")
         key = float(weight)
@@ -320,14 +344,26 @@ class PowerManagedSystemModel:
             return cached
         if self._structure is None:
             self._structure = self._build_structure()
-        mdp = CTMDP(self._states)
+        scale = self.rate_scale
+        # Time rescaling: rates and cost *rates* get the factor; the
+        # folded cost scale * power + (scale * weight) * queue equals
+        # scale * (power + weight * queue) bit-for-bit when the factor
+        # is a power of two. Impulse energies are pure costs (their
+        # contribution scales through the rate vector they multiply),
+        # and the extra channels stay in original observable units.
+        # The scale == 1.0 path multiplies by exactly 1.0 but keeps
+        # the shared unscaled vectors to avoid per-build copies.
+        mdp = CTMDP(self._states, rate_scale=scale)
         for state, action, rates, impulses, costs in self._structure:
+            if scale != 1.0:
+                rates = rates * scale
+                rates.setflags(write=False)
             mdp.add_action(
                 state,
                 action,
                 rates=rates,
-                cost_rate=self.provider.power_rate(state.mode)
-                + weight * costs.queue_length,
+                cost_rate=scale * self.provider.power_rate(state.mode)
+                + (scale * weight) * costs.queue_length,
                 impulse_costs=impulses,
                 extra_costs=costs.as_extra_costs(),
             )

@@ -162,8 +162,14 @@ def verify_model(
             raise InvalidModelError(f"state {state!r} has no valid action")
     for state, action in mdp.state_action_pairs():
         row = mdp.generator_row(state, action)
-        if abs(float(row.sum())) > 1e-6:
+        # Conservation is checked relative to the row's own magnitude:
+        # an absolute threshold would reject every legitimate row once
+        # rates reach ~1e6x the tolerance and pass any broken row whose
+        # rates sit far below it.
+        scale = float(np.abs(row).sum())
+        if abs(float(row.sum())) > 1e-9 * scale:
             raise InvalidModelError(
-                f"generator row of {state!r}/{action!r} sums to {row.sum():g}"
+                f"generator row of {state!r}/{action!r} sums to {row.sum():g} "
+                f"against magnitude {scale:g}"
             )
     return verify_all_policies_unichain(model, sample_budget=sample_budget, seed=seed)

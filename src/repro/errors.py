@@ -35,6 +35,35 @@ class InvalidModelError(ReproError):
     """A model definition is inconsistent (shapes, signs, missing actions)."""
 
 
+class DomainError(InvalidModelError):
+    """A closed-form formula was asked for inputs outside its domain.
+
+    Raised by the queueing closed forms (``rho >= 1`` on an infinite
+    queue, zero rates, non-finite parameters) instead of letting a
+    division emit ``inf``/``NaN``. Subclasses
+    :class:`InvalidModelError` so existing ``except InvalidModelError``
+    call sites keep working.
+    """
+
+
+class ModelRejectedError(InvalidModelError):
+    """The model-admission gate rejected a model.
+
+    Carries the full :class:`repro.robust.admission.AdmissionReport`
+    (as ``report``) so callers can inspect the individual findings --
+    finding codes, state/action coordinates, suggested remediation --
+    programmatically; ``report_dict`` is its JSON-serializable form.
+    """
+
+    def __init__(self, message: str, report: "Optional[Any]" = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+    @property
+    def report_dict(self) -> "Optional[Dict[str, Any]]":
+        return self.report.to_dict() if self.report is not None else None
+
+
 class InvalidPolicyError(ReproError):
     """A policy refers to unknown states/actions or violates constraints."""
 

@@ -20,13 +20,24 @@ import numpy as np
 from repro.markov.generator import DEFAULT_ATOL, validate_generator
 
 
+def _edge_threshold(g: np.ndarray, atol: float) -> float:
+    """Rate below which a transition is structurally absent.
+
+    Relative to the largest rate in the chain: an edge carrying less
+    than ``atol`` times the maximal rate is indistinguishable from a
+    missing edge at the chain's own magnitude, whatever units the rates
+    are expressed in.
+    """
+    return atol * float(np.max(np.abs(g), initial=0.0))
+
+
 def transition_graph(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> nx.DiGraph:
     """Build the directed graph whose edges are positive-rate transitions."""
     g = validate_generator(matrix, atol=atol)
     n = g.shape[0]
     graph = nx.DiGraph()
     graph.add_nodes_from(range(n))
-    rows, cols = np.nonzero(g > atol)
+    rows, cols = np.nonzero(g > _edge_threshold(g, atol))
     graph.add_edges_from(
         (int(i), int(j)) for i, j in zip(rows, cols) if i != j
     )
@@ -76,7 +87,8 @@ def classify_states(matrix: np.ndarray) -> "Dict[int, str]":
         outside = [j for j in range(g.shape[0]) if j not in cls]
         closed = True
         if outside:
-            closed = not np.any(g[np.ix_(members, outside)] > DEFAULT_ATOL)
+            threshold = _edge_threshold(g, DEFAULT_ATOL)
+            closed = not np.any(g[np.ix_(members, outside)] > threshold)
         label = "recurrent" if closed else "transient"
         for i in members:
             result[i] = label

@@ -20,6 +20,7 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Optional, Sequence
 
 import numpy as np
@@ -27,8 +28,29 @@ from scipy.linalg import expm
 
 from repro.errors import InvalidGeneratorError, NotIrreducibleError
 
-#: Absolute tolerance used for generator-property checks.
+#: Relative tolerance used for generator-property checks. All checks in
+#: this module scale with the magnitude of the row they inspect, so a
+#: generator with rates ~1e8 and one with rates ~1e-10 are held to the
+#: same *relative* conservation standard.
 DEFAULT_ATOL = 1e-9
+
+
+def canonical_shift(max_rate: float) -> int:
+    """The binary exponent normalizing *max_rate* into ``[1, 2)``.
+
+    ``ldexp(max_rate, -canonical_shift(max_rate))`` lies in ``[1, 2)``
+    for any positive finite rate; zero or non-finite rates map to shift
+    0. Because the shift is applied by exponent arithmetic only
+    (:func:`numpy.ldexp`), rescaling a matrix by ``2**-shift`` is exact
+    on IEEE-754 floats: solvers use it to assemble their linear systems
+    in canonical units so that models differing only by a power-of-two
+    time rescaling produce bit-identical solutions (after the exact
+    back-shift) and extreme-magnitude models neither overflow nor
+    underflow inside the factorization.
+    """
+    if not (np.isfinite(max_rate) and max_rate > 0.0):
+        return 0
+    return math.frexp(max_rate)[1] - 1
 
 
 def validate_generator(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> np.ndarray:
@@ -40,35 +62,42 @@ def validate_generator(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> np.nda
         Square array-like. Off-diagonal entries must be non-negative and
         each row must sum to (numerically) zero.
     atol:
-        Absolute tolerance for the zero-row-sum and non-negativity checks.
+        Relative tolerance for the zero-row-sum and non-negativity
+        checks; every row is checked against ``atol`` times its own
+        magnitude ``sum_j |G[i, j]|``, so the checks are invariant
+        under rescaling the whole matrix. An exactly zero row passes
+        (its residual is exactly zero).
 
     Raises
     ------
     InvalidGeneratorError
         If the matrix is not square, has negative off-diagonal entries,
-        has positive diagonal entries, or rows that do not sum to zero.
+        has positive diagonal entries, or rows that do not sum to zero
+        relative to their magnitude.
     """
     g = np.asarray(matrix, dtype=float)
     if g.ndim != 2 or g.shape[0] != g.shape[1]:
         raise InvalidGeneratorError(f"generator must be square, got shape {g.shape}")
     if not np.all(np.isfinite(g)):
         raise InvalidGeneratorError("generator contains non-finite entries")
+    row_scale = np.abs(g).sum(axis=1)
+    row_tol = atol * row_scale
     off = g.copy()
     np.fill_diagonal(off, 0.0)
-    if np.any(off < -atol):
-        i, j = np.unravel_index(np.argmin(off), off.shape)
+    if np.any(off < -row_tol[:, None]):
+        i, j = np.unravel_index(np.argmin(off + row_tol[:, None]), off.shape)
         raise InvalidGeneratorError(
             f"negative off-diagonal rate G[{i},{j}] = {g[i, j]:g}"
         )
-    if np.any(np.diag(g) > atol):
-        i = int(np.argmax(np.diag(g)))
+    if np.any(np.diag(g) > row_tol):
+        i = int(np.argmax(np.diag(g) - row_tol))
         raise InvalidGeneratorError(f"positive diagonal entry G[{i},{i}] = {g[i, i]:g}")
     row_sums = g.sum(axis=1)
-    scale = np.maximum(1.0, np.abs(g).sum(axis=1))
-    if np.any(np.abs(row_sums) > atol * scale + atol):
-        i = int(np.argmax(np.abs(row_sums)))
+    if np.any(np.abs(row_sums) > row_tol):
+        i = int(np.argmax(np.abs(row_sums) - row_tol))
         raise InvalidGeneratorError(
-            f"row {i} sums to {row_sums[i]:g}, expected 0 (Eqn. 2.4)"
+            f"row {i} sums to {row_sums[i]:g} against magnitude "
+            f"{row_scale[i]:g}, expected 0 (Eqn. 2.4)"
         )
     return g
 
@@ -108,7 +137,12 @@ def stationary_distribution(
     if n == 1:
         return np.array([1.0])
     # Transpose: G^T p^T = 0; replace the last equation by sum(p) = 1.
-    a = g.T.copy()
+    # Assemble in canonical units (max exit rate scaled into [1, 2) by an
+    # exact exponent shift): p is dimensionless, so no back-transform is
+    # needed, and generators differing only by a power-of-two rescaling
+    # yield bit-identical distributions.
+    shift = canonical_shift(float(np.max(np.abs(np.diag(g)), initial=0.0)))
+    a = np.ldexp(g.T, -shift)
     a[-1, :] = 1.0
     b = np.zeros(n)
     b[-1] = 1.0
@@ -210,9 +244,14 @@ def embedded_jump_chain(matrix: np.ndarray) -> np.ndarray:
     g = validate_generator(matrix)
     n = g.shape[0]
     p = np.zeros_like(g)
+    # "Absorbing" is judged relative to the fastest state in the chain:
+    # a state whose exit rate is below DEFAULT_ATOL times the maximal
+    # exit rate is structurally a sink at this resolution.
+    max_exit = float(np.max(-np.diag(g), initial=0.0))
+    threshold = DEFAULT_ATOL * max_exit
     for i in range(n):
         exit_rate = -g[i, i]
-        if exit_rate <= DEFAULT_ATOL:
+        if exit_rate <= threshold:
             p[i, i] = 1.0
         else:
             p[i, :] = g[i, :] / exit_rate

@@ -100,6 +100,26 @@ def write_trace(
         fh.write(tracer.to_jsonl())
 
 
+def write_admission_report(
+    report,
+    path: "str | os.PathLike",
+    manifest: "Optional[Dict[str, Any]]" = None,
+) -> None:
+    """Write an :class:`~repro.robust.admission.AdmissionReport` as JSON.
+
+    Same envelope as :func:`write_metrics`: a ``manifest`` block for
+    provenance plus the report's :meth:`to_dict` payload, so failing
+    models uploaded from CI identify the commit that produced them.
+    """
+    payload = {
+        "manifest": manifest if manifest is not None else run_manifest(),
+        "admission": report.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def read_metrics(path: "str | os.PathLike") -> "Dict[str, Any]":
     """Load a metrics JSON file back into a plain dict."""
     with open(path) as fh:

@@ -16,7 +16,9 @@ under an always-on server.
 
 from __future__ import annotations
 
-from repro.errors import InvalidModelError
+import math
+
+from repro.errors import DomainError
 
 
 class MG1Queue:
@@ -35,14 +37,20 @@ class MG1Queue:
     def __init__(
         self, arrival_rate: float, service_mean: float, service_scv: float
     ) -> None:
-        if arrival_rate <= 0:
-            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
-        if service_mean <= 0:
-            raise InvalidModelError(f"service mean must be positive, got {service_mean}")
-        if service_scv < 0:
-            raise InvalidModelError(f"service scv must be >= 0, got {service_scv}")
+        if not (arrival_rate > 0 and math.isfinite(arrival_rate)):
+            raise DomainError(
+                f"arrival rate must be positive and finite, got {arrival_rate}"
+            )
+        if not (service_mean > 0 and math.isfinite(service_mean)):
+            raise DomainError(
+                f"service mean must be positive and finite, got {service_mean}"
+            )
+        if not (service_scv >= 0 and math.isfinite(service_scv)):
+            raise DomainError(
+                f"service scv must be finite and >= 0, got {service_scv}"
+            )
         if arrival_rate * service_mean >= 1:
-            raise InvalidModelError(
+            raise DomainError(
                 f"M/G/1 requires rho < 1, got rho = {arrival_rate * service_mean:g}"
             )
         self.arrival_rate = float(arrival_rate)
@@ -55,10 +63,13 @@ class MG1Queue:
 
     def mean_waiting_time(self) -> float:
         """``Wq`` -- time in queue before service (PK formula)."""
+        from repro.queueing.mm1 import _finite_or_domain
+
         rho = self.utilization
-        return (
+        return _finite_or_domain(
             rho * self.service_mean * (1.0 + self.service_scv)
-            / (2.0 * (1.0 - rho))
+            / (2.0 * (1.0 - rho)),
+            "mean waiting time",
         )
 
     def mean_sojourn_time(self) -> float:

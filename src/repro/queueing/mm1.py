@@ -16,9 +16,26 @@ policy on a large-capacity queue must approach them).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.errors import InvalidModelError
+from repro.errors import DomainError, InvalidModelError
+
+
+def _finite_or_domain(value: float, what: str) -> float:
+    """Guard a closed-form result against inf/NaN escaping as an answer.
+
+    The constructors bound the parameter domains, but ``rho`` can sit so
+    close to 1 that a denominator underflows and a division overflows;
+    a typed error beats a silent ``inf``.
+    """
+    if not math.isfinite(value):
+        raise DomainError(
+            f"{what} overflows at this utilization; rho is too close to "
+            "the domain boundary for a finite double-precision value"
+        )
+    return value
 
 
 class MM1Queue:
@@ -33,11 +50,13 @@ class MM1Queue:
     """
 
     def __init__(self, arrival_rate: float, service_rate: float) -> None:
-        if arrival_rate <= 0:
-            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
-        if service_rate <= arrival_rate:
-            raise InvalidModelError(
-                f"M/M/1 requires mu > lambda, got mu={service_rate}, "
+        if not (arrival_rate > 0 and math.isfinite(arrival_rate)):
+            raise DomainError(
+                f"arrival rate must be positive and finite, got {arrival_rate}"
+            )
+        if not math.isfinite(service_rate) or service_rate <= arrival_rate:
+            raise DomainError(
+                f"M/M/1 requires finite mu > lambda, got mu={service_rate}, "
                 f"lambda={arrival_rate}"
             )
         self.arrival_rate = float(arrival_rate)
@@ -58,20 +77,25 @@ class MM1Queue:
     def mean_number_in_system(self) -> float:
         """``L = rho / (1 - rho)``."""
         rho = self.utilization
-        return rho / (1.0 - rho)
+        return _finite_or_domain(rho / (1.0 - rho), "mean number in system")
 
     def mean_number_waiting(self) -> float:
         """``Lq = rho^2 / (1 - rho)``."""
         rho = self.utilization
-        return rho * rho / (1.0 - rho)
+        return _finite_or_domain(rho * rho / (1.0 - rho), "mean number waiting")
 
     def mean_sojourn_time(self) -> float:
         """``W = 1 / (mu - lambda)``."""
-        return 1.0 / (self.service_rate - self.arrival_rate)
+        return _finite_or_domain(
+            1.0 / (self.service_rate - self.arrival_rate), "mean sojourn time"
+        )
 
     def mean_waiting_time(self) -> float:
         """``Wq = rho / (mu - lambda)``."""
-        return self.utilization / (self.service_rate - self.arrival_rate)
+        return _finite_or_domain(
+            self.utilization / (self.service_rate - self.arrival_rate),
+            "mean waiting time",
+        )
 
     def birth_death_generator(self, truncation: int) -> np.ndarray:
         """The (truncated) birth-death generator for solver validation.

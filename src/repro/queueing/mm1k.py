@@ -18,9 +18,11 @@ strongest single validation of the joint model's queue mechanics.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.errors import InvalidModelError
+from repro.errors import DomainError
 
 
 class MM1KQueue:
@@ -37,12 +39,16 @@ class MM1KQueue:
     """
 
     def __init__(self, arrival_rate: float, service_rate: float, capacity: int) -> None:
-        if arrival_rate <= 0:
-            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
-        if service_rate <= 0:
-            raise InvalidModelError(f"service rate must be positive, got {service_rate}")
+        if not (arrival_rate > 0 and math.isfinite(arrival_rate)):
+            raise DomainError(
+                f"arrival rate must be positive and finite, got {arrival_rate}"
+            )
+        if not (service_rate > 0 and math.isfinite(service_rate)):
+            raise DomainError(
+                f"service rate must be positive and finite, got {service_rate}"
+            )
         if capacity < 1:
-            raise InvalidModelError(f"capacity must be >= 1, got {capacity}")
+            raise DomainError(f"capacity must be >= 1, got {capacity}")
         self.arrival_rate = float(arrival_rate)
         self.service_rate = float(service_rate)
         self.capacity = int(capacity)
@@ -57,6 +63,13 @@ class MM1KQueue:
         k = self.capacity
         if abs(rho - 1.0) < 1e-12:
             return np.full(k + 1, 1.0 / (k + 1))
+        if rho > 1.0:
+            # Normalize from the top term: ``rho**(k+1)`` overflows to
+            # inf for large rho (emitting NaN through the division), but
+            # ``p_n = rho**(n-k) / sum_m rho**(m-k)`` uses only powers
+            # <= 1 and converges to a point mass at K as rho -> inf.
+            powers = (1.0 / rho) ** np.arange(k, -1, -1)
+            return powers / powers.sum()
         powers = rho ** np.arange(k + 1)
         return powers * (1.0 - rho) / (1.0 - rho ** (k + 1))
 
@@ -65,8 +78,17 @@ class MM1KQueue:
         return float(self.state_probabilities()[-1])
 
     def throughput(self) -> float:
-        """Accepted arrival rate ``lambda (1 - P_K)``."""
-        return self.arrival_rate * (1.0 - self.blocking_probability())
+        """Accepted arrival rate ``lambda (1 - P_K)``.
+
+        For overloaded queues (``rho > 1``) the equivalent flow-balance
+        form ``mu (1 - P_0)`` is used: ``1 - P_K`` cancels
+        catastrophically as ``P_K -> 1`` while ``P_0`` is computed
+        accurately by the top-normalized distribution.
+        """
+        probs = self.state_probabilities()
+        if self.utilization > 1.0:
+            return self.service_rate * (1.0 - float(probs[0]))
+        return self.arrival_rate * (1.0 - float(probs[-1]))
 
     def mean_number_in_system(self) -> float:
         probs = self.state_probabilities()

@@ -27,7 +27,9 @@ exactly what Figure 4 shows.
 
 from __future__ import annotations
 
-from repro.errors import InvalidModelError
+import math
+
+from repro.errors import DomainError, InvalidModelError
 
 
 class NPolicyMM1Queue:
@@ -42,15 +44,17 @@ class NPolicyMM1Queue:
     """
 
     def __init__(self, arrival_rate: float, service_rate: float, n: int) -> None:
-        if arrival_rate <= 0:
-            raise InvalidModelError(f"arrival rate must be positive, got {arrival_rate}")
-        if service_rate <= arrival_rate:
-            raise InvalidModelError(
-                f"N-policy M/M/1 requires mu > lambda, got mu={service_rate}, "
-                f"lambda={arrival_rate}"
+        if not (arrival_rate > 0 and math.isfinite(arrival_rate)):
+            raise DomainError(
+                f"arrival rate must be positive and finite, got {arrival_rate}"
+            )
+        if not math.isfinite(service_rate) or service_rate <= arrival_rate:
+            raise DomainError(
+                f"N-policy M/M/1 requires finite mu > lambda, got "
+                f"mu={service_rate}, lambda={arrival_rate}"
             )
         if n < 1:
-            raise InvalidModelError(f"N must be >= 1, got {n}")
+            raise DomainError(f"N must be >= 1, got {n}")
         self.arrival_rate = float(arrival_rate)
         self.service_rate = float(service_rate)
         self.n = int(n)
@@ -61,8 +65,12 @@ class NPolicyMM1Queue:
 
     def mean_cycle_length(self) -> float:
         """``E[C] = N mu / (lambda (mu - lambda))``."""
+        from repro.queueing.mm1 import _finite_or_domain
+
         lam, mu = self.arrival_rate, self.service_rate
-        return self.n * mu / (lam * (mu - lam))
+        return _finite_or_domain(
+            self.n * mu / (lam * (mu - lam)), "mean cycle length"
+        )
 
     def off_fraction(self) -> float:
         """Fraction of time the server is off: ``1 - rho`` for any N."""
@@ -70,8 +78,12 @@ class NPolicyMM1Queue:
 
     def mean_number_in_system(self) -> float:
         """``L = rho / (1 - rho) + (N - 1) / 2``."""
+        from repro.queueing.mm1 import _finite_or_domain
+
         rho = self.utilization
-        return rho / (1.0 - rho) + (self.n - 1) / 2.0
+        return _finite_or_domain(
+            rho / (1.0 - rho) + (self.n - 1) / 2.0, "mean number in system"
+        )
 
     def mean_sojourn_time(self) -> float:
         """``W = L / lambda`` (Little's law)."""

@@ -18,6 +18,14 @@ hardens the stack in three independent pieces:
   injectors (worker crash, hang, NaN contamination) that the
   ``tests/robust`` suite uses to prove every recovery path in
   :func:`repro.sim.parallel.parallel_map` actually fires.
+- :mod:`repro.robust.admission` -- the model-admission gate: structural
+  and numerical checks plus an exact remediation ladder that every
+  model-construction entry point routes through, producing a
+  structured :class:`~repro.robust.admission.AdmissionReport`.
+- :mod:`repro.robust.fuzz` -- the seeded adversarial-model fuzzer that
+  drives degenerate models through admission, both solver backends and
+  the simulator, asserting the "typed error or correct answer"
+  invariant end to end.
 
 The recovery ladder itself (per-chunk timeouts, crashed-worker
 detection, bounded deterministic retry, graceful degradation to serial
@@ -26,6 +34,13 @@ hooks defined here. DESIGN.md section 8 documents the failure
 semantics end to end.
 """
 
+from repro.robust.admission import (
+    AdmissionReport,
+    Finding,
+    admit_ctmdp,
+    admit_inputs,
+    admit_model,
+)
 from repro.robust.checkpoint import Checkpoint, config_hash
 from repro.robust.faultinject import Fault, FaultPlan, inject
 from repro.robust.guardrails import (
@@ -35,6 +50,11 @@ from repro.robust.guardrails import (
 )
 
 __all__ = [
+    "AdmissionReport",
+    "Finding",
+    "admit_ctmdp",
+    "admit_inputs",
+    "admit_model",
     "Checkpoint",
     "config_hash",
     "Fault",

@@ -66,21 +66,35 @@ def guardrails_disabled() -> "Iterator[None]":
         _enabled = previous
 
 
-def _relative_residual(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
-    """``||A x - b||_inf`` scaled by the problem's magnitude."""
+def _relative_residual(
+    a: np.ndarray, x: np.ndarray, b: np.ndarray,
+    a_max: "Optional[float]" = None,
+) -> float:
+    """``||A x - b||_inf`` scaled by the problem's magnitude.
+
+    *a_max* is an optional precomputed ``max |a_ij|``: iterative
+    callers that assemble the same system from fixed arrays every
+    round (policy iteration's bordered evaluation system) can compute
+    per-row maxima once and hand the scale in, leaving the matvec as
+    the check's only O(n^2) pass.
+    """
     residual = float(np.abs(a @ x - b).max())
-    # max |a_ij| via two reduction scans instead of ``np.abs(a).max()``:
-    # the O(n^2) |a| temporary was the single largest cost of the
-    # acceptance check (see benchmarks/test_bench_robust_overhead.py).
-    a_max = max(-float(a.min()), float(a.max()))
+    if a_max is None:
+        # max |a_ij| via two reduction scans instead of ``np.abs(a)``:
+        # the O(n^2) |a| temporary was the single largest cost of the
+        # acceptance check (see benchmarks/test_bench_robust_overhead).
+        a_max = max(-float(a.min()), float(a.max()))
     scale = a_max * float(np.abs(x).max()) + float(np.abs(b).max())
     return residual / scale if scale > 0 else residual
 
 
-def _accept(a: np.ndarray, x: np.ndarray, b: np.ndarray, rtol: float) -> "tuple[bool, float]":
+def _accept(
+    a: np.ndarray, x: np.ndarray, b: np.ndarray, rtol: float,
+    a_max: "Optional[float]" = None,
+) -> "tuple[bool, float]":
     if not np.isfinite(x).all():
         return False, float("inf")
-    residual = _relative_residual(a, x, b)
+    residual = _relative_residual(a, x, b, a_max=a_max)
     return residual <= rtol, residual
 
 
@@ -111,6 +125,7 @@ def solve_with_fallback(
     what: str = "linear system",
     residual_rtol: float = RESIDUAL_RTOL,
     context: "Optional[Dict[str, Any]]" = None,
+    a_max: "Optional[float]" = None,
 ) -> np.ndarray:
     """Solve ``A x = b`` with the guardrail ladder described above.
 
@@ -126,6 +141,9 @@ def solve_with_fallback(
     context:
         Extra solver context (iteration, policy, backend) merged into
         the diagnostics payload when both attempts fail.
+    a_max:
+        Optional precomputed ``max |a_ij|`` for the acceptance scale
+        (see :func:`_relative_residual`).
 
     Raises
     ------
@@ -143,7 +161,7 @@ def solve_with_fallback(
     else:
         if not _enabled:
             return x
-        ok, direct_residual = _accept(a, x, b, residual_rtol)
+        ok, direct_residual = _accept(a, x, b, residual_rtol, a_max=a_max)
         if ok:
             return x
 
@@ -151,7 +169,7 @@ def solve_with_fallback(
     # singular systems, and identical to the direct solution (up to
     # roundoff) on nonsingular ones.
     x, _, _, _ = np.linalg.lstsq(a, b, rcond=None)
-    ok, lstsq_residual = _accept(a, x, b, residual_rtol)
+    ok, lstsq_residual = _accept(a, x, b, residual_rtol, a_max=a_max)
     if ok:
         ins = obs_active()
         if ins.metrics is not None:

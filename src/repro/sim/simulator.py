@@ -139,6 +139,11 @@ class Simulator:
                 f"busy_powerdown must be one of {BUSY_POWERDOWN_MODES}, "
                 f"got {busy_powerdown!r}"
             )
+        from repro.robust.admission import admit_inputs
+
+        # Entry-level admission: the same input gate the SYS model runs,
+        # minus the arrival-rate check (workloads may be trace-driven).
+        admit_inputs(provider, None, capacity)
         self.provider_description = provider
         self.capacity = int(capacity)
         self.workload = workload

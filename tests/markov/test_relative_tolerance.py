@@ -1,0 +1,96 @@
+"""Generator validation at extreme rate magnitudes.
+
+Satellite of the admission PR: the row-sum conservation check is
+*relative* to the row's own magnitude, so generators with rates around
+1e8 pass despite absolute rounding residue of ~1e-8, while genuinely
+broken rows at rates around 1e-10 are caught even though their absolute
+defect is far below any fixed tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGeneratorError
+from repro.markov.generator import (
+    canonical_shift,
+    stationary_distribution,
+    validate_generator,
+)
+
+
+def birth_death(rates_up: float, rates_down: float, n: int = 6) -> np.ndarray:
+    g = np.zeros((n, n))
+    for i in range(n - 1):
+        g[i, i + 1] = rates_up
+        g[i + 1, i] = rates_down
+    np.fill_diagonal(g, -g.sum(axis=1))
+    return g
+
+
+class TestRelativeRowSums:
+    def test_huge_rates_pass(self):
+        # Left-to-right row summation leaves ~1e-8 absolute residue at
+        # rate magnitude 1e8; the old absolute atol=1e-9 rejected this
+        # perfectly conservative generator.
+        rng = np.random.default_rng(0)
+        n = 8
+        g = rng.uniform(0.5e8, 2e8, size=(n, n))
+        np.fill_diagonal(g, 0.0)
+        np.fill_diagonal(g, -g.sum(axis=1))
+        residue = np.abs(g.sum(axis=1)).max()
+        assert residue > 1e-9  # the case the absolute check failed on
+        validate_generator(g)
+
+    def test_tiny_broken_rows_are_caught(self):
+        # A 0.1 % conservation defect at rate magnitude 1e-10 is an
+        # absolute error of ~1e-13 -- invisible to any fixed atol, but a
+        # clear relative violation.
+        g = birth_death(1e-10, 2e-10)
+        g[0, 0] *= 1.001
+        with pytest.raises(InvalidGeneratorError, match="sums to"):
+            validate_generator(g)
+
+    def test_tiny_conservative_rows_pass(self):
+        validate_generator(birth_death(1e-10, 2e-10))
+
+    def test_zero_rows_still_pass_exactly(self):
+        g = np.zeros((3, 3))
+        g[0, 1] = 1.0
+        g[1, 0] = 1.0
+        g[0, 0] = g[1, 1] = -1.0
+        validate_generator(g)  # row 2 is all-zero (absorbing): valid
+
+
+class TestCanonicalShift:
+    def test_window(self):
+        assert canonical_shift(1.0) == 0
+        assert canonical_shift(1.5) == 0
+        assert canonical_shift(2.0) == 1
+        assert canonical_shift(0.75) == -1
+        assert np.ldexp(1e8, -canonical_shift(1e8)) >= 1.0
+        assert np.ldexp(1e8, -canonical_shift(1e8)) < 2.0
+
+    def test_degenerate_inputs(self):
+        assert canonical_shift(0.0) == 0
+        assert canonical_shift(float("inf")) == 0
+        assert canonical_shift(float("nan")) == 0
+        assert canonical_shift(-3.0) == 0
+
+    def test_stationary_is_scale_invariant_bitwise(self):
+        # Power-of-two rescaled generators must produce bit-identical
+        # stationary distributions -- the exactness the remediation
+        # ladder relies on.
+        g = birth_death(1.0, 3.0)
+        for exponent in (-40, -7, 11, 40):
+            scaled = np.ldexp(g, exponent)
+            assert np.array_equal(
+                stationary_distribution(scaled), stationary_distribution(g)
+            )
+
+    def test_stationary_at_extreme_magnitude(self):
+        p = stationary_distribution(birth_death(1e8, 3e8))
+        q = stationary_distribution(birth_death(1.0, 3.0))
+        assert np.allclose(p, q, rtol=1e-12)
+        assert p.sum() == pytest.approx(1.0)

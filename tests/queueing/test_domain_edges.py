@@ -1,0 +1,166 @@
+"""Closed-form queueing formulas at the edges of their domains.
+
+Satellite of the admission PR: at ``rho -> 1`` and ``rho -> 0`` every
+closed form must return a finite limit or raise a typed
+:class:`~repro.errors.DomainError` -- never emit ``inf``/``NaN`` as an
+answer -- and the finite-queue forms must keep matching the simulator
+across utilizations including the critical point ``rho = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dpm.service_provider import ServiceProvider
+from repro.errors import DomainError, InvalidModelError
+from repro.policies import AlwaysOnPolicy
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1k import MM1KQueue
+from repro.queueing.npolicy_mm1 import NPolicyMM1Queue
+from repro.sim import PoissonProcess, simulate
+
+MU = 1.0
+
+
+def _finite(x: float) -> bool:
+    return math.isfinite(x)
+
+
+class TestMM1Domain:
+    def test_rho_at_one_is_typed(self):
+        with pytest.raises(DomainError):
+            MM1Queue(MU, MU)
+
+    def test_rho_above_one_is_typed(self):
+        with pytest.raises(DomainError):
+            MM1Queue(2 * MU, MU)
+
+    def test_nonfinite_inputs_are_typed(self):
+        with pytest.raises(DomainError):
+            MM1Queue(float("nan"), MU)
+        with pytest.raises(DomainError):
+            MM1Queue(0.5, float("inf"))
+        with pytest.raises(DomainError):
+            MM1Queue(0.0, MU)
+
+    def test_rho_one_ulp_below_one(self):
+        # The closest admissible rho: every metric is finite or typed,
+        # never a silent inf.
+        lam = math.nextafter(MU, 0.0)
+        q = MM1Queue(lam, MU)
+        for metric in (q.mean_number_in_system, q.mean_number_waiting,
+                       q.mean_sojourn_time, q.mean_waiting_time):
+            try:
+                assert _finite(metric())
+            except DomainError:
+                pass
+
+    def test_rho_to_zero_limits(self):
+        q = MM1Queue(1e-12, MU)
+        assert q.mean_number_in_system() == pytest.approx(0.0, abs=1e-11)
+        assert q.mean_sojourn_time() == pytest.approx(1.0 / MU)
+
+
+class TestMM1KDomain:
+    def test_critical_rho_is_uniform(self):
+        q = MM1KQueue(MU, MU, capacity=4)
+        assert np.allclose(q.state_probabilities(), 0.2)
+        assert _finite(q.mean_sojourn_time())
+
+    def test_overload_distribution_is_finite(self):
+        # rho >> 1 used to overflow rho**(K+1) into inf/NaN.
+        q = MM1KQueue(1e200, MU, capacity=8)
+        p = q.state_probabilities()
+        assert np.all(np.isfinite(p))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[-1] == pytest.approx(1.0)  # point mass at K
+        assert q.throughput() == pytest.approx(MU)
+
+    def test_overload_throughput_is_flow_balanced(self):
+        q = MM1KQueue(3.0, 2.0, capacity=5)
+        probs = q.state_probabilities()
+        assert q.throughput() == pytest.approx(2.0 * (1.0 - probs[0]))
+        # Flow balance and PASTA agree where both are stable.
+        assert q.throughput() == pytest.approx(3.0 * (1.0 - probs[-1]))
+
+    def test_nonfinite_inputs_are_typed(self):
+        with pytest.raises(DomainError):
+            MM1KQueue(float("inf"), MU, capacity=3)
+        with pytest.raises(DomainError):
+            MM1KQueue(0.5, 0.0, capacity=3)
+        with pytest.raises(DomainError):
+            MM1KQueue(0.5, MU, capacity=0)
+
+
+class TestMG1AndNPolicyDomain:
+    def test_mg1_rho_at_one_is_typed(self):
+        with pytest.raises(DomainError):
+            MG1Queue(MU, 1.0 / MU, 1.0)
+
+    def test_mg1_bad_scv_is_typed(self):
+        with pytest.raises(DomainError):
+            MG1Queue(0.5, 1.0, -0.1)
+        with pytest.raises(DomainError):
+            MG1Queue(0.5, 1.0, float("nan"))
+
+    def test_npolicy_rho_at_one_is_typed(self):
+        with pytest.raises(DomainError):
+            NPolicyMM1Queue(MU, MU, n=2)
+
+    def test_npolicy_near_critical_is_finite_or_typed(self):
+        lam = math.nextafter(MU, 0.0)
+        try:
+            q = NPolicyMM1Queue(lam, MU, n=3)
+            assert _finite(q.mean_number_in_system())
+            assert _finite(q.mean_cycle_length())
+        except DomainError:
+            pass
+
+    def test_npolicy_power_still_checks_signs(self):
+        q = NPolicyMM1Queue(0.5, MU, n=2)
+        with pytest.raises(InvalidModelError):
+            q.average_power(-1.0, 0.0, 0.0)
+
+
+class TestAgainstSimulator:
+    """Property test: closed forms track the simulator at rho in
+    {0.01, 0.99, 1.0} -- below, near, and at the critical point."""
+
+    CAPACITY = 5
+
+    @pytest.fixture(scope="class")
+    def provider(self):
+        return ServiceProvider(
+            ("on", "off"),
+            np.array([[0.0, 10.0], [10.0, 0.0]]),
+            np.array([MU, 0.0]),
+            np.array([1.0, 0.0]),
+            np.zeros((2, 2)),
+        )
+
+    @pytest.mark.parametrize("rho", [0.01, 0.99, 1.0])
+    def test_queue_length_and_loss(self, provider, rho):
+        lam = rho * MU
+        reference = MM1KQueue(lam, MU, capacity=self.CAPACITY)
+        result = simulate(
+            provider=provider,
+            capacity=self.CAPACITY,
+            workload=PoissonProcess(lam),
+            policy=AlwaysOnPolicy(provider),
+            n_requests=40_000,
+            seed=17,
+            initial_mode="on",
+        )
+        assert result.average_queue_length == pytest.approx(
+            reference.mean_number_in_system(), rel=0.05, abs=0.02
+        )
+        assert result.loss_probability == pytest.approx(
+            reference.blocking_probability(), abs=0.01
+        )
+        assert result.average_waiting_time == pytest.approx(
+            reference.mean_sojourn_time(), rel=0.05
+        )

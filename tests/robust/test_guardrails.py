@@ -73,9 +73,9 @@ class TestSolveWithFallback:
         calls = []
         real = guardrails._relative_residual
 
-        def spying(a, x, b):
+        def spying(a, x, b, a_max=None):
             calls.append(1)
-            return real(a, x, b)
+            return real(a, x, b, a_max=a_max)
 
         monkeypatch.setattr(guardrails, "_relative_residual", spying)
         a = np.eye(2)

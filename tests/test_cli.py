@@ -337,3 +337,76 @@ class TestParser:
         assert args.metrics_out is None
         assert args.trace_out is None
         assert args.log_level is None
+
+
+class TestValidateCommand:
+    """The admission-gate subcommand and its exit-code taxonomy."""
+
+    MISSCALED = {
+        "provider": {
+            "modes": ["on", "off"],
+            "switching_rates": [[0, 1e12], [1e11, 0]],
+            "service_rates": [1e12, 0],
+            "power": [2.0, 0.1],
+            "switching_energy": [[0, 0.1], [0.5, 0]],
+            "self_switch_rate": 1e15,
+        },
+        "arrival_rate": 1e11,
+        "capacity": 3,
+    }
+
+    def test_paper_preset_is_ok(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        assert "stiffness_ratio" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["validate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "ok"
+        assert payload["level"] == "full"
+
+    def test_repaired_config_exits_10(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import EXIT_REPAIRED
+
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(self.MISSCALED))
+        assert main(["validate", str(path)]) == EXIT_REPAIRED
+        out = capsys.readouterr().out
+        assert "verdict: repaired" in out
+        assert "extreme-rate-scale" in out
+        assert "rate_scale_exponent" in out
+
+    def test_malformed_config_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"provider": 3}')
+        assert main(["validate", str(path)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejected_config_exits_3(self, tmp_path, capsys):
+        import copy
+        import json
+
+        config = copy.deepcopy(self.MISSCALED)
+        config["capacity"] = 0
+        path = tmp_path / "rejected.json"
+        path.write_text(json.dumps(config))
+        assert main(["validate", str(path)]) == 3
+
+    def test_report_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main(["validate", "--report-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["admission"]["verdict"] == "ok"
+        assert "manifest" in payload
+
+    def test_level_entry_is_cheap(self, capsys):
+        assert main(["validate", "--level", "entry"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out

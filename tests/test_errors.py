@@ -8,10 +8,12 @@ import pytest
 import repro.errors
 from repro.errors import (
     CheckpointError,
+    DomainError,
     InfeasibleConstraintError,
     InvalidGeneratorError,
     InvalidModelError,
     InvalidPolicyError,
+    ModelRejectedError,
     NotIrreducibleError,
     ReproError,
     SimulationError,
@@ -23,6 +25,8 @@ ALL_PUBLIC = [
     InvalidGeneratorError,
     NotIrreducibleError,
     InvalidModelError,
+    DomainError,
+    ModelRejectedError,
     InvalidPolicyError,
     SolverError,
     InfeasibleConstraintError,
@@ -57,6 +61,12 @@ class TestHierarchy:
 
     def test_worker_failure_is_simulation_error(self):
         assert issubclass(WorkerFailureError, SimulationError)
+
+    def test_domain_and_rejection_are_invalid_model_errors(self):
+        # Callers treating admission rejections and closed-form domain
+        # violations as bad models still work.
+        assert issubclass(DomainError, InvalidModelError)
+        assert issubclass(ModelRejectedError, InvalidModelError)
 
     def test_library_failures_catchable_in_one_clause(self):
         from repro.dpm.service_requestor import ServiceRequestor
