@@ -83,6 +83,16 @@ def _build_model(args: argparse.Namespace):
     return paper_system(arrival_rate=args.rate, capacity=args.capacity)
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.ctmdp.backends import BACKENDS
+
+    parser.add_argument(
+        "--backend", default="auto", choices=BACKENDS,
+        help="solver/model backend (default: auto -- dense below "
+             "the state-count threshold, sparse above it)",
+    )
+
+
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("checkpointing")
     group.add_argument(
@@ -118,10 +128,15 @@ def _metrics_rows(metrics) -> "list[tuple[str, float]]":
 def cmd_solve(args: argparse.Namespace) -> int:
     model = _build_model(args)
     if args.max_queue_length is not None:
+        if args.backend not in ("auto", "dense", "compiled"):
+            raise errors.SolverError(
+                "constrained mode solves the occupation-measure LP, which "
+                f"is dense-only; --backend {args.backend} is not supported"
+            )
         result = optimize_constrained(model, args.max_queue_length)
         print(f"constrained optimum (L <= {args.max_queue_length:g}):")
     else:
-        result = optimize_weighted(model, args.weight)
+        result = optimize_weighted(model, args.weight, backend=args.backend)
         print(f"weighted optimum (w = {args.weight:g}):")
     print(format_table(("metric", "value"), _metrics_rows(result.metrics)))
     if args.show_policy:
@@ -161,7 +176,9 @@ def _policy_factory(args: argparse.Namespace, model):
     )
 
     if args.policy == "optimal":
-        solved = optimize_weighted(model, args.weight)
+        solved = optimize_weighted(
+            model, args.weight, backend=getattr(args, "backend", "auto")
+        )
         return lambda: OptimalCTMDPPolicy(solved.policy, model.capacity)
     if args.policy == "greedy":
         return lambda: GreedyPolicy(model.provider)
@@ -265,6 +282,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
         max_weight=args.max_weight,
         weight_tolerance=args.weight_tolerance,
         checkpoint=checkpoint,
+        backend=args.backend,
     )
     rows = [
         (f"{p.weight:.5f}", p.power, p.delay, p.metrics.average_waiting_time)
@@ -317,6 +335,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         model = _build_model(args)
     report = admit_model(
         model, level=args.level, weight=args.weight, raise_on_reject=False,
+        backend=args.backend,
     )
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -425,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="delay bound D_M; switches to constrained mode")
     solve.add_argument("--show-policy", action="store_true",
                        help="print the full state->command table")
+    _add_backend_argument(solve)
     solve.set_defaults(func=cmd_solve)
 
     simulate_p = sub.add_parser("simulate", help="run the event-driven simulator",
@@ -446,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "a serial run")
     simulate_p.add_argument("--json-out", default=None,
                             help="also dump the result as JSON to this path")
+    _add_backend_argument(simulate_p)
     _add_checkpoint_arguments(simulate_p)
     simulate_p.set_defaults(func=cmd_simulate)
 
@@ -456,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     frontier.add_argument("--weight-tolerance", type=float, default=1e-4,
                           help="bisection resolution on the weight axis "
                                "(default: 1e-4)")
+    _add_backend_argument(frontier)
     _add_checkpoint_arguments(frontier)
     frontier.set_defaults(func=cmd_frontier)
 
@@ -499,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--report-out", default=None, metavar="PATH",
                           help="also write the report (with a run manifest) "
                                "as JSON to PATH")
+    _add_backend_argument(validate)
     validate.set_defaults(func=cmd_validate)
 
     return parser

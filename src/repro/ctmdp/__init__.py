@@ -22,10 +22,22 @@ Implements the decision-theoretic layer of the paper:
 - :mod:`repro.ctmdp.compiled` -- one-shot dense lowering of a CTMDP into
   stacked NumPy arrays (cached per model); backs the default
   ``backend="compiled"`` fast paths of the solvers above.
+- :mod:`repro.ctmdp.sparse` -- the CSR sparse lowering and its
+  direct-then-Krylov evaluation ladder; the middle tier of the backend
+  ladder, for models beyond a few thousand states.
+- :mod:`repro.ctmdp.kron` -- matrix-free Kronecker-structured CTMDPs
+  (factor generators, never the joint matrix); the top tier, for
+  tensor-product state spaces of 10^5--10^6 states.
+- :mod:`repro.ctmdp.backends` -- the ``backend=`` ladder shared by all
+  solver entry points (``auto``/``dense``/``compiled``/``sparse``/
+  ``kron``/``reference``) and its resolution rules.
 """
+
+from repro.ctmdp.backends import BACKENDS, DENSE_STATE_LIMIT, resolve_backend
 
 from repro.ctmdp.compiled import CompiledCTMDP, compile_ctmdp
 from repro.ctmdp.discounted import discounted_policy_iteration
+from repro.ctmdp.kron import ArrayPolicy, KroneckerCTMDP, kron_farm_model
 from repro.ctmdp.linear_program import (
     LinearProgramResult,
     solve_average_cost_lp,
@@ -34,26 +46,40 @@ from repro.ctmdp.linear_program import (
 from repro.ctmdp.model import CTMDP, StateActionData
 from repro.ctmdp.policy import Policy, PolicyEvaluation, RandomizedPolicy, evaluate_policy
 from repro.ctmdp.policy_iteration import PolicyIterationResult, policy_iteration
+from repro.ctmdp.sparse import (
+    SparseCTMDP,
+    compile_sparse_ctmdp,
+    sparse_stationary_distribution,
+)
 from repro.ctmdp.uniformization import UniformizedMDP, uniformize_ctmdp
 from repro.ctmdp.value_iteration import ValueIterationResult, relative_value_iteration
 
 __all__ = [
+    "ArrayPolicy",
+    "BACKENDS",
     "CTMDP",
     "CompiledCTMDP",
+    "DENSE_STATE_LIMIT",
+    "KroneckerCTMDP",
     "LinearProgramResult",
     "Policy",
     "PolicyEvaluation",
     "PolicyIterationResult",
     "RandomizedPolicy",
+    "SparseCTMDP",
     "StateActionData",
     "UniformizedMDP",
     "ValueIterationResult",
     "compile_ctmdp",
+    "compile_sparse_ctmdp",
     "discounted_policy_iteration",
     "evaluate_policy",
+    "kron_farm_model",
     "policy_iteration",
     "relative_value_iteration",
+    "resolve_backend",
     "solve_average_cost_lp",
     "solve_constrained_lp",
+    "sparse_stationary_distribution",
     "uniformize_ctmdp",
 ]

@@ -1,0 +1,78 @@
+"""Solver backend selection shared by every CTMDP solver entry point.
+
+Three representation tiers sit behind one API:
+
+- ``"dense"`` (alias ``"compiled"``): the dense compiled lowering --
+  O(pairs x states) memory, O(n^3) direct evaluation. Fastest below a
+  couple thousand states; the bit-exactness baseline.
+- ``"sparse"``: CSR lowering (:mod:`repro.ctmdp.sparse`) -- O(nnz)
+  memory, sparse-LU/GMRES evaluation. The interactive tier for 10^4 -
+  10^5 states.
+- ``"kron"``: matrix-free Kronecker models (:mod:`repro.ctmdp.kron`) --
+  O(sum of factor sizes) generator storage, uniformized value iteration
+  and Krylov evaluation. The only tier that reaches 10^6 joint states.
+- ``"reference"``: the dict-based per-state loops (debugging oracle).
+
+``"auto"`` resolves from the model type and size: Kronecker models run
+matrix-free, sparse models run sparse, and plain :class:`CTMDP` models
+run dense up to :data:`DENSE_STATE_LIMIT` states, sparse beyond.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+
+#: Every accepted ``backend=`` argument.
+BACKENDS = ("auto", "dense", "compiled", "sparse", "kron", "reference")
+
+#: ``auto`` keeps plain CTMDPs on the dense compiled tier up to this
+#: many states; beyond it the dense lowering's O(pairs x states) rows
+#: and O(n^3) solves lose to CSR across the board.
+DENSE_STATE_LIMIT = 2000
+
+
+def resolve_backend(mdp, backend: str, who: str = "solver") -> str:
+    """Map a requested backend to the concrete tier for *mdp*.
+
+    Returns one of ``"compiled"``, ``"sparse"``, ``"kron"`` or
+    ``"reference"``; raises a typed :class:`SolverError` for unknown
+    names or tier/model mismatches (e.g. forcing a plain CTMDP through
+    the Kronecker tier, which has no tensor structure to exploit).
+    """
+    if backend not in BACKENDS:
+        raise SolverError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    from repro.ctmdp.kron import KroneckerCTMDP
+    from repro.ctmdp.sparse import SparseCTMDP
+
+    if isinstance(mdp, KroneckerCTMDP):
+        if backend in ("auto", "kron"):
+            return "kron"
+        raise SolverError(
+            f"{who} backend {backend!r} cannot run a KroneckerCTMDP; "
+            "Kronecker models are matrix-free only (backend='kron' or "
+            "'auto'); lower explicitly via to_ctmdp() for other tiers"
+        )
+    if isinstance(mdp, SparseCTMDP):
+        if backend in ("auto", "sparse"):
+            return "sparse"
+        raise SolverError(
+            f"{who} backend {backend!r} cannot run a SparseCTMDP; "
+            "sparse-built models never had a dict/dense form "
+            "(backend='sparse' or 'auto')"
+        )
+    # Plain dict-based CTMDP.
+    if backend == "kron":
+        raise SolverError(
+            f"{who} backend 'kron' needs a KroneckerCTMDP (tensor-"
+            "structured model); wrap via KroneckerCTMDP.from_ctmdp or "
+            "build one directly"
+        )
+    if backend == "auto":
+        return (
+            "compiled" if mdp.n_states <= DENSE_STATE_LIMIT else "sparse"
+        )
+    if backend == "dense":
+        return "compiled"
+    return backend

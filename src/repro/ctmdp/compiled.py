@@ -40,74 +40,34 @@ from repro.errors import InvalidPolicyError
 from repro.markov.generator import canonical_shift
 
 
-class CompiledCTMDP:
-    """One-shot dense lowering of a :class:`CTMDP`.
+class PairIndexedCTMDP:
+    """Shared state-action pair indexing and vectorized sweep machinery.
 
-    Attributes
-    ----------
-    states:
-        State labels, same order as the source model.
-    actions:
-        Per-state action-label tuples, insertion order.
-    n_states, n_pairs:
-        State and state-action-pair counts.
-    pair_state:
-        ``(P,)`` owning state index of each pair.
-    pair_col:
-        ``(P,)`` column of each pair within its state's action list.
-    pair_offset:
-        ``(n+1,)`` -- pairs of state ``i`` occupy rows
-        ``pair_offset[i]:pair_offset[i+1]``.
-    generator:
-        ``(P, n)`` full generator rows (diagonal included), read-only.
-    cost:
-        ``(P,)`` effective cost rates, read-only.
-    extra:
-        ``{channel: (P,) rates}`` for every named extra-cost channel.
-    max_actions:
-        The largest per-state action count (the padded column count).
+    Both the dense compiled lowering and the CSR sparse lowering
+    (:class:`repro.ctmdp.sparse.SparseCTMDP`) stack all ``(state,
+    action)`` pairs into flat arrays and run improvement sweeps as
+    whole-array operations over a padded ``(n, max_actions)`` grid. The
+    sweep semantics live here once so every backend reproduces the
+    reference ``atol`` incumbent rule and strict first-wins greedy
+    argmin identically.
+
+    Subclasses populate ``states``, ``actions``, ``pair_state``,
+    ``pair_col``, ``pair_offset``, ``cost``, ``extra``, ``rate_scale``
+    and their generator representation, then call
+    :meth:`_init_pair_grid`.
     """
 
-    def __init__(self, mdp: CTMDP) -> None:
-        n = mdp.n_states
-        self.states: Tuple[Hashable, ...] = mdp.states
-        self.n_states = n
-        actions: List[Tuple[Hashable, ...]] = []
-        pair_state: List[int] = []
-        pair_col: List[int] = []
-        offsets = [0]
-        pair_index: Dict[Tuple[int, Hashable], int] = {}
-        rows: List[np.ndarray] = []
-        costs: List[float] = []
-        extra_names: set = set()
-        for i, state in enumerate(mdp.states):
-            state_actions = tuple(mdp.actions(state))
-            actions.append(state_actions)
-            for col, action in enumerate(state_actions):
-                pair_index[(i, action)] = len(rows)
-                pair_state.append(i)
-                pair_col.append(col)
-                rows.append(mdp.generator_row(state, action))
-                data = mdp.data(state, action)
-                costs.append(data.effective_cost_rate())
-                extra_names.update(data.extra_costs)
-            offsets.append(len(rows))
-        self.actions: Tuple[Tuple[Hashable, ...], ...] = tuple(actions)
-        self.n_pairs = len(rows)
-        self.pair_state = np.asarray(pair_state, dtype=np.intp)
-        self.pair_col = np.asarray(pair_col, dtype=np.intp)
-        self.pair_offset = np.asarray(offsets, dtype=np.intp)
-        self.generator = np.vstack(rows) if rows else np.zeros((0, n))
-        self.cost = np.asarray(costs, dtype=float)
-        self._pair_index = pair_index
-        self.extra: Dict[str, np.ndarray] = {}
-        for name in sorted(extra_names, key=repr):
-            channel = np.zeros(self.n_pairs)
-            for p, (state, action) in enumerate(mdp.state_action_pairs()):
-                channel[p] = mdp.data(state, action).extra_costs.get(name, 0.0)
-            channel.setflags(write=False)
-            self.extra[name] = channel
-        self.max_actions = int(np.max(np.diff(self.pair_offset))) if n else 0
+    states: Tuple[Hashable, ...]
+    actions: Tuple[Tuple[Hashable, ...], ...]
+    n_states: int
+    n_pairs: int
+
+    def _init_pair_grid(self) -> None:
+        """Derive the padded action grid from the primary pair arrays."""
+        n = self.n_states
+        self.max_actions = (
+            int(np.max(np.diff(self.pair_offset))) if n else 0
+        )
         # Dense (n, max_actions) pair-index grid, -1 where a state has
         # fewer actions; used to scatter per-pair values into a padded
         # matrix for column-wise argmin sweeps.
@@ -116,12 +76,7 @@ class CompiledCTMDP:
         self.pad_index = pad
         self._dense_slot = self.pair_state * self.max_actions + self.pair_col
         self._state_range = np.arange(n)
-        self.rate_scale = float(getattr(mdp, "rate_scale", 1.0))
-        self._canonical = None
-        self._sparse = None
-        for array in (self.generator, self.cost, self.pair_state,
-                      self.pair_col, self.pair_offset, self.pad_index):
-            array.setflags(write=False)
+        self.pad_index.setflags(write=False)
 
     # -- indexing ------------------------------------------------------------
 
@@ -205,6 +160,90 @@ class CompiledCTMDP:
                 best_col = np.where(better, a, best_col)
         return best_val, best_col
 
+    @property
+    def canonical_shift(self) -> int:
+        """Binary exponent normalizing :meth:`max_exit_rate` into [1, 2)."""
+        return canonical_shift(self.max_exit_rate())
+
+    def max_exit_rate(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CompiledCTMDP(PairIndexedCTMDP):
+    """One-shot dense lowering of a :class:`CTMDP`.
+
+    Attributes
+    ----------
+    states:
+        State labels, same order as the source model.
+    actions:
+        Per-state action-label tuples, insertion order.
+    n_states, n_pairs:
+        State and state-action-pair counts.
+    pair_state:
+        ``(P,)`` owning state index of each pair.
+    pair_col:
+        ``(P,)`` column of each pair within its state's action list.
+    pair_offset:
+        ``(n+1,)`` -- pairs of state ``i`` occupy rows
+        ``pair_offset[i]:pair_offset[i+1]``.
+    generator:
+        ``(P, n)`` full generator rows (diagonal included), read-only.
+    cost:
+        ``(P,)`` effective cost rates, read-only.
+    extra:
+        ``{channel: (P,) rates}`` for every named extra-cost channel.
+    max_actions:
+        The largest per-state action count (the padded column count).
+    """
+
+    def __init__(self, mdp: CTMDP) -> None:
+        n = mdp.n_states
+        self.states: Tuple[Hashable, ...] = mdp.states
+        self.n_states = n
+        actions: List[Tuple[Hashable, ...]] = []
+        pair_state: List[int] = []
+        pair_col: List[int] = []
+        offsets = [0]
+        pair_index: Dict[Tuple[int, Hashable], int] = {}
+        rows: List[np.ndarray] = []
+        costs: List[float] = []
+        extra_names: set = set()
+        for i, state in enumerate(mdp.states):
+            state_actions = tuple(mdp.actions(state))
+            actions.append(state_actions)
+            for col, action in enumerate(state_actions):
+                pair_index[(i, action)] = len(rows)
+                pair_state.append(i)
+                pair_col.append(col)
+                rows.append(mdp.generator_row(state, action))
+                data = mdp.data(state, action)
+                costs.append(data.effective_cost_rate())
+                extra_names.update(data.extra_costs)
+            offsets.append(len(rows))
+        self.actions: Tuple[Tuple[Hashable, ...], ...] = tuple(actions)
+        self.n_pairs = len(rows)
+        self.pair_state = np.asarray(pair_state, dtype=np.intp)
+        self.pair_col = np.asarray(pair_col, dtype=np.intp)
+        self.pair_offset = np.asarray(offsets, dtype=np.intp)
+        self.generator = np.vstack(rows) if rows else np.zeros((0, n))
+        self.cost = np.asarray(costs, dtype=float)
+        self._pair_index = pair_index
+        self.extra: Dict[str, np.ndarray] = {}
+        for name in sorted(extra_names, key=repr):
+            channel = np.zeros(self.n_pairs)
+            for p, (state, action) in enumerate(mdp.state_action_pairs()):
+                channel[p] = mdp.data(state, action).extra_costs.get(name, 0.0)
+            channel.setflags(write=False)
+            self.extra[name] = channel
+        self.rate_scale = float(getattr(mdp, "rate_scale", 1.0))
+        self._canonical = None
+        self._sparse = None
+        for array in (self.generator, self.cost, self.pair_state,
+                      self.pair_col, self.pair_offset):
+            array.setflags(write=False)
+        self._init_pair_grid()
+
     # -- policy evaluation ---------------------------------------------------
 
     def evaluation_system(
@@ -223,11 +262,6 @@ class CompiledCTMDP:
             return 0.0
         diagonal = self.generator[np.arange(self.n_pairs), self.pair_state]
         return max(0.0, float(np.max(-diagonal)))
-
-    @property
-    def canonical_shift(self) -> int:
-        """Binary exponent normalizing :meth:`max_exit_rate` into [1, 2)."""
-        return canonical_shift(self.max_exit_rate())
 
     def canonical(self) -> "tuple[np.ndarray, np.ndarray, int]":
         """``(G, c, shift)`` with the generator and cost arrays rescaled

@@ -21,11 +21,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.ctmdp.backends import BACKENDS, resolve_backend
 from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy
-
-BACKENDS = ("compiled", "reference")
 
 
 @dataclass(frozen=True)
@@ -104,13 +103,64 @@ def _discounted_policy_iteration_compiled(
     )
 
 
+def _evaluate_discounted_sparse(comp, sel, discount: float) -> np.ndarray:
+    """Sparse twin of :func:`_evaluate_discounted_rows`: solve
+    ``(a I - G[sel]) v = c[sel]`` through the sparse ladder."""
+    import scipy.sparse as sp
+
+    from repro.ctmdp.sparse import solve_sparse_with_fallback
+
+    g_rows, c = comp.evaluation_rows(sel)
+    n = comp.n_states
+    a = sp.eye_array(n, format="csr") * discount - g_rows
+    return solve_sparse_with_fallback(
+        a, c, what="discounted evaluation system",
+        context={"discount": discount},
+    )
+
+
+def _discounted_policy_iteration_sparse(
+    mdp,
+    discount: float,
+    initial_policy: Optional[Policy],
+    max_iterations: int,
+    atol: float,
+) -> DiscountedResult:
+    """Discounted policy iteration over the CSR lowering."""
+    from repro.ctmdp.sparse import compile_sparse_ctmdp
+
+    comp = compile_sparse_ctmdp(mdp)
+    if initial_policy is None:
+        sel = comp.pair_offset[:-1].copy()
+    else:
+        sel = comp.policy_rows(initial_policy.as_dict())
+    values = _evaluate_discounted_sparse(comp, sel, discount)
+    for iteration in range(1, max_iterations + 1):
+        test_values = comp.generator @ values
+        test_values += comp.cost
+        sel, changed = comp.improve(test_values, sel, atol)
+        if changed:
+            values = _evaluate_discounted_sparse(comp, sel, discount)
+        # Unchanged policy: the same system re-solves to the same values.
+        if not changed:
+            return DiscountedResult(
+                policy=Policy._trusted(mdp, comp.assignment_from_rows(sel)),
+                values=values,
+                discount=discount,
+                iterations=iteration,
+            )
+    raise SolverError(
+        f"discounted policy iteration did not converge in {max_iterations} iterations"
+    )
+
+
 def discounted_policy_iteration(
     mdp: CTMDP,
     discount: float,
     initial_policy: Optional[Policy] = None,
     max_iterations: int = 1000,
     atol: float = 1e-9,
-    backend: str = "compiled",
+    backend: str = "auto",
 ) -> DiscountedResult:
     """Find the a-optimal stationary policy by policy iteration.
 
@@ -127,14 +177,27 @@ def discounted_policy_iteration(
         Termination controls; see
         :func:`repro.ctmdp.policy_iteration.policy_iteration`.
     backend:
-        ``"compiled"`` (default, vectorized) or ``"reference"`` (the
-        original per-state dict loops); results agree exactly.
+        ``"auto"`` (default) resolves by model type and size (see
+        :mod:`repro.ctmdp.backends`); ``"dense"``/``"compiled"``
+        (vectorized dense lowering), ``"sparse"`` (CSR lowering with the
+        direct/Krylov evaluation ladder), ``"kron"`` (matrix-free, for
+        Kronecker models), or ``"reference"`` (the original per-state
+        dict loops); results agree across tiers.
     """
     if discount <= 0:
         raise ValueError(f"discount factor must be positive, got {discount}")
-    if backend not in BACKENDS:
-        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    backend = resolve_backend(mdp, backend)
     mdp.validate()
+    if backend == "kron":
+        from repro.ctmdp.kron import discounted_policy_iteration_kron
+
+        return discounted_policy_iteration_kron(
+            mdp, discount, initial_policy, max_iterations, atol
+        )
+    if backend == "sparse":
+        return _discounted_policy_iteration_sparse(
+            mdp, discount, initial_policy, max_iterations, atol
+        )
     if backend == "compiled":
         return _discounted_policy_iteration_compiled(
             mdp, discount, initial_policy, max_iterations, atol

@@ -1,0 +1,941 @@
+"""Kronecker-structured CTMDPs and their matrix-free solvers.
+
+The top tier of the solver backend ladder. A :class:`KroneckerCTMDP`
+never stores a joint generator at all: each global action ``a`` carries
+one :class:`~repro.markov.kron.KroneckerGenerator` ``G_a`` (a sum of
+Kronecker terms over the factor axes) plus a dense cost vector, and a
+boolean availability mask handles per-state action sets. Everything a
+solver needs is expressed through ``G_a @ x`` matvecs:
+
+- **value iteration** -- the uniformized backup
+  ``w <- min_a [ c_a/L + w + (G_a w)/L ]`` costs one matvec per action
+  per sweep, so 10^6-state models fit easily (the operand vectors are
+  the only O(n) objects);
+- **policy evaluation** -- the bordered dense/sparse system is replaced
+  by the uniformized elimination form: with ``P = I + G_pi/L``, solve
+  ``(I - P + 1 (P . )_ref) h = (c_pi - c_ref)/L`` by GMRES (the
+  operator is nonsingular for unichain policies and ``h[ref] = 0``
+  holds by construction), then recover the gain from the reference row:
+  ``g = c_ref + (G_pi h)_ref``;
+- **stationary distributions** -- GMRES on the transposed balance
+  equations via ``rmatvec``, with the usual normalization row.
+
+Tolerance contract: GMRES runs to :data:`repro.ctmdp.sparse.KRYLOV_RTOL`
+(1e-10) and any accepted solution passes the guardrail-style relative
+residual test; small models are cross-checked against the dense core by
+the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import LinearOperator, gmres
+
+from repro.ctmdp.model import CTMDP
+from repro.errors import (
+    InvalidGeneratorError,
+    InvalidModelError,
+    InvalidPolicyError,
+    NotIrreducibleError,
+    SolverError,
+)
+from repro.ctmdp.sparse import GMRES_MAXITER, GMRES_RESTART, KRYLOV_RTOL
+from repro.markov.generator import canonical_shift
+from repro.markov.kron import KroneckerGenerator
+from repro.obs.runtime import active as obs_active
+from repro.robust.guardrails import RESIDUAL_RTOL
+
+#: ``KroneckerCTMDP.states`` refuses to materialize joint label tuples
+#: beyond this many states -- at 10^6 states the label list would rival
+#: the solver working set, defeating the matrix-free point.
+LABEL_LIMIT = 300_000
+
+#: Relative conservation tolerance of :meth:`KroneckerCTMDP.validate`:
+#: row sums of every available generator row must vanish to this times
+#: the operator's magnitude bound.
+CONSERVATION_RTOL = 1e-9
+
+
+class ArrayPolicy:
+    """A stationary policy stored as a flat action-index array.
+
+    Duck-types the :class:`repro.ctmdp.policy.Policy` surface the
+    solvers and tests use (``action``, ``as_dict``, ``mdp``, equality)
+    while staying O(n) ints -- joint label tuples are only materialized
+    on explicit ``as_dict()`` calls, which :data:`LABEL_LIMIT` guards.
+    """
+
+    def __init__(self, kmdp: "KroneckerCTMDP", action_index: np.ndarray) -> None:
+        self._mdp = kmdp
+        self.action_index = np.asarray(action_index, dtype=np.intp)
+        self.action_index.setflags(write=False)
+
+    @property
+    def mdp(self) -> "KroneckerCTMDP":
+        return self._mdp
+
+    def action(self, state: Hashable) -> Hashable:
+        i = self._mdp.index_of(state)
+        return self._mdp.action_set[self.action_index[i]]
+
+    def as_dict(self) -> "Dict[Hashable, Hashable]":
+        labels = self._mdp.states
+        action_set = self._mdp.action_set
+        return {
+            labels[i]: action_set[a]
+            for i, a in enumerate(self.action_index.tolist())
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ArrayPolicy):
+            return bool(np.array_equal(self.action_index, other.action_index))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.action_index.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArrayPolicy(n={len(self.action_index)})"
+
+
+class KroneckerCTMDP:
+    """A CTMDP whose per-action generators are Kronecker-structured.
+
+    Parameters
+    ----------
+    factor_states:
+        Per-axis state-label tuples; the joint space is their Cartesian
+        product with axis 0 varying slowest (``np.kron`` layout).
+    actions:
+        The global action-label tuple, shared across states; per-state
+        availability comes from *available*. Per-state action order is
+        the global order restricted to the available set.
+    generators:
+        One :class:`KroneckerGenerator` per action, all over the same
+        axis layout. Rows of unavailable ``(action, state)`` pairs are
+        never read by the solvers.
+    costs:
+        ``(n_actions, n)`` effective cost rates.
+    available:
+        Optional ``(n_actions, n)`` boolean mask; default all-true.
+        Every state needs at least one available action.
+    """
+
+    def __init__(
+        self,
+        factor_states: Sequence[Sequence[Hashable]],
+        actions: Sequence[Hashable],
+        generators: Sequence[KroneckerGenerator],
+        costs,
+        available: Optional[np.ndarray] = None,
+        rate_scale: float = 1.0,
+    ) -> None:
+        self.factor_states = tuple(tuple(fs) for fs in factor_states)
+        self.dims = tuple(len(fs) for fs in self.factor_states)
+        if any(d == 0 for d in self.dims):
+            raise InvalidModelError("every factor needs at least one state")
+        self.n_states = int(np.prod(self.dims))
+        self.action_set: Tuple[Hashable, ...] = tuple(actions)
+        self.n_actions = len(self.action_set)
+        if self.n_actions == 0:
+            raise InvalidModelError("model has no actions")
+        self.generators: Tuple[KroneckerGenerator, ...] = tuple(generators)
+        if len(self.generators) != self.n_actions:
+            raise InvalidModelError(
+                f"{len(self.generators)} generators for {self.n_actions} actions"
+            )
+        for gen in self.generators:
+            if gen.dims != self.dims:
+                raise InvalidModelError(
+                    f"generator axis layout {gen.dims} does not match "
+                    f"model layout {self.dims}"
+                )
+        self.costs = np.asarray(costs, dtype=float)
+        if self.costs.shape != (self.n_actions, self.n_states):
+            raise InvalidModelError(
+                f"costs shape {self.costs.shape} does not match "
+                f"({self.n_actions}, {self.n_states})"
+            )
+        if available is None:
+            self.available = np.ones(
+                (self.n_actions, self.n_states), dtype=bool
+            )
+        else:
+            self.available = np.asarray(available, dtype=bool)
+            if self.available.shape != (self.n_actions, self.n_states):
+                raise InvalidModelError(
+                    f"availability shape {self.available.shape} does not "
+                    f"match ({self.n_actions}, {self.n_states})"
+                )
+        if not np.all(self.available.any(axis=0)):
+            orphan = int(np.argmin(self.available.any(axis=0)))
+            raise InvalidModelError(
+                f"state index {orphan} has no available actions"
+            )
+        self.rate_scale = float(rate_scale)
+        # Exit rates straight from the factored diagonals: O(K n).
+        exit_rates = np.zeros((self.n_actions, self.n_states))
+        for a, gen in enumerate(self.generators):
+            exit_rates[a] = np.maximum(-gen.diagonal(), 0.0)
+        exit_rates[~self.available] = 0.0
+        self._exit_rates = exit_rates
+        self._exit_rates.setflags(write=False)
+        self.costs.setflags(write=False)
+        self.available.setflags(write=False)
+        self._states: Optional[Tuple[tuple, ...]] = None
+        self._index: Optional[Dict[tuple, int]] = None
+
+    # -- state labelling -----------------------------------------------------
+
+    @property
+    def states(self) -> "Tuple[tuple, ...]":
+        """Joint state labels (guarded -- see :data:`LABEL_LIMIT`)."""
+        if self._states is None:
+            if self.n_states > LABEL_LIMIT:
+                raise InvalidModelError(
+                    f"refusing to materialize {self.n_states} joint state "
+                    f"labels (limit {LABEL_LIMIT}); use state_label(i) for "
+                    "point lookups"
+                )
+            self._states = tuple(itertools.product(*self.factor_states))
+        return self._states
+
+    def state_label(self, index: int) -> tuple:
+        """Joint label of flat state *index* (mixed-radix decode)."""
+        digits = []
+        for dim in reversed(self.dims):
+            digits.append(index % dim)
+            index //= dim
+        return tuple(
+            fs[d] for fs, d in zip(self.factor_states, reversed(digits))
+        )
+
+    def index_of(self, state) -> int:
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.states)}
+        try:
+            return self._index[tuple(state)]
+        except KeyError:
+            raise InvalidPolicyError(f"unknown state {state!r}") from None
+
+    def actions(self, state) -> "Tuple[Hashable, ...]":
+        """Available actions of *state*, in global order."""
+        i = self.index_of(state)
+        return tuple(
+            a for k, a in enumerate(self.action_set) if self.available[k, i]
+        )
+
+    # -- solver interface ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Finiteness and conservation of every available generator row.
+
+        Row sums come from one ``G_a @ 1`` matvec per action; only rows
+        whose ``(action, state)`` pair is available are judged, since
+        unavailable rows are never applied by any solver.
+        """
+        ones = np.ones(self.n_states)
+        for a, gen in enumerate(self.generators):
+            mask = self.available[a]
+            if not mask.any():
+                continue
+            if not np.all(np.isfinite(self.costs[a][mask])):
+                raise InvalidModelError(
+                    f"non-finite cost under action {self.action_set[a]!r}"
+                )
+            row_sums = gen.matvec(ones)[mask]
+            tol = CONSERVATION_RTOL * max(gen.max_abs_entry(), 1.0)
+            if not np.all(np.isfinite(row_sums)):
+                raise InvalidGeneratorError(
+                    f"non-finite generator entries under action "
+                    f"{self.action_set[a]!r}"
+                )
+            worst = float(np.max(np.abs(row_sums), initial=0.0))
+            if worst > tol:
+                raise InvalidGeneratorError(
+                    f"generator rows of action {self.action_set[a]!r} are "
+                    f"not conservative (max |row sum| {worst:.3g} > {tol:.3g})"
+                )
+
+    def max_exit_rate(self) -> float:
+        return float(np.max(self._exit_rates, initial=0.0))
+
+    def exit_rates(self) -> np.ndarray:
+        """``(n_actions, n)`` exit rates (0 where unavailable)."""
+        return self._exit_rates
+
+    @property
+    def canonical_shift(self) -> int:
+        return canonical_shift(self.max_exit_rate())
+
+    def default_action_index(self) -> np.ndarray:
+        """First available action per state (global order) -- the
+        matrix-free analogue of the first-listed initial policy."""
+        return np.argmax(self.available, axis=0).astype(np.intp)
+
+    def policy_array(self, policy) -> np.ndarray:
+        """Flat action-index array of *policy* (``ArrayPolicy`` or any
+        object with ``as_dict``)."""
+        if isinstance(policy, ArrayPolicy):
+            return policy.action_index
+        action_pos = {a: k for k, a in enumerate(self.action_set)}
+        sel = np.empty(self.n_states, dtype=np.intp)
+        assignment = policy.as_dict()
+        for i, state in enumerate(self.states):
+            try:
+                sel[i] = action_pos[assignment[state]]
+            except KeyError:
+                raise InvalidPolicyError(
+                    f"action {assignment.get(state)!r} is not a model action"
+                ) from None
+        if not np.all(self.available[sel, np.arange(self.n_states)]):
+            bad = int(
+                np.argmin(self.available[sel, np.arange(self.n_states)])
+            )
+            raise InvalidPolicyError(
+                f"policy picks an unavailable action in state "
+                f"{self.state_label(bad)!r}"
+            )
+        return sel
+
+    # -- conversions ---------------------------------------------------------
+
+    @classmethod
+    def from_ctmdp(cls, mdp: CTMDP) -> "KroneckerCTMDP":
+        """Single-axis wrapper of a dict-based model.
+
+        The joint space is the model's own state set (one Kronecker
+        axis), the global action set is the first-appearance-ordered
+        union of per-state action sets, and each action's generator is
+        the CSR matrix of its rows (zero rows where unavailable). This
+        gives every CTMDP a matrix-free form for cross-checks and fuzz
+        routing; per-state action order must be consistent with the
+        global order for tie-breaking to match the dense core exactly.
+        """
+        mdp.validate()
+        n = mdp.n_states
+        action_set: List[Hashable] = []
+        seen = set()
+        for state in mdp.states:
+            for action in mdp.actions(state):
+                if action not in seen:
+                    seen.add(action)
+                    action_set.append(action)
+        available = np.zeros((len(action_set), n), dtype=bool)
+        costs = np.zeros((len(action_set), n))
+        generators = []
+        for k, action in enumerate(action_set):
+            rows = []
+            for i, state in enumerate(mdp.states):
+                if action in mdp.actions(state):
+                    available[k, i] = True
+                    costs[k, i] = mdp.data(state, action).effective_cost_rate()
+                    rows.append(
+                        sp.csr_array(
+                            mdp.generator_row(state, action).reshape(1, n)
+                        )
+                    )
+                else:
+                    rows.append(sp.csr_array((1, n)))
+            csr = sp.csr_array(sp.vstack(rows, format="csr"))
+            generators.append(
+                KroneckerGenerator((n,), [(1.0, (csr,))])
+            )
+        model = cls(
+            (tuple(mdp.states),),
+            action_set,
+            generators,
+            costs,
+            available=available,
+            rate_scale=float(getattr(mdp, "rate_scale", 1.0)),
+        )
+        # Single-axis labels are 1-tuples; keep the original labels so
+        # policies compare directly against the dense core's.
+        model._states = tuple(mdp.states)
+        model._index = {s: i for i, s in enumerate(mdp.states)}
+        return model
+
+    def to_ctmdp(self, limit: int = 2048) -> CTMDP:
+        """Densify into a dict-based model (small cross-checks only)."""
+        if self.n_states > limit:
+            raise InvalidModelError(
+                f"refusing to densify a {self.n_states}-state Kronecker "
+                f"model (limit {limit})"
+            )
+        mdp = CTMDP(list(self.states), rate_scale=self.rate_scale)
+        dense = [gen.to_csr().toarray() for gen in self.generators]
+        for i, state in enumerate(self.states):
+            for k, action in enumerate(self.action_set):
+                if not self.available[k, i]:
+                    continue
+                rates = dense[k][i].copy()
+                rates[i] = 0.0
+                mdp.add_action(
+                    state, action, rates=rates,
+                    cost_rate=float(self.costs[k, i]),
+                )
+        return mdp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KroneckerCTMDP(dims={self.dims!r}, n_states={self.n_states}, "
+            f"n_actions={self.n_actions})"
+        )
+
+
+def kron_farm_model(
+    n_queues: int,
+    queue_capacity: int,
+    arrival: float = 0.5,
+    service: float = 2.0,
+    speeds: "Sequence[float]" = (1.0, 3.0),
+    powers: "Sequence[float]" = (1.0, 3.0),
+    weight: float = 1.0,
+) -> KroneckerCTMDP:
+    """A multi-queue server-farm CTMDP in pure tensor-sum form.
+
+    ``n_queues`` independent M/M/1/C queues share a global service-speed
+    action: action ``a`` scales every queue's service rate by
+    ``speeds[a]`` at power cost ``powers[a]``, and the cost rate adds
+    ``weight`` times the total queue occupancy. The joint generator of
+    each action is the K-fold tensor sum of birth-death factors, so the
+    model scales to ``(capacity+1)^n_queues`` states with O(K * C)
+    stored rate entries -- the scaling-bench workhorse for the
+    matrix-free tier.
+    """
+    if n_queues < 1 or queue_capacity < 1:
+        raise InvalidModelError("need at least one queue of capacity >= 1")
+    if len(speeds) != len(powers):
+        raise InvalidModelError("speeds and powers must align")
+    m = queue_capacity + 1
+    actions = tuple(f"speed-{s:g}" for s in speeds)
+
+    def birth_death(mu: float) -> "sp.csr_array":
+        gen = np.zeros((m, m))
+        for q in range(queue_capacity):
+            gen[q, q + 1] = arrival
+            gen[q + 1, q] = mu
+        np.fill_diagonal(gen, -gen.sum(axis=1))
+        return sp.csr_array(gen)
+
+    generators = [
+        KroneckerGenerator.tensor_sum(
+            [birth_death(service * speed)] * n_queues
+        )
+        for speed in speeds
+    ]
+    # Total occupancy sum_k q_k, lifted axis by axis (O(K n) build).
+    occupancy = np.zeros(m ** n_queues)
+    occ_factor = np.arange(m, dtype=float)
+    for k in range(n_queues):
+        occupancy += np.kron(
+            np.ones(m ** k),
+            np.kron(occ_factor, np.ones(m ** (n_queues - 1 - k))),
+        )
+    costs = np.stack(
+        [power + weight * occupancy for power in powers]
+    )
+    factor_states = (tuple(range(m)),) * n_queues
+    return KroneckerCTMDP(factor_states, actions, generators, costs)
+
+
+# -- matrix-free solver machinery --------------------------------------------
+
+
+def _policy_generator_apply(kmdp: KroneckerCTMDP, sel: np.ndarray):
+    """``x -> G_pi x`` for the policy picking action ``sel[i]`` in state
+    ``i``: one per-action matvec, rows gathered by the selection mask."""
+    masks = [
+        (a, sel == a)
+        for a in np.unique(sel)
+    ]
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        y = np.empty_like(x)
+        for a, mask in masks:
+            y[mask] = kmdp.generators[a].matvec(x)[mask]
+        return y
+
+    return apply
+
+
+def _policy_generator_rapply(kmdp: KroneckerCTMDP, sel: np.ndarray):
+    """``x -> G_pi^T x`` via ``G_pi^T = sum_a G_a^T D_a``."""
+    masks = [(a, sel == a) for a in np.unique(sel)]
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        y = np.zeros_like(x)
+        for a, mask in masks:
+            xa = np.where(mask, x, 0.0)
+            y += kmdp.generators[a].rmatvec(xa)
+        return y
+
+    return apply
+
+
+def _gmres_solve(operator, b, x0, what: str, context: "Dict") -> np.ndarray:
+    """GMRES with the documented Krylov target; typed error on failure."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        x, info = gmres(
+            operator, b, x0=x0, rtol=KRYLOV_RTOL, atol=0.0,
+            restart=GMRES_RESTART, maxiter=GMRES_MAXITER,
+        )
+    if info != 0 or not np.all(np.isfinite(x)):
+        raise SolverError(
+            f"{what}: matrix-free GMRES failed to converge "
+            f"(info={int(info)}); the induced chain is likely multichain "
+            "or badly conditioned for Krylov iteration",
+            diagnostics={
+                "backend": "kron", "gmres_info": int(info), **context,
+            },
+        )
+    return x
+
+
+def kron_gain_bias(
+    kmdp: KroneckerCTMDP,
+    sel: np.ndarray,
+    reference_state: int = 0,
+    x0: "Optional[np.ndarray]" = None,
+) -> "tuple[float, np.ndarray]":
+    """Gain and bias of the policy *sel*, fully matrix-free.
+
+    Solves the uniformized elimination system (module doc) in canonical
+    units with GMRES; the accepted solution is residual-checked against
+    the original evaluation equations ``c + G h = g 1`` under the
+    guardrail tolerance.
+    """
+    from repro.ctmdp.uniformization import APERIODICITY_SLACK
+
+    n = kmdp.n_states
+    if not 0 <= reference_state < n:
+        raise InvalidPolicyError(
+            f"reference state {reference_state} out of range"
+        )
+    shift = kmdp.canonical_shift
+    max_rate_can = float(np.ldexp(kmdp.max_exit_rate(), -shift))
+    lam = APERIODICITY_SLACK * max_rate_can if max_rate_can > 0 else 1.0
+    g_apply = _policy_generator_apply(kmdp, sel)
+
+    def g_can(x: np.ndarray) -> np.ndarray:
+        # Canonical application is exact: 2**-shift times the matvec.
+        return np.ldexp(g_apply(x), -shift)
+
+    c_can = np.ldexp(
+        kmdp.costs[sel, np.arange(n)], -shift
+    )
+    c_ref = float(c_can[reference_state])
+
+    def elimination(x: np.ndarray) -> np.ndarray:
+        # A h = h - P h + (P h)_ref 1  with  P = I + G/lam.
+        px = x + g_can(x) / lam
+        return x - px + px[reference_state]
+
+    operator = LinearOperator((n, n), matvec=elimination, dtype=float)
+    b = (c_can - c_ref) / lam
+    h = _gmres_solve(
+        operator, b, x0,
+        what="matrix-free policy evaluation",
+        context={"reference_state": reference_state},
+    )
+    h = h - h[reference_state]
+    gh = g_can(h)
+    gain_can = c_ref + float(gh[reference_state])
+    # Residual of the original evaluation equations, guardrail-style.
+    residual = c_can + gh - gain_can
+    scale = (
+        max_rate_can * 2.0 * float(np.max(np.abs(h), initial=0.0))
+        + float(np.max(np.abs(c_can), initial=0.0))
+        + abs(gain_can)
+    )
+    rel = float(np.max(np.abs(residual), initial=0.0)) / max(scale, 1e-300)
+    if rel > RESIDUAL_RTOL:
+        raise SolverError(
+            f"matrix-free policy evaluation residual {rel:.3g} exceeds "
+            f"{RESIDUAL_RTOL:g}; the induced chain is likely multichain",
+            diagnostics={
+                "backend": "kron", "residual": rel,
+                "residual_rtol": RESIDUAL_RTOL,
+            },
+        )
+    return float(np.ldexp(gain_can, shift)), h
+
+
+def kron_stationary(kmdp: KroneckerCTMDP, sel: np.ndarray) -> np.ndarray:
+    """Stationary distribution of the policy *sel*, matrix-free.
+
+    Same last-row-normalization formulation as the dense and sparse
+    stationary solvers, with ``G_pi^T`` applied through per-factor
+    transposes.
+    """
+    n = kmdp.n_states
+    shift = kmdp.canonical_shift
+    rapply = _policy_generator_rapply(kmdp, sel)
+
+    def balance(x: np.ndarray) -> np.ndarray:
+        y = np.ldexp(rapply(x), -shift)
+        y[-1] = x.sum()
+        return y
+
+    operator = LinearOperator((n, n), matvec=balance, dtype=float)
+    b = np.zeros(n)
+    b[-1] = 1.0
+    x0 = np.full(n, 1.0 / n)
+    try:
+        p = _gmres_solve(
+            operator, b, x0, what="matrix-free stationary solve", context={}
+        )
+    except SolverError as exc:
+        raise NotIrreducibleError(
+            "stationary distribution is not unique or does not exist: "
+            + str(exc)
+        ) from exc
+    if np.min(p) < -1e-7:
+        raise NotIrreducibleError(
+            "matrix-free stationary solve produced significantly negative "
+            f"probabilities (min {np.min(p):.3g})"
+        )
+    p = np.clip(p, 0.0, None)
+    total = p.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise NotIrreducibleError(
+            "matrix-free stationary solve produced a non-normalizable vector"
+        )
+    return p / total
+
+
+def kron_evaluate(
+    kmdp: KroneckerCTMDP,
+    policy,
+    reference_state: int = 0,
+    compute_stationary: bool = True,
+):
+    """Full matrix-free evaluation of *policy* on *kmdp*."""
+    from repro.ctmdp.policy import PolicyEvaluation
+
+    sel = kmdp.policy_array(policy)
+    gain, bias = kron_gain_bias(kmdp, sel, reference_state)
+    stationary = kron_stationary(kmdp, sel) if compute_stationary else None
+    return PolicyEvaluation(gain=gain, bias=bias, stationary=stationary)
+
+
+def _improve_kron(
+    kmdp: KroneckerCTMDP,
+    bias: np.ndarray,
+    sel: np.ndarray,
+    atol_can: float,
+    shift: int,
+) -> "tuple[np.ndarray, bool, np.ndarray]":
+    """One incumbent-rule improvement sweep, one matvec per action.
+
+    Same semantics as ``PairIndexedCTMDP.improve``: scanning actions in
+    global order, a candidate displaces the running best only when
+    smaller by more than ``atol_can``; unavailable actions sit at +inf.
+    Returns ``(new sel, changed, test values (n_actions, n))``.
+    """
+    n = kmdp.n_states
+    test = np.full((kmdp.n_actions, n), np.inf)
+    for a in range(kmdp.n_actions):
+        mask = kmdp.available[a]
+        if not mask.any():
+            continue
+        values = np.ldexp(
+            kmdp.costs[a] + kmdp.generators[a].matvec(bias), -shift
+        )
+        test[a, mask] = values[mask]
+    state_range = np.arange(n)
+    best_val = test[sel, state_range]
+    best = sel.copy()
+    for a in range(kmdp.n_actions):
+        column = test[a]
+        better = (column < best_val - atol_can) & (sel != a)
+        if np.any(better):
+            best_val = np.where(better, column, best_val)
+            best = np.where(better, a, best)
+    changed = bool(np.any(best != sel))
+    return best, changed, test
+
+
+def policy_iteration_kron(
+    kmdp: KroneckerCTMDP,
+    initial_policy=None,
+    max_iterations: int = 1000,
+    atol: float = 1e-9,
+    reference_state: int = 0,
+    time_budget_s: "Optional[float]" = None,
+):
+    """Howard policy iteration with matrix-free evaluation sweeps."""
+    from repro.ctmdp.policy_iteration import (
+        PolicyIterationResult,
+        _check_budget,
+        _convergence_series,
+        _CycleDetector,
+    )
+    import time
+
+    kmdp.validate()
+    ins = obs_active()
+    metrics = ins.metrics
+    if metrics is not None:
+        metrics.counter("solver.policy_iteration.solves").inc()
+    n = kmdp.n_states
+    if initial_policy is None:
+        sel = kmdp.default_action_index()
+    else:
+        sel = kmdp.policy_array(initial_policy)
+    shift = kmdp.canonical_shift
+    atol_can = float(np.ldexp(atol * kmdp.rate_scale, -shift))
+    started = time.perf_counter()
+    cycles = _CycleDetector()
+    gain_history: List[float] = []
+    series = _convergence_series(metrics) if metrics is not None else None
+    if ins.enabled:
+        sweep_start = time.perf_counter()
+    gain, bias = kron_gain_bias(kmdp, sel, reference_state)
+    gain_history.append(gain)
+    if series is not None:
+        series.append(
+            backend="kron", iteration=0, gain=gain, residual=None,
+            policy_changes=None,
+            sweep_s=time.perf_counter() - sweep_start,
+        )
+    cycles.check(sel.tobytes(), 0, gain_history, None)
+    with ins.span("policy_iteration", backend="kron", n_states=n) as span:
+        for iteration in range(1, max_iterations + 1):
+            _check_budget(started, time_budget_s, iteration, gain_history)
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+            previous_sel = sel
+            previous_gain = gain
+            sel, changed, _ = _improve_kron(kmdp, bias, sel, atol_can, shift)
+            if changed:
+                cycles.check(sel.tobytes(), iteration, gain_history, None)
+                gain, bias = kron_gain_bias(
+                    kmdp, sel, reference_state, x0=bias
+                )
+            gain_history.append(gain)
+            if series is not None:
+                series.append(
+                    backend="kron", iteration=iteration, gain=gain,
+                    residual=abs(gain - previous_gain),
+                    policy_changes=int(np.count_nonzero(sel != previous_sel)),
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            if not changed:
+                if ins.enabled:
+                    span.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.policy_iteration.iterations"
+                        ).observe(iteration)
+                return PolicyIterationResult(
+                    policy=ArrayPolicy(kmdp, sel),
+                    gain=gain,
+                    bias=bias,
+                    stationary=kron_stationary(kmdp, sel),
+                    iterations=iteration,
+                    gain_history=gain_history,
+                )
+    raise SolverError(
+        f"policy iteration did not converge in {max_iterations} iterations",
+        diagnostics={
+            "reason": "max_iterations_exhausted",
+            "iteration": max_iterations,
+            "backend": "kron",
+            "gain_history": gain_history[-10:],
+        },
+    )
+
+
+def relative_value_iteration_kron(
+    kmdp: KroneckerCTMDP,
+    span_tolerance: float = 1e-10,
+    max_iterations: int = 1_000_000,
+    uniformization_rate: "Optional[float]" = None,
+    time_budget_s: "Optional[float]" = None,
+):
+    """Relative value iteration with matrix-free uniformized backups.
+
+    Mirrors the compiled implementation sweep for sweep: uniformization
+    rate ``APERIODICITY_SLACK * max exit rate`` (or the explicit
+    override), strict first-wins greedy argmin in global action order,
+    span-seminorm stopping, gain from the midpoint of the final
+    difference vector.
+    """
+    from repro.ctmdp.uniformization import APERIODICITY_SLACK
+    from repro.ctmdp.value_iteration import (
+        CONVERGENCE_SERIES,
+        ValueIterationResult,
+        _budget_error,
+        _nonconvergence_error,
+    )
+    import time
+
+    kmdp.validate()
+    ins = obs_active()
+    metrics = ins.metrics
+    series = (
+        metrics.series(CONVERGENCE_SERIES, profiling_fields=("sweep_s",))
+        if metrics is not None
+        else None
+    )
+    if metrics is not None:
+        metrics.counter("solver.value_iteration.solves").inc()
+    n = kmdp.n_states
+    max_rate = kmdp.max_exit_rate()
+    if uniformization_rate is not None:
+        lam = float(uniformization_rate)
+        if lam < max_rate:
+            raise ValueError(
+                f"uniformization rate {lam:g} is below the max exit rate "
+                f"{max_rate:g}"
+            )
+    else:
+        lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
+    state_range = np.arange(n)
+    w = np.zeros(n)
+    span_history: List[float] = []
+    started = time.perf_counter()
+    with ins.span("value_iteration", backend="kron", n_states=n) as span_rec:
+        for iteration in range(1, max_iterations + 1):
+            _budget_error(started, time_budget_s, iteration, span_history)
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+            # One uniformized backup per action: c/lam + w + (G w)/lam,
+            # +inf where unavailable, then a first-wins argmin.
+            best_val = np.full(n, np.inf)
+            best_act = np.zeros(n, dtype=np.intp)
+            for a in range(kmdp.n_actions):
+                mask = kmdp.available[a]
+                if not mask.any():
+                    continue
+                values = (
+                    kmdp.costs[a] / lam
+                    + w
+                    + kmdp.generators[a].matvec(w) / lam
+                )
+                values = np.where(mask, values, np.inf)
+                better = values < best_val
+                if np.any(better):
+                    best_val = np.where(better, values, best_val)
+                    best_act = np.where(better, a, best_act)
+            diff = best_val - w
+            span_value = float(diff.max() - diff.min())
+            span_history.append(span_value)
+            if series is not None:
+                series.append(
+                    backend="kron", iteration=iteration, span=span_value,
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            if span_value < span_tolerance:
+                gain = float(lam * 0.5 * (diff.max() + diff.min()))
+                if ins.enabled:
+                    span_rec.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.value_iteration.iterations"
+                        ).observe(iteration)
+                values = best_val - best_val[0]
+                return ValueIterationResult(
+                    policy=ArrayPolicy(kmdp, best_act),
+                    gain=gain,
+                    values=values,
+                    iterations=iteration,
+                    span_history=span_history,
+                )
+            w = best_val - best_val[0]
+    raise _nonconvergence_error(span_tolerance, max_iterations, span_history)
+
+
+def discounted_policy_iteration_kron(
+    kmdp: KroneckerCTMDP,
+    discount: float,
+    initial_policy=None,
+    max_iterations: int = 1000,
+    atol: float = 1e-9,
+):
+    """Discounted policy iteration with matrix-free evaluation.
+
+    Evaluation solves ``(a I - G_pi) v = c_pi`` by GMRES (the operator
+    is strictly diagonally dominant for ``a > 0``, so unpreconditioned
+    Krylov converges reliably); improvement mirrors the dense incumbent
+    rule, one matvec per action.
+    """
+    from repro.ctmdp.discounted import DiscountedResult
+
+    kmdp.validate()
+    n = kmdp.n_states
+    if initial_policy is None:
+        sel = kmdp.default_action_index()
+    else:
+        sel = kmdp.policy_array(initial_policy)
+    state_range = np.arange(n)
+
+    def evaluate(sel: np.ndarray, x0) -> np.ndarray:
+        g_apply = _policy_generator_apply(kmdp, sel)
+        operator = LinearOperator(
+            (n, n), matvec=lambda x: discount * x - g_apply(x), dtype=float
+        )
+        c = kmdp.costs[sel, state_range]
+        v = _gmres_solve(
+            operator, c, x0,
+            what="matrix-free discounted evaluation",
+            context={"discount": discount},
+        )
+        residual = c + g_apply(v) - discount * v
+        scale = (
+            (kmdp.max_exit_rate() * 2.0 + discount)
+            * float(np.max(np.abs(v), initial=0.0))
+            + float(np.max(np.abs(c), initial=0.0))
+        )
+        rel = float(np.max(np.abs(residual), initial=0.0)) / max(scale, 1e-300)
+        if rel > RESIDUAL_RTOL:
+            raise SolverError(
+                f"matrix-free discounted evaluation residual {rel:.3g} "
+                f"exceeds {RESIDUAL_RTOL:g}",
+                diagnostics={
+                    "backend": "kron", "residual": rel,
+                    "residual_rtol": RESIDUAL_RTOL, "discount": discount,
+                },
+            )
+        return v
+
+    values = evaluate(sel, None)
+    for iteration in range(1, max_iterations + 1):
+        # Raw-unit test quantities and threshold, like the dense path.
+        test = np.full((kmdp.n_actions, n), np.inf)
+        for a in range(kmdp.n_actions):
+            mask = kmdp.available[a]
+            if not mask.any():
+                continue
+            vals = kmdp.costs[a] + kmdp.generators[a].matvec(values)
+            test[a, mask] = vals[mask]
+        best_val = test[sel, state_range]
+        best = sel.copy()
+        for a in range(kmdp.n_actions):
+            column = test[a]
+            better = (column < best_val - atol) & (sel != a)
+            if np.any(better):
+                best_val = np.where(better, column, best_val)
+                best = np.where(better, a, best)
+        changed = bool(np.any(best != sel))
+        sel = best
+        if changed:
+            values = evaluate(sel, values)
+        if not changed:
+            return DiscountedResult(
+                policy=ArrayPolicy(kmdp, sel),
+                values=values,
+                discount=discount,
+                iterations=iteration,
+            )
+    raise SolverError(
+        f"discounted policy iteration did not converge in {max_iterations} "
+        "iterations"
+    )

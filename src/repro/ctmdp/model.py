@@ -102,6 +102,8 @@ class CTMDP:
         self._row_cache: "Dict[Tuple[int, Hashable], np.ndarray]" = {}
         # Dense lowering cache; see repro.ctmdp.compiled.compile_ctmdp.
         self._compiled = None
+        # CSR lowering cache; see repro.ctmdp.sparse.compile_sparse_ctmdp.
+        self._sparse_lowering = None
 
     # -- construction --------------------------------------------------------
 
@@ -155,7 +157,9 @@ class CTMDP:
             impulse_costs=imp,
             extra_costs=dict(extra_costs or {}),
         )
-        self._compiled = None  # a new pair invalidates any dense lowering
+        # A new pair invalidates any cached lowering, dense or sparse.
+        self._compiled = None
+        self._sparse_lowering = None
 
     def validate(self) -> None:
         """Check every state has at least one action."""
@@ -242,6 +246,7 @@ class CTMDP:
         state = self.__dict__.copy()
         state["_row_cache"] = {}
         state["_compiled"] = None
+        state["_sparse_lowering"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:

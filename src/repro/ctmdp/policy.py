@@ -212,6 +212,52 @@ class PolicyEvaluation:
     stationary: Optional[np.ndarray]
 
 
+def _evaluate_policy_sparse(
+    policy,
+    cost_vector: Optional[np.ndarray],
+    reference_state: int,
+    compute_stationary: bool,
+) -> PolicyEvaluation:
+    """Sparse-ladder twin of the dense evaluation assembly."""
+    import scipy.sparse as sp
+
+    from repro.ctmdp.sparse import (
+        compile_sparse_ctmdp,
+        solve_sparse_with_fallback,
+        sparse_stationary_distribution,
+    )
+
+    smdp = compile_sparse_ctmdp(policy.mdp)
+    sel = smdp.policy_rows(policy.as_dict())
+    n = smdp.n_states
+    if not 0 <= reference_state < n:
+        raise InvalidPolicyError(f"reference state {reference_state} out of range")
+    g_can, c_can, shift = smdp.canonical()
+    rows = g_can[sel]
+    if cost_vector is None:
+        c = c_can[sel]
+    else:
+        c = np.ldexp(np.asarray(cost_vector, dtype=float), -shift)
+    if c.shape != (n,):
+        raise InvalidPolicyError(f"cost vector shape {c.shape} != ({n},)")
+    gain_col = sp.csr_array(
+        (np.full(n, -1.0), (np.arange(n), np.zeros(n, int))), shape=(n, 1)
+    )
+    ref_row = sp.csr_array(([1.0], ([0], [reference_state])), shape=(1, n))
+    a = sp.block_array([[rows, gain_col], [ref_row, None]], format="csc")
+    b = np.concatenate([-c, [0.0]])
+    solution = solve_sparse_with_fallback(
+        a, b, what="policy evaluation system",
+        context={"reference_state": reference_state},
+        a_max=max(1.0, float(np.max(np.abs(rows.data), initial=0.0))),
+    )
+    gain = float(np.ldexp(solution[n], shift))
+    if not compute_stationary:
+        return PolicyEvaluation(gain=gain, bias=solution[:n], stationary=None)
+    p = sparse_stationary_distribution(smdp.generator[sel])
+    return PolicyEvaluation(gain=gain, bias=solution[:n], stationary=p)
+
+
 def evaluate_policy(
     policy,
     cost_vector: Optional[np.ndarray] = None,
@@ -244,9 +290,58 @@ def evaluate_policy(
         compiled arrays when a dense lowering is already cached on the
         model (and the policy is deterministic), falling back to the
         per-state dict loops otherwise; ``"compiled"`` forces the
-        lowering; ``"reference"`` forces the dict path. All choices
-        produce bit-identical results.
+        lowering; ``"reference"`` forces the dict path; ``"sparse"``
+        routes through the CSR lowering and the direct/Krylov solver
+        ladder of :mod:`repro.ctmdp.sparse`. Policies over
+        :class:`~repro.ctmdp.sparse.SparseCTMDP` and
+        :class:`~repro.ctmdp.kron.KroneckerCTMDP` models evaluate on
+        their native tier automatically. Dense paths are bit-identical
+        to each other; sparse/matrix-free results match within the
+        documented residual tolerance.
     """
+    from repro.ctmdp.kron import ArrayPolicy, KroneckerCTMDP, kron_evaluate
+    from repro.ctmdp.sparse import SparseCTMDP
+
+    mdp = policy.mdp
+    if isinstance(mdp, KroneckerCTMDP) or isinstance(policy, ArrayPolicy):
+        if backend not in (None, "auto", "kron"):
+            from repro.errors import SolverError
+
+            raise SolverError(
+                f"backend {backend!r} cannot evaluate a policy over a "
+                "KroneckerCTMDP; Kronecker models are matrix-free only"
+            )
+        if cost_vector is not None:
+            from repro.errors import SolverError
+
+            raise SolverError(
+                "cost_vector overrides are not supported on the "
+                "matrix-free tier"
+            )
+        return kron_evaluate(
+            mdp, policy, reference_state=reference_state,
+            compute_stationary=compute_stationary,
+        )
+    if backend == "sparse" or isinstance(mdp, SparseCTMDP):
+        if isinstance(mdp, SparseCTMDP) and backend not in (
+            None, "auto", "sparse"
+        ):
+            from repro.errors import SolverError
+
+            raise SolverError(
+                f"backend {backend!r} cannot evaluate a policy over a "
+                "SparseCTMDP; sparse-built models never had a dict/dense "
+                "form (backend='sparse' or None)"
+            )
+        if not hasattr(policy, "as_dict"):
+            from repro.errors import SolverError
+
+            raise SolverError(
+                "sparse evaluation supports deterministic policies only"
+            )
+        return _evaluate_policy_sparse(
+            policy, cost_vector, reference_state, compute_stationary
+        )
     comp = None
     if backend != "reference" and isinstance(policy, Policy):
         if backend == "compiled":

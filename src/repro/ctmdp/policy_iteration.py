@@ -27,14 +27,13 @@ from typing import Hashable, List, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.ctmdp.backends import BACKENDS, resolve_backend
 from repro.ctmdp.compiled import CompiledCTMDP, compile_ctmdp
 from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy, PolicyEvaluation, evaluate_policy
 from repro.obs.log import get_logger
 from repro.obs.runtime import active as obs_active
 from repro.robust.guardrails import solve_with_fallback
-
-BACKENDS = ("compiled", "reference")
 
 logger = get_logger(__name__)
 
@@ -378,13 +377,162 @@ def _policy_iteration_compiled(
     )
 
 
+def _policy_iteration_sparse(
+    mdp,
+    initial_policy: Optional[Policy],
+    max_iterations: int,
+    atol: float,
+    reference_state: int,
+    time_budget_s: "Optional[float]" = None,
+) -> PolicyIterationResult:
+    """Policy iteration over the CSR lowering.
+
+    Identical round structure to the compiled path -- canonical-unit
+    bordered evaluation system, incumbent-atol improvement sweeps,
+    stationary solve deferred to convergence -- but the system is
+    assembled as a sparse block matrix each round and solved through the
+    :mod:`repro.ctmdp.sparse` direct/Krylov ladder, and the sweep's test
+    quantities come from one sparse matvec.
+    """
+    import scipy.sparse as sp
+
+    from repro.errors import InvalidPolicyError
+    from repro.ctmdp.sparse import (
+        compile_sparse_ctmdp,
+        solve_sparse_with_fallback,
+        sparse_stationary_distribution,
+    )
+
+    ins = obs_active()
+    metrics = ins.metrics
+    if ins.enabled:
+        lowering_start = time.perf_counter()
+    comp = compile_sparse_ctmdp(mdp)
+    if ins.enabled:
+        lowering_s = time.perf_counter() - lowering_start
+        if metrics is not None:
+            metrics.histogram(
+                "profile.solver.lowering_s", profiling=True
+            ).observe(lowering_s)
+            metrics.counter("solver.policy_iteration.solves").inc()
+    n = comp.n_states
+    if not 0 <= reference_state < n:
+        raise InvalidPolicyError(f"reference state {reference_state} out of range")
+    if initial_policy is None:
+        sel = comp.pair_offset[:-1].copy()  # first-listed action per state
+    else:
+        sel = comp.policy_rows(initial_policy.as_dict())
+    g_can, c_can, shift = comp.canonical()
+    # Constant blocks of the bordered system: the -1 gain column and the
+    # reference row; only the selected generator rows and the -c right-
+    # hand side change between rounds.
+    gain_col = sp.csr_array((np.full(n, -1.0), (np.arange(n), np.zeros(n, int))),
+                            shape=(n, 1))
+    ref_row = sp.csr_array(([1.0], ([0], [reference_state])), shape=(1, n))
+    b = np.zeros(n + 1)
+    # Per-pair row maxima of the canonical generator, computed once from
+    # the CSR data: the guardrail acceptance scale of any round's system.
+    coo = g_can.tocoo()
+    row_inf = np.zeros(comp.n_pairs)
+    np.maximum.at(row_inf, coo.row, np.abs(coo.data))
+
+    def solve_rows(rows: np.ndarray) -> "tuple[float, np.ndarray]":
+        a = sp.block_array(
+            [[g_can[rows], gain_col], [ref_row, None]], format="csc"
+        )
+        np.negative(c_can[rows], out=b[:n])
+        solution = solve_sparse_with_fallback(
+            a, b, what="policy evaluation system",
+            context={"reference_state": reference_state},
+            a_max=max(1.0, float(np.max(row_inf[rows]))),
+        )
+        return float(np.ldexp(solution[n], shift)), solution[:n]
+
+    started = time.perf_counter()
+    cycles = _CycleDetector()
+    gain_history: List[float] = []
+    if ins.enabled:
+        sweep_start = time.perf_counter()
+    gain, bias = solve_rows(sel)
+    gain_history.append(gain)
+    series = _convergence_series(metrics) if metrics is not None else None
+    if series is not None:
+        series.append(
+            backend="sparse",
+            iteration=0,
+            gain=gain,
+            residual=None,
+            policy_changes=None,
+            sweep_s=time.perf_counter() - sweep_start,
+        )
+    cycles.check(sel.tobytes(), 0, gain_history, None)
+    atol_can = float(np.ldexp(atol * comp.rate_scale, -shift))
+    with ins.span("policy_iteration", backend="sparse", n_states=n) as span:
+        for iteration in range(1, max_iterations + 1):
+            _check_budget(started, time_budget_s, iteration, gain_history)
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+                previous_sel = sel
+                previous_gain = gain
+            test_values = g_can @ bias
+            test_values += c_can
+            sel, changed = comp.improve(test_values, sel, atol_can)
+            if changed:
+                cycles.check(
+                    sel.tobytes(), iteration, gain_history,
+                    _policy_payload(comp.assignment_from_rows(sel)),
+                )
+                gain, bias = solve_rows(sel)
+            gain_history.append(gain)
+            if series is not None:
+                series.append(
+                    backend="sparse",
+                    iteration=iteration,
+                    gain=gain,
+                    residual=abs(gain - previous_gain),
+                    policy_changes=int(np.count_nonzero(sel != previous_sel)),
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            if not changed:
+                if ins.enabled:
+                    span.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.policy_iteration.iterations"
+                        ).observe(iteration)
+                    logger.debug(
+                        "policy iteration converged: %d states, %d rounds, "
+                        "gain %.6g",
+                        n, iteration, gain,
+                    )
+                return PolicyIterationResult(
+                    policy=Policy._trusted(mdp, comp.assignment_from_rows(sel)),
+                    gain=gain,
+                    bias=bias,
+                    stationary=sparse_stationary_distribution(
+                        comp.generator[sel]
+                    ),
+                    iterations=iteration,
+                    gain_history=gain_history,
+                )
+    raise SolverError(
+        f"policy iteration did not converge in {max_iterations} iterations",
+        diagnostics={
+            "reason": "max_iterations_exhausted",
+            "iteration": max_iterations,
+            "gain_history": gain_history[-10:],
+            "policy": _policy_payload(comp.assignment_from_rows(sel)),
+        },
+    )
+
+
 def policy_iteration(
     mdp: CTMDP,
     initial_policy: Optional[Policy] = None,
     max_iterations: int = 1000,
     atol: float = 1e-9,
     reference_state: int = 0,
-    backend: str = "compiled",
+    backend: str = "auto",
     time_budget_s: Optional[float] = None,
 ) -> PolicyIterationResult:
     """Solve a unichain average-cost CTMDP by policy iteration.
@@ -405,10 +553,17 @@ def policy_iteration(
     reference_state:
         State whose bias is pinned to zero during evaluation.
     backend:
-        ``"compiled"`` (default) runs the vectorized sweeps over the
-        dense lowering of :mod:`repro.ctmdp.compiled`; ``"reference"``
-        runs the original per-state dict loops. Both produce the same
-        policies, gains and biases (the equivalence suite asserts it).
+        ``"auto"`` (default) resolves by model type and size (see
+        :mod:`repro.ctmdp.backends`): Kronecker models run matrix-free,
+        sparse models run sparse, and plain CTMDPs run the dense
+        compiled tier up to 2000 states, CSR beyond. ``"dense"`` /
+        ``"compiled"`` force the dense lowering, ``"sparse"`` the CSR
+        lowering with the direct/Krylov evaluation ladder, ``"kron"``
+        the matrix-free Kronecker solvers, and ``"reference"`` the
+        original per-state dict loops. All tiers produce the same
+        policies and matching gains (the equivalence suite asserts it;
+        dense vs. compiled is bit-exact, Krylov rungs are held to the
+        documented residual tolerance).
     time_budget_s:
         Optional wall-clock budget; exceeding it raises a structured
         :class:`SolverError` (``reason: time_budget_exceeded``) instead
@@ -425,9 +580,20 @@ def policy_iteration(
         mapping carries the iteration count, recent gain history, and
         the offending policy.
     """
-    if backend not in BACKENDS:
-        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    backend = resolve_backend(mdp, backend)
     mdp.validate()
+    if backend == "kron":
+        from repro.ctmdp.kron import policy_iteration_kron
+
+        return policy_iteration_kron(
+            mdp, initial_policy, max_iterations, atol, reference_state,
+            time_budget_s,
+        )
+    if backend == "sparse":
+        return _policy_iteration_sparse(
+            mdp, initial_policy, max_iterations, atol, reference_state,
+            time_budget_s,
+        )
     if backend == "compiled":
         return _policy_iteration_compiled(
             mdp, initial_policy, max_iterations, atol, reference_state,

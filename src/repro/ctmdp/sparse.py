@@ -1,0 +1,502 @@
+"""CSR sparse lowering of a CTMDP and its Krylov solver ladder.
+
+The dense compiled core (:mod:`repro.ctmdp.compiled`) stores one full
+length-``n`` generator row per ``(state, action)`` pair -- ``O(pairs x
+states)`` memory -- and evaluates policies with an ``O(n^3)`` dense LU.
+Both walls fall around a few thousand states. This module is the middle
+tier of the solver backend ladder: the same pair-indexed layout and
+sweep semantics (shared via :class:`PairIndexedCTMDP`), but the
+generator held as one ``(pairs, states)`` CSR matrix, improvement
+sweeps as a single sparse matvec, and policy evaluation through a
+direct-then-iterative sparse ladder:
+
+1. sparse LU (SuperLU ``splu``) on the bordered canonical system,
+   accepted under the same relative-residual test the dense guardrails
+   use (``RESIDUAL_RTOL``);
+2. GMRES with an ILU preconditioner (Jacobi when the ILU factorization
+   itself fails), targeting :data:`KRYLOV_RTOL`;
+3. a typed :class:`~repro.errors.SolverError` carrying residual
+   diagnostics -- never a silent NaN.
+
+Tolerance contract: direct sparse solves agree with the dense core to
+solver roundoff (policies exactly, in practice); any solution accepted
+off the Krylov rung satisfies a relative residual of at most
+``RESIDUAL_RTOL``, and on admitted (well-conditioned) models GMRES is
+run to -- and the equivalence suite asserts -- :data:`KRYLOV_RTOL`
+(1e-10).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import LinearOperator, gmres, spilu, splu
+
+from repro.ctmdp.compiled import PairIndexedCTMDP
+from repro.ctmdp.model import CTMDP
+from repro.errors import InvalidModelError, NotIrreducibleError, SolverError
+from repro.markov.generator import DEFAULT_ATOL, canonical_shift
+from repro.obs.runtime import active as obs_active
+from repro.robust.guardrails import RESIDUAL_RTOL, _relative_residual
+
+#: Relative-residual target for Krylov (GMRES) policy-evaluation solves.
+#: This is the documented accuracy contract of the iterative rungs: on
+#: admitted models the returned solution's relative residual is at most
+#: this value, making sparse/kron results interchangeable with the dense
+#: core far below model-level tolerances.
+KRYLOV_RTOL = 1e-10
+
+#: GMRES restart length / outer-iteration cap for the fallback rung.
+GMRES_RESTART = 100
+GMRES_MAXITER = 200
+
+
+def _direct_solve(a_csc, b: np.ndarray) -> np.ndarray:
+    """Direct sparse LU solve (module-level so tests can force the
+    Krylov rung by monkeypatching, mirroring ``guardrails._dense_solve``)."""
+    return splu(a_csc).solve(b)
+
+
+def _ilu_preconditioner(a_csc) -> "Optional[LinearOperator]":
+    """ILU preconditioner for GMRES; Jacobi when ILU breaks down."""
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ilu = spilu(a_csc, drop_tol=1e-6, fill_factor=10.0)
+        return LinearOperator(a_csc.shape, matvec=ilu.solve, dtype=float)
+    except Exception:
+        diag = a_csc.diagonal()
+        scale = np.where(np.abs(diag) > 0.0, diag, 1.0)
+        return LinearOperator(
+            a_csc.shape, matvec=lambda x: x / scale, dtype=float
+        )
+
+
+def solve_sparse_with_fallback(
+    a,
+    b: np.ndarray,
+    what: str = "sparse linear system",
+    residual_rtol: float = RESIDUAL_RTOL,
+    context: "Optional[Dict]" = None,
+    a_max: "Optional[float]" = None,
+) -> np.ndarray:
+    """Solve ``a @ x = b`` through the sparse ladder (see module doc).
+
+    ``a_max`` is the caller-supplied magnitude scale of ``a`` used by
+    the relative-residual test (computing it from a sparse matrix is the
+    caller's O(nnz) job, done once per policy-iteration run).
+    """
+    a_csc = sp.csc_array(a)
+    if a_max is None:
+        a_max = float(np.max(np.abs(a_csc.data), initial=1.0))
+    direct_error: "Optional[str]" = None
+    direct_residual: "Optional[float]" = None
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            x = _direct_solve(a_csc, b)
+    except (RuntimeError, ValueError) as exc:
+        direct_error = str(exc)
+    else:
+        if np.all(np.isfinite(x)):
+            ok, direct_residual = True, _relative_residual(
+                a_csc, x, b, a_max=a_max
+            )
+            if direct_residual <= residual_rtol:
+                return x
+        else:
+            direct_error = "direct sparse solve produced non-finite entries"
+
+    # Krylov rung: ILU-preconditioned GMRES run to the documented
+    # KRYLOV_RTOL target, accepted under the ladder's residual_rtol.
+    precond = _ilu_preconditioner(a_csc)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        x, info = gmres(
+            a_csc,
+            b,
+            M=precond,
+            rtol=KRYLOV_RTOL,
+            atol=0.0,
+            restart=GMRES_RESTART,
+            maxiter=GMRES_MAXITER,
+        )
+    gmres_residual = (
+        _relative_residual(a_csc, x, b, a_max=a_max)
+        if np.all(np.isfinite(x))
+        else float("inf")
+    )
+    if gmres_residual <= residual_rtol:
+        ins = obs_active()
+        if ins.metrics is not None:
+            ins.metrics.counter("solver.sparse.gmres_fallbacks").inc()
+        return x
+
+    diagnostics: "Dict[str, object]" = {
+        "what": what,
+        "backend": "sparse",
+        "shape": tuple(int(s) for s in a_csc.shape),
+        "nnz": int(a_csc.nnz),
+        "direct_error": direct_error,
+        "direct_residual": direct_residual,
+        "gmres_info": int(info),
+        "gmres_residual": gmres_residual,
+        "residual_rtol": residual_rtol,
+    }
+    if context:
+        diagnostics.update(context)
+    raise SolverError(
+        f"{what} defeated both the direct sparse solve and "
+        f"ILU-preconditioned GMRES (residual {gmres_residual:.3g} > "
+        f"{residual_rtol:g}); the induced chain is likely multichain or "
+        "the system is numerically singular -- check the model's action "
+        "constraints",
+        diagnostics=diagnostics,
+    )
+
+
+def sparse_stationary_distribution(
+    generator, atol: float = DEFAULT_ATOL
+) -> np.ndarray:
+    """Stationary distribution of a CSR generator, sparse direct solve.
+
+    Same linear system as the dense
+    :func:`repro.markov.generator.stationary_distribution` -- transpose
+    the canonically rescaled generator, replace the last balance
+    equation with the normalization row -- but factorized through its
+    TRANSPOSE. The normalization row is dense, and a dense row sends
+    column-ordered sparse LU into catastrophic fill (150 s vs 0.3 s at
+    2e4 states on the SYS family); in the transpose it becomes a single
+    dense column, which COLAMD simply orders last. SuperLU then solves
+    the original system via ``trans="T"``.
+
+    The solve is direct-only, no Krylov rung: the system is nonsingular
+    exactly when the chain is unichain, and GMRES cannot tell a unique
+    solution from one member of a singular-but-consistent family (it
+    would silently return an arbitrary mixture of recurrent classes).
+    Singularity, non-finite solutions, and residual failures all raise
+    :class:`NotIrreducibleError`.
+    """
+    gen = sp.csr_array(generator, dtype=float)
+    n = gen.shape[0]
+    if gen.shape != (n, n):
+        raise InvalidModelError(
+            f"stationary distribution needs a square generator, got {gen.shape}"
+        )
+    exit_rates = -gen.diagonal()
+    shift = canonical_shift(float(np.max(exit_rates, initial=0.0)))
+    # m = A^T where A = G_can^T with row n-1 := ones; so m is G_can with
+    # column n-1 := ones.
+    coo = gen.tocoo()
+    keep = coo.col != n - 1
+    rows = np.concatenate([coo.row[keep], np.arange(n)])
+    cols = np.concatenate([coo.col[keep], np.full(n, n - 1)])
+    vals = np.concatenate([np.ldexp(coo.data[keep], -shift), np.ones(n)])
+    m = sp.csc_array((vals, (rows, cols)), shape=(n, n))
+    b = np.zeros(n)
+    b[-1] = 1.0
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            p = splu(m).solve(b, trans="T")
+    except (RuntimeError, ValueError) as exc:
+        raise NotIrreducibleError(
+            "stationary distribution is not unique or does not exist: "
+            f"sparse LU of the balance system failed ({exc})"
+        ) from exc
+    a_max = float(np.max(np.abs(m.data), initial=1.0))
+    residual = (
+        _relative_residual(m.T, p, b, a_max=a_max)
+        if np.all(np.isfinite(p))
+        else float("inf")
+    )
+    if residual > RESIDUAL_RTOL:
+        raise NotIrreducibleError(
+            "stationary distribution is not unique or does not exist: "
+            f"balance-system residual {residual:.3g} exceeds "
+            f"{RESIDUAL_RTOL:g}; the chain is likely not unichain"
+        )
+    if np.min(p) < -1e-7:
+        raise NotIrreducibleError(
+            "stationary solve produced significantly negative "
+            f"probabilities (min {np.min(p):.3g}); the chain is not "
+            "irreducible"
+        )
+    p = np.clip(p, 0.0, None)
+    total = p.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise NotIrreducibleError(
+            "stationary solve produced a non-normalizable vector"
+        )
+    return p / total
+
+
+class SparseCTMDP(PairIndexedCTMDP):
+    """CSR lowering of a CTMDP: the sparse solver backend's model form.
+
+    Mirrors :class:`CompiledCTMDP`'s pair-indexed layout -- ``states``,
+    per-state ``actions`` tuples, ``pair_state``/``pair_col``/
+    ``pair_offset``, stacked ``cost`` and ``extra`` channels -- but the
+    generator is a single ``(n_pairs, n_states)`` CSR matrix with
+    Eqn.-2.4 diagonals included, so memory is O(nnz) and improvement
+    sweeps are one sparse matvec.
+
+    Built either by :func:`compile_sparse_ctmdp` (lossless re-lowering
+    of a dict-based :class:`CTMDP`, cached on the model) or directly
+    from COO triples via :meth:`from_coo` for models too large to ever
+    exist in dict form (the :meth:`PowerManagedSystemModel.build_ctmdp`
+    sparse path).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[Hashable],
+        actions: Sequence[Sequence[Hashable]],
+        generator,
+        cost: np.ndarray,
+        rate_scale: float = 1.0,
+        extra: "Optional[Dict[str, np.ndarray]]" = None,
+    ) -> None:
+        self.states = tuple(states)
+        self.n_states = len(self.states)
+        self.actions = tuple(tuple(a) for a in actions)
+        if len(self.actions) != self.n_states:
+            raise InvalidModelError(
+                f"{len(self.actions)} action tuples for {self.n_states} states"
+            )
+        counts = np.array([len(a) for a in self.actions], dtype=np.intp)
+        self.n_pairs = int(counts.sum())
+        self.pair_state = np.repeat(
+            np.arange(self.n_states, dtype=np.intp), counts
+        )
+        self.pair_col = np.concatenate(
+            [np.arange(c, dtype=np.intp) for c in counts]
+        ) if self.n_pairs else np.zeros(0, dtype=np.intp)
+        self.pair_offset = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.intp)
+        self._pair_index = {
+            (int(i), action): int(self.pair_offset[i] + col)
+            for i in range(self.n_states)
+            for col, action in enumerate(self.actions[i])
+        }
+        self.generator = sp.csr_array(generator, dtype=float)
+        if self.generator.shape != (self.n_pairs, self.n_states):
+            raise InvalidModelError(
+                f"generator shape {self.generator.shape} does not match "
+                f"({self.n_pairs}, {self.n_states})"
+            )
+        self.cost = np.asarray(cost, dtype=float)
+        if self.cost.shape != (self.n_pairs,):
+            raise InvalidModelError(
+                f"cost shape {self.cost.shape} does not match ({self.n_pairs},)"
+            )
+        self.extra: Dict[str, np.ndarray] = {}
+        for name, channel in (extra or {}).items():
+            channel = np.asarray(channel, dtype=float)
+            if channel.shape != (self.n_pairs,):
+                raise InvalidModelError(
+                    f"extra channel {name!r} shape {channel.shape} does not "
+                    f"match ({self.n_pairs},)"
+                )
+            channel.setflags(write=False)
+            self.extra[name] = channel
+        self.rate_scale = float(rate_scale)
+        # Exit rate per pair from the stored diagonal entries: O(nnz).
+        coo = self.generator.tocoo()
+        diag = np.zeros(self.n_pairs)
+        on_diag = coo.col == self.pair_state[coo.row]
+        np.add.at(diag, coo.row[on_diag], coo.data[on_diag])
+        self._exit_rates = np.maximum(-diag, 0.0)
+        self._exit_rates.setflags(write=False)
+        self._canonical = None
+        self._entries = None
+        for array in (self.cost, self.pair_state, self.pair_col,
+                      self.pair_offset):
+            array.setflags(write=False)
+        self._init_pair_grid()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_ctmdp(cls, mdp: CTMDP) -> "SparseCTMDP":
+        """Lossless CSR re-lowering of a dict-based model.
+
+        Row values come from the same cached ``generator_row`` arrays
+        the dense compiled form stacks, so both lowerings hold
+        bit-identical numbers.
+        """
+        indptr = [0]
+        indices: List[np.ndarray] = []
+        data: List[np.ndarray] = []
+        actions: List[Tuple[Hashable, ...]] = []
+        costs: List[float] = []
+        extra_names: set = set()
+        for state in mdp.states:
+            state_actions = tuple(mdp.actions(state))
+            actions.append(state_actions)
+            for action in state_actions:
+                row = mdp.generator_row(state, action)
+                nz = np.flatnonzero(row)
+                indices.append(nz)
+                data.append(row[nz])
+                indptr.append(indptr[-1] + len(nz))
+                costs.append(mdp.data(state, action).effective_cost_rate())
+                extra_names.update(mdp.data(state, action).extra_costs)
+        n = mdp.n_states
+        generator = sp.csr_array(
+            (
+                np.concatenate(data) if data else np.zeros(0),
+                np.concatenate(indices) if indices else np.zeros(0, int),
+                np.asarray(indptr, dtype=np.intp),
+            ),
+            shape=(len(costs), n),
+        )
+        extra: Dict[str, np.ndarray] = {}
+        for name in sorted(extra_names, key=repr):
+            extra[name] = np.asarray(
+                [
+                    mdp.data(state, action).extra_costs.get(name, 0.0)
+                    for state, action in mdp.state_action_pairs()
+                ]
+            )
+        return cls(
+            mdp.states,
+            actions,
+            generator,
+            np.asarray(costs),
+            rate_scale=float(getattr(mdp, "rate_scale", 1.0)),
+            extra=extra,
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        states: Sequence[Hashable],
+        actions: Sequence[Sequence[Hashable]],
+        pair_rows: np.ndarray,
+        cols: np.ndarray,
+        rates: np.ndarray,
+        cost: np.ndarray,
+        rate_scale: float = 1.0,
+        extra: "Optional[Dict[str, np.ndarray]]" = None,
+    ) -> "SparseCTMDP":
+        """Build from off-diagonal COO rate triples, completing the
+        Eqn.-2.4 diagonals (``-sum`` of each pair's off-diagonal rates).
+
+        This is the constructor for models assembled at scale: nothing
+        dense of size ``O(pairs x states)`` is ever created.
+        """
+        pair_rows = np.asarray(pair_rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        rates = np.asarray(rates, dtype=float)
+        counts = np.array([len(a) for a in actions], dtype=np.intp)
+        n_pairs = int(counts.sum())
+        n = len(states)
+        pair_state = np.repeat(np.arange(n, dtype=np.intp), counts)
+        if np.any(rates < 0.0):
+            raise InvalidModelError("transition rates must be non-negative")
+        if len(pair_rows) and (
+            pair_rows.min() < 0 or pair_rows.max() >= n_pairs
+            or cols.min() < 0 or cols.max() >= n
+        ):
+            raise InvalidModelError("COO indices out of range")
+        if np.any(cols == pair_state[pair_rows]):
+            raise InvalidModelError(
+                "self-transitions must be omitted; diagonals are derived"
+            )
+        diag = np.zeros(n_pairs)
+        np.add.at(diag, pair_rows, rates)
+        generator = sp.coo_array(
+            (
+                np.concatenate([rates, -diag]),
+                (
+                    np.concatenate([pair_rows, np.arange(n_pairs)]),
+                    np.concatenate([cols, pair_state]),
+                ),
+            ),
+            shape=(n_pairs, n),
+        ).tocsr()
+        return cls(states, actions, generator, cost,
+                   rate_scale=rate_scale, extra=extra)
+
+    # -- solver interface ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Cheap structural check mirroring ``CTMDP.validate``."""
+        if self.n_states == 0:
+            raise InvalidModelError("model has no states")
+        if np.any(np.diff(self.pair_offset) == 0):
+            empty = int(np.argmax(np.diff(self.pair_offset) == 0))
+            raise InvalidModelError(
+                f"state {self.states[empty]!r} has no actions"
+            )
+
+    def evaluation_rows(self, sel: np.ndarray):
+        """``(G, c)`` CSR rows and costs of the policy selecting *sel*."""
+        return self.generator[sel], self.cost[sel]
+
+    def max_exit_rate(self) -> float:
+        if self.n_pairs == 0:  # pragma: no cover - models have >= 1 pair
+            return 0.0
+        return float(np.max(self._exit_rates, initial=0.0))
+
+    def exit_rates(self) -> np.ndarray:
+        """``(P,)`` total exit rate of each pair (from the diagonal)."""
+        return self._exit_rates
+
+    def canonical(self):
+        """``(G, c, shift)`` rescaled into canonical units (cached).
+
+        Same exact power-of-two rescaling contract as the dense
+        compiled form; only the CSR data vector is touched.
+        """
+        if self._canonical is None:
+            shift = self.canonical_shift
+            g = self.generator.copy()
+            g.data = np.ldexp(g.data, -shift)
+            c = np.ldexp(self.cost, -shift)
+            c.setflags(write=False)
+            self._canonical = (g, c, shift)
+        return self._canonical
+
+    def sparse_entries(self):
+        """``(rows, cols, vals)`` of nonzero generator entries in
+        row-major order -- the admission gate's scan view, straight from
+        the CSR structure (no densification)."""
+        if self._entries is None:
+            coo = self.generator.tocoo()
+            order = np.lexsort((coo.col, coo.row))
+            rows = coo.row[order].astype(np.intp)
+            cols = coo.col[order].astype(np.intp)
+            vals = coo.data[order]
+            for array in (rows, cols, vals):
+                array.setflags(write=False)
+            self._entries = (rows, cols, vals)
+        return self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SparseCTMDP(n_states={self.n_states}, n_pairs={self.n_pairs}, "
+            f"nnz={self.generator.nnz})"
+        )
+
+
+def compile_sparse_ctmdp(mdp) -> SparseCTMDP:
+    """The sparse lowering of *mdp*, cached on the instance.
+
+    Accepts a :class:`CTMDP` (lowered via :meth:`SparseCTMDP.from_ctmdp`
+    and cached as ``mdp._sparse_lowering``) or an already-sparse model
+    (returned as-is).
+    """
+    if isinstance(mdp, SparseCTMDP):
+        return mdp
+    cached = getattr(mdp, "_sparse_lowering", None)
+    if cached is None:
+        mdp.validate()
+        cached = SparseCTMDP.from_ctmdp(mdp)
+        mdp._sparse_lowering = cached
+    return cached

@@ -25,14 +25,13 @@ from typing import Hashable, List, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.ctmdp.backends import BACKENDS, resolve_backend
 from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.model import CTMDP
 from repro.ctmdp.policy import Policy
 from repro.ctmdp.uniformization import APERIODICITY_SLACK, UniformizedMDP, uniformize_ctmdp
 from repro.obs.log import get_logger
 from repro.obs.runtime import active as obs_active
-
-BACKENDS = ("compiled", "reference")
 
 logger = get_logger(__name__)
 
@@ -215,12 +214,114 @@ def _relative_value_iteration_compiled(
     raise _nonconvergence_error(span_tolerance, max_iterations, span_history)
 
 
+def _relative_value_iteration_sparse(
+    mdp,
+    span_tolerance: float,
+    max_iterations: int,
+    uniformization_rate: Optional[float],
+    time_budget_s: "Optional[float]" = None,
+) -> ValueIterationResult:
+    """Relative value iteration over the CSR lowering.
+
+    Same uniformization and sweep semantics as the compiled path -- the
+    uniformized transition matrix ``P = I + G/Lambda`` is built once as
+    a ``(pairs, states)`` CSR matrix (one O(nnz) pass) and each Bellman
+    backup is a single sparse matvec plus the shared first-wins greedy
+    reduction.
+    """
+    import scipy.sparse as sp
+
+    from repro.ctmdp.sparse import compile_sparse_ctmdp
+
+    ins = obs_active()
+    metrics = ins.metrics
+    if ins.enabled:
+        lowering_start = time.perf_counter()
+    comp = compile_sparse_ctmdp(mdp)
+    if ins.enabled and metrics is not None:
+        metrics.histogram("profile.solver.lowering_s", profiling=True).observe(
+            time.perf_counter() - lowering_start
+        )
+        metrics.counter("solver.value_iteration.solves").inc()
+    series = _convergence_series(metrics) if metrics is not None else None
+    max_rate = comp.max_exit_rate()
+    if uniformization_rate is None:
+        lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
+    else:
+        lam = float(uniformization_rate)
+        if lam < max_rate:
+            raise ValueError(
+                f"uniformization rate {lam:g} below maximal exit rate {max_rate:g}"
+            )
+    # P = I + G/Lambda in pair-indexed CSR form: scale the generator
+    # data and fold the +1 identity entries in through a COO round-trip
+    # (duplicate entries sum on conversion, landing on the diagonals).
+    coo = comp.generator.tocoo()
+    transition = sp.coo_array(
+        (
+            np.concatenate([coo.data / lam, np.ones(comp.n_pairs)]),
+            (
+                np.concatenate([coo.row, np.arange(comp.n_pairs)]),
+                np.concatenate([coo.col, comp.pair_state]),
+            ),
+        ),
+        shape=comp.generator.shape,
+    ).tocsr()
+    step_cost = comp.cost / lam
+    n = comp.n_states
+    w = np.zeros(n)
+    started = time.perf_counter()
+    span_history: List[float] = []
+    with ins.span("value_iteration", backend="sparse", n_states=n) as tspan:
+        for iteration in range(1, max_iterations + 1):
+            _budget_error(started, time_budget_s, iteration, span_history)
+            if ins.enabled:
+                sweep_start = time.perf_counter()
+            values = step_cost + transition @ w
+            new_w, greedy_cols = comp.greedy(values)
+            diff = new_w - w
+            span = float(diff.max() - diff.min())
+            span_history.append(span)
+            if series is not None:
+                series.append(
+                    backend="sparse",
+                    iteration=iteration,
+                    span=span,
+                    sweep_s=time.perf_counter() - sweep_start,
+                )
+            # Renormalize to keep the values bounded (relative VI).
+            w = new_w - new_w[0]
+            if span < span_tolerance:
+                gain = float(lam * 0.5 * (diff.max() + diff.min()))
+                policy = Policy._trusted(
+                    mdp,
+                    {
+                        state: comp.actions[i][greedy_cols[i]]
+                        for i, state in enumerate(comp.states)
+                    },
+                )
+                if ins.enabled:
+                    tspan.attrs.update(iterations=iteration, gain=gain)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "solver.value_iteration.iterations"
+                        ).observe(iteration)
+                return ValueIterationResult(
+                    policy=policy,
+                    gain=gain,
+                    values=w.copy(),
+                    iterations=iteration,
+                    span_history=span_history,
+                )
+    raise _nonconvergence_error(span_tolerance, max_iterations, span_history)
+
+
 def relative_value_iteration(
     mdp: CTMDP,
     span_tolerance: float = 1e-10,
     max_iterations: int = 1_000_000,
     uniformization_rate: Optional[float] = None,
-    backend: str = "compiled",
+    backend: str = "auto",
     time_budget_s: Optional[float] = None,
 ) -> ValueIterationResult:
     """Solve a unichain average-cost CTMDP by relative value iteration.
@@ -238,10 +339,14 @@ def relative_value_iteration(
     uniformization_rate:
         Optional explicit ``Lambda``; must exceed the maximal exit rate.
     backend:
-        ``"compiled"`` (default) sweeps the dense lowering with one
-        matrix-vector product per Bellman backup; ``"reference"`` keeps
-        the original per-state dict loops. Policies agree exactly and
-        gains to floating-point roundoff.
+        ``"auto"`` (default) resolves by model type and size (see
+        :mod:`repro.ctmdp.backends`). ``"dense"``/``"compiled"`` sweep
+        the dense lowering with one matrix-vector product per Bellman
+        backup; ``"sparse"`` sweeps the CSR lowering (one sparse matvec
+        per backup); ``"kron"`` runs matrix-free uniformized backups on
+        a Kronecker model (one structured matvec per action per sweep);
+        ``"reference"`` keeps the original per-state dict loops.
+        Policies agree exactly and gains to floating-point roundoff.
     time_budget_s:
         Optional wall-clock budget; exceeding it raises a structured
         :class:`SolverError` (``reason: time_budget_exceeded``).
@@ -253,8 +358,20 @@ def relative_value_iteration(
         wall-clock budget runs out; ``diagnostics`` carries the sweep
         count and recent span history.
     """
-    if backend not in BACKENDS:
-        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    backend = resolve_backend(mdp, backend)
+    if backend == "kron":
+        from repro.ctmdp.kron import relative_value_iteration_kron
+
+        return relative_value_iteration_kron(
+            mdp, span_tolerance, max_iterations, uniformization_rate,
+            time_budget_s,
+        )
+    if backend == "sparse":
+        mdp.validate()
+        return _relative_value_iteration_sparse(
+            mdp, span_tolerance, max_iterations, uniformization_rate,
+            time_budget_s,
+        )
     if backend == "compiled":
         mdp.validate()
         return _relative_value_iteration_compiled(

@@ -60,15 +60,27 @@ def evaluate_dpm_policy(
 
     The policy must have been built on a CTMDP produced by
     ``model.build_ctmdp`` (any weight -- the extra-cost channels carry
-    the weight-independent power and delay rates).
+    the weight-independent power and delay rates). Policies over the
+    sparse SYS build (``build_ctmdp(..., backend="sparse")``) evaluate
+    through the CSR stationary solver without densifying anything.
     """
-    chain_generator = policy.generator_matrix()
-    from repro.markov.generator import stationary_distribution
+    from repro.ctmdp.sparse import SparseCTMDP, sparse_stationary_distribution
 
-    p = stationary_distribution(chain_generator)
-    power = float(p @ policy.extra_cost_vector(cost_channels.POWER))
-    queue_length = float(p @ policy.extra_cost_vector(cost_channels.QUEUE_LENGTH))
-    loss = float(p @ policy.extra_cost_vector(cost_channels.LOSS))
+    if isinstance(policy.mdp, SparseCTMDP):
+        smdp = policy.mdp
+        sel = smdp.policy_rows(policy.as_dict())
+        p = sparse_stationary_distribution(smdp.generator[sel])
+        power = float(p @ smdp.extra[cost_channels.POWER][sel])
+        queue_length = float(p @ smdp.extra[cost_channels.QUEUE_LENGTH][sel])
+        loss = float(p @ smdp.extra[cost_channels.LOSS][sel])
+    else:
+        chain_generator = policy.generator_matrix()
+        from repro.markov.generator import stationary_distribution
+
+        p = stationary_distribution(chain_generator)
+        power = float(p @ policy.extra_cost_vector(cost_channels.POWER))
+        queue_length = float(p @ policy.extra_cost_vector(cost_channels.QUEUE_LENGTH))
+        loss = float(p @ policy.extra_cost_vector(cost_channels.LOSS))
     lam = model.requestor.rate
     accepted = max(lam - loss, 0.0)
     waiting = queue_length / accepted if accepted > 0 else np.inf

@@ -59,10 +59,20 @@ class OptimizationResult:
     weight: "float | None"
 
 
+def _build_backend(backend: str) -> str:
+    """Map a solver-backend request to the model-build representation."""
+    if backend in ("dense", "compiled", "reference"):
+        return "dense"
+    # "auto" and "sparse" build what they name; "kron" propagates so
+    # build_ctmdp raises its typed SYS-has-no-tensor-structure error.
+    return backend
+
+
 def optimize_weighted(
     model: PowerManagedSystemModel,
     weight: float,
     solver: str = "policy_iteration",
+    backend: str = "auto",
 ) -> OptimizationResult:
     """Minimize the average rate of ``C_pow + weight * C_sq``.
 
@@ -77,20 +87,41 @@ def optimize_weighted(
         ``"value_iteration"``, or ``"linear_program"``. All three agree
         on the optimal gain; they exist separately for the solver
         ablation bench.
+    backend:
+        Solver backend (see :mod:`repro.ctmdp.backends`); also selects
+        the model representation ``build_ctmdp`` constructs, so
+        ``backend="sparse"`` runs the whole workflow -- build, solve,
+        metric evaluation -- without any dense O(pairs x states)
+        allocation. The LP solver is dense-only and rejects sparse/kron
+        with a typed error.
     """
     ins = obs_active()
     if ins.metrics is not None:
         ins.metrics.counter("optimizer.weighted_solves").inc()
     with ins.span("optimize_weighted", weight=float(weight), solver=solver) as span:
-        mdp = model.build_ctmdp(weight)
-        if solver == "policy_iteration":
-            policy: Union[Policy, RandomizedPolicy] = policy_iteration(mdp).policy
-        elif solver == "value_iteration":
-            policy = relative_value_iteration(mdp, span_tolerance=1e-9).policy
-        elif solver == "linear_program":
-            policy = solve_average_cost_lp(mdp).deterministic_policy
+        if solver == "linear_program" and backend not in (
+            "auto", "dense", "compiled"
+        ):
+            raise SolverError(
+                "the occupation-measure LP is dense-only; backend "
+                f"{backend!r} is not supported (use policy_iteration or "
+                "value_iteration for sparse models)"
+            )
+        if solver == "linear_program":
+            mdp = model.build_ctmdp(weight)
+            policy: Union[Policy, RandomizedPolicy] = solve_average_cost_lp(
+                mdp
+            ).deterministic_policy
         else:
-            raise SolverError(f"unknown solver {solver!r}; choose from {SOLVERS}")
+            mdp = model.build_ctmdp(weight, backend=_build_backend(backend))
+            if solver == "policy_iteration":
+                policy = policy_iteration(mdp, backend=backend).policy
+            elif solver == "value_iteration":
+                policy = relative_value_iteration(
+                    mdp, span_tolerance=1e-9, backend=backend
+                ).policy
+            else:
+                raise SolverError(f"unknown solver {solver!r}; choose from {SOLVERS}")
         metrics = evaluate_dpm_policy(model, policy)
         if ins.enabled:
             span.attrs.update(
@@ -153,6 +184,7 @@ def sweep_weights(
     solver: str = "policy_iteration",
     n_jobs: Optional[int] = None,
     checkpoint=None,
+    backend: str = "auto",
 ) -> "List[OptimizationResult]":
     """Solve for every weight in *weights* (the Figure-4 tradeoff curve).
 
@@ -169,15 +201,21 @@ def sweep_weights(
     from repro.sim.parallel import parallel_map
 
     weights = list(weights)
+    if checkpoint is not None and backend not in ("auto", "dense", "compiled"):
+        raise SolverError(
+            "checkpointed sweeps rebuild policies on the dense model "
+            f"representation; backend {backend!r} cannot be combined with "
+            "a checkpoint"
+        )
     if checkpoint is None:
         return parallel_map(
-            lambda w: optimize_weighted(model, w, solver=solver),
+            lambda w: optimize_weighted(model, w, solver=solver, backend=backend),
             weights,
             n_jobs=n_jobs,
         )
     missing = [w for w in weights if repr(float(w)) not in checkpoint]
     solved = parallel_map(
-        lambda w: optimize_weighted(model, w, solver=solver),
+        lambda w: optimize_weighted(model, w, solver=solver, backend=backend),
         missing,
         n_jobs=n_jobs,
     )
@@ -228,6 +266,7 @@ def find_weight_for_constraint(
     tolerance: float = 1e-3,
     max_bisections: int = 60,
     solver: str = "policy_iteration",
+    backend: str = "auto",
 ) -> OptimizationResult:
     """The paper's Figure-3 loop: tune ``w`` until the constraint holds.
 
@@ -263,13 +302,13 @@ def find_weight_for_constraint(
         solver=solver,
     ) as span:
         low = 0.0
-        low_result = optimize_weighted(model, low, solver=solver)
+        low_result = optimize_weighted(model, low, solver=solver, backend=backend)
         if low_result.metrics.average_queue_length <= max_queue_length:
             if ins.enabled:
                 span.attrs.update(weight=low, bisections=0)
             return low_result
         high = weight_upper_bound
-        high_result = optimize_weighted(model, high, solver=solver)
+        high_result = optimize_weighted(model, high, solver=solver, backend=backend)
         if high_result.metrics.average_queue_length > max_queue_length:
             raise InfeasibleConstraintError(
                 f"queue-length bound {max_queue_length:g} unreachable even at "
@@ -282,7 +321,7 @@ def find_weight_for_constraint(
             if high - low <= tolerance:
                 break
             mid = 0.5 * (low + high)
-            mid_result = optimize_weighted(model, mid, solver=solver)
+            mid_result = optimize_weighted(model, mid, solver=solver, backend=backend)
             bisections += 1
             if mid_result.metrics.average_queue_length <= max_queue_length:
                 high = mid

@@ -72,6 +72,7 @@ def deterministic_frontier(
     solver: str = "policy_iteration",
     max_points: int = 200,
     checkpoint=None,
+    backend: str = "auto",
 ) -> "List[FrontierPoint]":
     """All deterministic Pareto points reachable by weighted optimization.
 
@@ -93,6 +94,11 @@ def deterministic_frontier(
         Bisection resolution on the weight axis.
     solver:
         Passed to :func:`repro.dpm.optimizer.optimize_weighted`.
+    backend:
+        Solver/model backend, passed to
+        :func:`repro.dpm.optimizer.optimize_weighted`; non-dense
+        backends cannot be combined with a checkpoint (checkpoint
+        replay rebuilds policies on the dense representation).
     max_points:
         Safety bound on the number of distinct points collected.
     checkpoint:
@@ -108,6 +114,12 @@ def deterministic_frontier(
     """
     if max_weight <= 0:
         raise SolverError(f"max_weight must be positive, got {max_weight}")
+    if checkpoint is not None and backend not in ("auto", "dense", "compiled"):
+        raise SolverError(
+            "checkpointed frontiers rebuild policies on the dense model "
+            f"representation; backend {backend!r} cannot be combined with "
+            "a checkpoint"
+        )
     ins = obs_active()
     points: "dict[tuple, FrontierPoint]" = {}
     solves = 0
@@ -118,7 +130,7 @@ def deterministic_frontier(
         if checkpoint is not None and ckpt_key in checkpoint:
             result = deserialize_result(model, checkpoint.get(ckpt_key))
         else:
-            result = optimize_weighted(model, weight, solver=solver)
+            result = optimize_weighted(model, weight, solver=solver, backend=backend)
             solves += 1
             if checkpoint is not None:
                 checkpoint.put(ckpt_key, serialize_result(result))

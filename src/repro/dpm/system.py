@@ -319,29 +319,126 @@ class PowerManagedSystemModel:
                 structure.append((state, action, rates, impulses, costs))
         return structure
 
-    def build_ctmdp(self, weight: float = 0.0) -> CTMDP:
+    def _build_sparse_ctmdp(self, weight: float):
+        """COO-direct sparse construction -- nothing of size
+        ``O(pairs x states)`` is ever allocated, so SYS models with
+        10^5+ states (large queue capacities) stay buildable.
+
+        Numerically this mirrors :meth:`build_ctmdp`'s dense path entry
+        for entry: the same scaled rates, and effective cost rates that
+        fold the switching-energy impulses through the identical
+        ``scale * power + (scale * weight) * queue + sum(rate * energy)``
+        expression (summed in destination-index order, matching the
+        dense dot product over the few nonzero impulse entries).
+        """
+        from repro.ctmdp.sparse import SparseCTMDP
+
+        scale = self.rate_scale
+        states = self._states
+        actions: "List[tuple]" = []
+        pair_rows: "List[int]" = []
+        cols: "List[int]" = []
+        vals: "List[float]" = []
+        cost: "List[float]" = []
+        extra: "Dict[str, List[float]]" = {
+            "power": [], "queue_length": [], "loss": [],
+        }
+        pair = 0
+        for state in states:
+            acts = tuple(self.valid_actions(state))
+            actions.append(acts)
+            for action in acts:
+                eff = (
+                    scale * self.provider.power_rate(state.mode)
+                    + (scale * weight) * self.delay_cost(state)
+                )
+                entries = sorted(
+                    (self._index[dest], dest, rate)
+                    for dest, rate in self.transition_rates(state, action).items()
+                )
+                for j, dest, rate in entries:
+                    scaled = rate * scale if scale != 1.0 else rate
+                    pair_rows.append(pair)
+                    cols.append(j)
+                    vals.append(scaled)
+                    if dest.mode != state.mode:
+                        eff += scaled * self.provider.switching_energy(
+                            state.mode, dest.mode
+                        )
+                cost.append(eff)
+                extra["power"].append(self.effective_power_rate(state, action))
+                extra["queue_length"].append(self.delay_cost(state))
+                extra["loss"].append(self.loss_rate(state))
+                pair += 1
+        return SparseCTMDP.from_coo(
+            states,
+            actions,
+            np.asarray(pair_rows, dtype=np.intp),
+            np.asarray(cols, dtype=np.intp),
+            np.asarray(vals, dtype=float),
+            np.asarray(cost, dtype=float),
+            rate_scale=scale,
+            extra={name: np.asarray(ch) for name, ch in extra.items()},
+        )
+
+    def build_ctmdp(self, weight: float = 0.0, backend: str = "dense") -> CTMDP:
         """Build the SYS CTMDP with cost ``C_pow + weight * C_sq``.
 
         The returned model also carries extra-cost channels ``"power"``,
         ``"queue_length"`` and ``"loss"`` for constrained optimization
         and post-hoc metric evaluation.
 
-        Built models are cached per weight (a small LRU), so repeated
-        calls with the same weight return the *same* CTMDP instance --
-        treat it as immutable, which :meth:`CTMDP.add_action` enforces
-        for existing pairs anyway. The weight-independent transition
-        structure is additionally shared across weights, so a frontier
-        sweep pays the Python construction loop once.
+        ``backend="dense"`` (default) builds the dict-based
+        :class:`CTMDP`; ``backend="sparse"`` builds a
+        :class:`~repro.ctmdp.sparse.SparseCTMDP` directly from COO
+        triples, never allocating per-pair dense rows -- the only way to
+        build SYS models beyond ~10^4 states. ``backend="kron"`` is
+        rejected with a typed error: the SYS transfer states (Section
+        III) couple the mode and queue axes, so the joint generator has
+        no tensor-sum structure to exploit.
+
+        Built models are cached per (weight, backend) pair (a small
+        LRU), so repeated calls with the same weight return the *same*
+        model instance -- treat it as immutable, which
+        :meth:`CTMDP.add_action` enforces for existing pairs anyway. The
+        weight-independent transition structure is additionally shared
+        across dense builds, so a frontier sweep pays the Python
+        construction loop once.
         """
         if not np.isfinite(weight):
             raise InvalidModelError(f"performance weight must be finite, got {weight}")
         if weight < 0:
             raise InvalidModelError(f"performance weight must be >= 0, got {weight}")
-        key = float(weight)
+        if backend in ("kron",):
+            from repro.errors import SolverError
+
+            raise SolverError(
+                "SYS models have no Kronecker form: transfer states couple "
+                "the service-provider and queue axes (build with "
+                "backend='sparse' for large capacities instead)"
+            )
+        if backend not in ("dense", "sparse", "auto"):
+            from repro.errors import SolverError
+
+            raise SolverError(
+                f"unknown build backend {backend!r}; choose 'dense', "
+                "'sparse' or 'auto'"
+            )
+        if backend == "auto":
+            from repro.ctmdp.backends import DENSE_STATE_LIMIT
+
+            backend = "dense" if self.n_states <= DENSE_STATE_LIMIT else "sparse"
+        key = (float(weight), backend)
         cached = self._ctmdp_cache.get(key)
         if cached is not None:
             self._ctmdp_cache.move_to_end(key)
             return cached
+        if backend == "sparse":
+            smdp = self._build_sparse_ctmdp(weight)
+            self._ctmdp_cache[key] = smdp
+            while len(self._ctmdp_cache) > self.CTMDP_CACHE_SIZE:
+                self._ctmdp_cache.popitem(last=False)
+            return smdp
         if self._structure is None:
             self._structure = self._build_structure()
         scale = self.rate_scale

@@ -14,6 +14,9 @@ Qiu & Pedram (DAC 1999):
   discounted reward.
 - :mod:`repro.markov.tensor` -- tensor (Kronecker) products and sums
   (Definition 4.4), used to compose the joint SP x SQ generator.
+- :mod:`repro.markov.kron` -- the matrix-free Kronecker generator
+  operator: tensor-sum/-product structure applied as per-axis matvecs,
+  never materializing the joint matrix.
 - :mod:`repro.markov.chain` -- a labeled CTMC convenience type.
 - :mod:`repro.markov.sampling` -- trajectory sampling.
 """
@@ -38,13 +41,15 @@ from repro.markov.passage import (
     mean_first_passage_matrix,
     mean_first_passage_times,
 )
+from repro.markov.kron import KroneckerGenerator
 from repro.markov.rewards import MarkovRewardProcess
 from repro.markov.sampling import TrajectorySampler, sample_path
-from repro.markov.tensor import tensor_product, tensor_sum
+from repro.markov.tensor import tensor_product, tensor_sum, tensor_sum_csr
 
 __all__ = [
     "ContinuousTimeMarkovChain",
     "GeneratorMatrix",
+    "KroneckerGenerator",
     "MarkovRewardProcess",
     "TrajectorySampler",
     "classify_states",
@@ -59,6 +64,7 @@ __all__ = [
     "stationary_distribution",
     "tensor_product",
     "tensor_sum",
+    "tensor_sum_csr",
     "transient_distribution",
     "uniformize",
     "validate_generator",

@@ -1,0 +1,282 @@
+"""Matrix-free Kronecker-structured generator operators.
+
+The paper composes the joint SYS generator from small per-component
+generators with tensor sums and products (Definition 4.4). Forming the
+joint matrix throws that structure away and costs O(n^2) memory -- fatal
+at the multi-server scales ROADMAP item 1 targets. This module keeps
+the factored form: a :class:`KroneckerGenerator` is a sum of Kronecker
+terms
+
+``G = sum_t  coeff_t * (A_t1 (x) A_t2 (x) ... (x) A_tK)``
+
+over a fixed axis layout ``dims = (n_1, ..., n_K)``, where each factor
+is a small dense or CSR matrix and ``None`` marks an identity factor
+(skipped entirely). Its matvec applies the factors axis by axis on the
+reshaped operand -- ``O(nnz(A_tk) * n / n_k)`` per factor instead of
+``O(n^2)`` -- so the joint generator of a 10^6-state product chain is
+applied without ever being materialized.
+
+Tensor-sum structure (``A (+) B = A (x) I + I (x) B``) is the common
+case: one single-factor term per axis, built by
+:meth:`KroneckerGenerator.tensor_sum`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import InvalidGeneratorError
+
+#: Largest joint order :meth:`KroneckerGenerator.to_dense` materializes
+#: by default; beyond it the dense array is almost certainly a bug.
+DENSE_LIMIT = 4096
+
+
+def _as_factor(factor, dim: int):
+    """Validate one per-axis factor: square of order *dim*, or ``None``."""
+    if factor is None:
+        return None
+    if sp.issparse(factor):
+        mat = sp.csr_array(factor, dtype=float)
+    else:
+        mat = np.asarray(factor, dtype=float)
+    if mat.ndim != 2 or mat.shape != (dim, dim):
+        raise InvalidGeneratorError(
+            f"Kronecker factor shape {mat.shape} does not match axis order {dim}"
+        )
+    return mat
+
+
+def _apply_axis(factor, tensor: np.ndarray, axis: int) -> np.ndarray:
+    """Contract *factor* with *tensor* along *axis* (dense or CSR factor).
+
+    Moves the axis to the front, flattens the rest, and runs one
+    ``(n_k, n_k) @ (n_k, n/n_k)`` product -- the standard reshape trick
+    that makes a Kronecker matvec a sequence of small dense/sparse
+    matmuls.
+    """
+    moved = np.moveaxis(tensor, axis, 0)
+    shape = moved.shape
+    flat = np.ascontiguousarray(moved).reshape(shape[0], -1)
+    out = factor @ flat
+    return np.moveaxis(np.asarray(out).reshape(shape), 0, axis)
+
+
+class KroneckerGenerator:
+    """A sum of Kronecker-product terms, applied matrix-free.
+
+    Parameters
+    ----------
+    dims:
+        Per-axis orders ``(n_1, ..., n_K)``; the operator acts on
+        vectors of length ``prod(dims)`` laid out with axis 0 varying
+        slowest (``np.kron`` order, matching
+        :func:`repro.markov.tensor.product_states`).
+    terms:
+        Sequence of ``(coeff, factors)`` pairs; ``factors`` has one
+        entry per axis -- a square matrix of the axis order (dense
+        ndarray or scipy sparse) or ``None`` for the identity.
+    """
+
+    def __init__(self, dims: Sequence[int], terms) -> None:
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise InvalidGeneratorError(f"invalid axis orders {self.dims!r}")
+        self.n = int(np.prod(self.dims))
+        checked: List[Tuple[float, tuple]] = []
+        for coeff, factors in terms:
+            factors = tuple(factors)
+            if len(factors) != len(self.dims):
+                raise InvalidGeneratorError(
+                    f"term has {len(factors)} factors for {len(self.dims)} axes"
+                )
+            checked.append(
+                (float(coeff),
+                 tuple(_as_factor(f, d) for f, d in zip(factors, self.dims)))
+            )
+        self._terms: Tuple[Tuple[float, tuple], ...] = tuple(checked)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def tensor_sum(cls, factors) -> "KroneckerGenerator":
+        """``A_1 (+) ... (+) A_K``: one single-factor term per axis.
+
+        The K-fold generalization of Definition 4.4's tensor sum -- the
+        generator of K chains evolving independently in parallel.
+        """
+        factors = list(factors)
+        dims = [
+            (f.shape[0] if sp.issparse(f) else np.asarray(f).shape[0])
+            for f in factors
+        ]
+        terms = []
+        for k, factor in enumerate(factors):
+            per_axis = [None] * len(factors)
+            per_axis[k] = factor
+            terms.append((1.0, per_axis))
+        return cls(dims, terms)
+
+    @classmethod
+    def tensor_product(cls, factors, coeff: float = 1.0) -> "KroneckerGenerator":
+        """A single Kronecker-product term ``coeff * A_1 (x) ... (x) A_K``."""
+        factors = list(factors)
+        dims = [
+            (f.shape[0] if sp.issparse(f) else np.asarray(f).shape[0])
+            for f in factors
+        ]
+        return cls(dims, [(coeff, factors)])
+
+    # -- operator interface --------------------------------------------------
+
+    @property
+    def shape(self) -> "Tuple[int, int]":
+        return (self.n, self.n)
+
+    @property
+    def dtype(self):
+        return np.dtype(float)
+
+    @property
+    def terms(self) -> "Tuple[Tuple[float, tuple], ...]":
+        return self._terms
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``G @ x`` without forming ``G``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise InvalidGeneratorError(
+                f"operand shape {x.shape} does not match operator order {self.n}"
+            )
+        y = np.zeros(self.n)
+        for coeff, factors in self._terms:
+            t = x.reshape(self.dims)
+            for axis, factor in enumerate(factors):
+                if factor is not None:
+                    t = _apply_axis(factor, t, axis)
+            y += coeff * t.reshape(self.n)
+        return y
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``G.T @ x`` (transposing factor by factor)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise InvalidGeneratorError(
+                f"operand shape {x.shape} does not match operator order {self.n}"
+            )
+        y = np.zeros(self.n)
+        for coeff, factors in self._terms:
+            t = x.reshape(self.dims)
+            for axis, factor in enumerate(factors):
+                if factor is not None:
+                    t = _apply_axis(factor.T, t, axis)
+            y += coeff * t.reshape(self.n)
+        return y
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """``diag(G)`` -- the Kronecker product of per-factor diagonals.
+
+        ``diag(A (x) B) = diag(A) (x) diag(B)``, so the joint diagonal
+        (exit rates, for a generator) costs O(K n) and never forms the
+        matrix.
+        """
+        out = np.zeros(self.n)
+        for coeff, factors in self._terms:
+            d = np.ones(1)
+            for dim, factor in zip(self.dims, factors):
+                if factor is None:
+                    dk = np.ones(dim)
+                elif sp.issparse(factor):
+                    dk = factor.diagonal()
+                else:
+                    dk = np.diag(factor)
+                d = np.kron(d, dk)
+            out += coeff * d
+        return out
+
+    def is_finite(self) -> bool:
+        """Whether every factor entry is finite."""
+        for _, factors in self._terms:
+            for factor in factors:
+                if factor is None:
+                    continue
+                data = factor.data if sp.issparse(factor) else factor
+                if not np.all(np.isfinite(data)):
+                    return False
+        return True
+
+    def max_abs_entry(self) -> float:
+        """An upper bound on ``max |G_ij|`` from the factored form.
+
+        Exact for tensor sums (single-factor terms); for product terms
+        it is the product of per-factor maxima, an upper bound by
+        submultiplicativity of the max over the Kronecker pattern.
+        """
+        total = 0.0
+        for coeff, factors in self._terms:
+            bound = abs(coeff)
+            for factor in factors:
+                if factor is None:
+                    continue
+                data = factor.data if sp.issparse(factor) else factor
+                bound *= float(np.max(np.abs(data), initial=0.0))
+            total += bound
+        return total
+
+    # -- materializations (small sizes / cross-checks) -----------------------
+
+    def to_dense(self, limit: int = DENSE_LIMIT) -> np.ndarray:
+        """The dense joint matrix; guarded by *limit* on the order."""
+        if self.n > limit:
+            raise InvalidGeneratorError(
+                f"refusing to densify a {self.n}-state Kronecker operator "
+                f"(limit {limit}); raise `limit` explicitly if intended"
+            )
+        out = np.zeros((self.n, self.n))
+        for coeff, factors in self._terms:
+            term = np.ones((1, 1))
+            for dim, factor in zip(self.dims, factors):
+                if factor is None:
+                    block = np.eye(dim)
+                elif sp.issparse(factor):
+                    block = factor.toarray()
+                else:
+                    block = factor
+                term = np.kron(term, block)
+            out += coeff * term
+        return out
+
+    def to_csr(self) -> "sp.csr_array":
+        """The joint matrix in CSR form (still O(nnz), not O(n^2))."""
+        out = None
+        for coeff, factors in self._terms:
+            term = sp.csr_array(np.ones((1, 1)))
+            for dim, factor in zip(self.dims, factors):
+                if factor is None:
+                    block = sp.eye_array(dim, format="csr")
+                else:
+                    block = sp.csr_array(factor)
+                term = sp.kron(term, block, format="csr")
+            out = coeff * term if out is None else out + coeff * term
+        return sp.csr_array(out)
+
+    def aslinearoperator(self):
+        """A :class:`scipy.sparse.linalg.LinearOperator` view."""
+        from scipy.sparse.linalg import LinearOperator
+
+        return LinearOperator(
+            self.shape, matvec=self.matvec, rmatvec=self.rmatvec,
+            dtype=float,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KroneckerGenerator(dims={self.dims!r}, "
+            f"n={self.n}, terms={len(self._terms)})"
+        )

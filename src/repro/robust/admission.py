@@ -87,6 +87,25 @@ CONDITION_REJECT = 1e15
 #: harmless, but usually a config mistake).
 DUPLICATE_RTOL = 1e-12
 
+#: The full-level condition estimate runs a dense SVD of the bordered
+#: evaluation system -- O(n^3); above this state count it is skipped and
+#: the skip recorded in the diagnostics.
+CONDITION_STATE_LIMIT = 2048
+
+#: The near-duplicate-action lint sorts every (state, action) pair by
+#: (state, exit rate, cost) -- the lexsort alone is half the gate's cost
+#: at 2.5e5 pairs. It is a config smell detector, not a correctness
+#: check, so above this pair count it is skipped (and the skip
+#: recorded), keeping the sparse gate's overhead within its <3% budget
+#: at 1e5 states.
+DUPLICATE_PAIR_LIMIT = 100_000
+
+#: Kronecker models at or below this state count are densified through
+#: ``to_ctmdp`` so the per-entry checks (near-zero rates, duplicate
+#: actions, precise coordinates) apply; above it the gate stays
+#: matrix-free.
+KRON_DENSIFY_LIMIT = 512
+
 LEVELS = ("entry", "standard", "full")
 
 #: Documented finding codes -> one-line fix, mirrored in the README
@@ -253,9 +272,16 @@ def admit_inputs(provider, requestor, capacity: int) -> None:
 
 # -- structural + numerical checks on a built CTMDP --------------------------
 
+def _row_diff_max(g, p_a: int, p_b: int) -> float:
+    """Max absolute elementwise difference of generator rows, dense or CSR."""
+    if isinstance(g, np.ndarray):
+        return float(np.max(np.abs(g[p_a] - g[p_b]), initial=0.0))
+    diff = g[[p_a]] - g[[p_b]]
+    return float(np.abs(diff.toarray()).max()) if diff.nnz else 0.0
+
+
 def _structural_findings(comp, entries) -> "List[Finding]":
     findings: List[Finding] = []
-    g = comp.generator
     states = comp.states
     rows, cols, vals = entries
     if np.any(np.diff(comp.pair_offset) == 0):
@@ -271,7 +297,7 @@ def _structural_findings(comp, entries) -> "List[Finding]":
             p, j = int(rows[k]), int(cols[k])
             findings.append(Finding(
                 code="nonfinite-rate", severity="error",
-                message=f"rate to column {j} is {g[p, j]!r}",
+                message=f"rate to column {j} is {float(vals[k])!r}",
                 state=repr(states[int(comp.pair_state[p])]),
                 action=repr(comp.actions[int(comp.pair_state[p])]
                             [int(comp.pair_col[p])]),
@@ -297,11 +323,11 @@ def _structural_findings(comp, entries) -> "List[Finding]":
             p, j = int(rows[k]), int(cols[k])
             findings.append(Finding(
                 code="negative-rate", severity="error",
-                message=f"rate to column {j} is {g[p, j]:g}",
+                message=f"rate to column {j} is {vals[k]:g}",
                 state=repr(states[int(comp.pair_state[p])]),
                 action=repr(comp.actions[int(comp.pair_state[p])]
                             [int(comp.pair_col[p])]),
-                value=float(g[p, j]),
+                value=float(vals[k]),
             ))
     row_sums = np.bincount(rows, weights=vals, minlength=comp.n_pairs)
     noncons = np.abs(row_sums) > 1e-9 * row_scale
@@ -323,7 +349,6 @@ def _numerical_findings(
     comp, diagnostics: "Dict[str, Any]", entries
 ) -> "List[Finding]":
     findings: List[Finding] = []
-    g = comp.generator
     states = comp.states
     rows, cols, vals = entries
     # Exit rates from the sparse diagonal entries (zero rows stay 0).
@@ -368,11 +393,11 @@ def _numerical_findings(
                 code="near-zero-rate", severity="warning",
                 message=(f"{count} rate(s) below {NEAR_ZERO_RELATIVE:g} x "
                          "the maximal rate are structurally zero edges; "
-                         f"first: rate {g[p, j]:g} to column {j}"),
+                         f"first: rate {vals[k]:g} to column {j}"),
                 state=repr(states[int(comp.pair_state[p])]),
                 action=repr(comp.actions[int(comp.pair_state[p])]
                             [int(comp.pair_col[p])]),
-                value=float(g[p, j]),
+                value=float(vals[k]),
                 remediation=("treat the edge as absent, or raise the rate "
                              "to its intended magnitude"),
             ))
@@ -422,7 +447,11 @@ def _numerical_findings(
     # on exit rate and cost, so sorting each state's pairs by those
     # scalars makes duplicates adjacent, and the full O(n_states) row
     # comparison runs only on the (rare) surviving neighbours.
-    if comp.n_pairs > comp.n_states:
+    if comp.n_pairs > DUPLICATE_PAIR_LIMIT:
+        diagnostics["duplicate_check"] = (
+            f"skipped: n_pairs > {DUPLICATE_PAIR_LIMIT}"
+        )
+    elif comp.n_pairs > comp.n_states:
         costs = comp.cost
         rate_tol = DUPLICATE_RTOL * max(max_rate, 1e-300)
         cost_tol = DUPLICATE_RTOL * max(
@@ -439,7 +468,7 @@ def _numerical_findings(
         )[0]
         for k in candidates:
             p_a, p_b = int(order[k]), int(order[k + 1])
-            if float(np.max(np.abs(g[p_a] - g[p_b]), initial=0.0)) <= rate_tol:
+            if _row_diff_max(comp.generator, p_a, p_b) <= rate_tol:
                 i = int(comp.pair_state[p_a])
                 a_name = comp.actions[i][int(comp.pair_col[p_a])]
                 b_name = comp.actions[i][int(comp.pair_col[p_b])]
@@ -461,8 +490,11 @@ def _condition_findings(comp, diagnostics: "Dict[str, Any]") -> "List[Finding]":
     n = comp.n_states
     sel = comp.pair_offset[:-1]
     g_can, _, _ = comp.canonical()
+    block = g_can[sel]
+    if not isinstance(block, np.ndarray):
+        block = block.toarray()
     a = np.zeros((n + 1, n + 1))
-    a[:n, :n] = g_can[sel]
+    a[:n, :n] = block
     a[:n, n] = -1.0
     a[n, 0] = 1.0
     info = system_diagnostics(a)
@@ -487,23 +519,175 @@ def _condition_findings(comp, diagnostics: "Dict[str, Any]") -> "List[Finding]":
     return findings
 
 
-def admit_ctmdp(mdp, level: str = "standard") -> AdmissionReport:
-    """Run the admission checks on a built :class:`~repro.ctmdp.model.CTMDP`.
+def _kron_findings(kmdp, diagnostics: "Dict[str, Any]") -> "List[Finding]":
+    """Matrix-free admission checks on a Kronecker model.
+
+    Finiteness and conservation come from one ``G_a @ 1`` matvec per
+    action; stiffness/scale diagnostics from the factored exit-rate
+    diagonals. Per-entry checks (near-zero rates, near-duplicate
+    actions, precise column coordinates) need entry enumeration and are
+    skipped -- recorded in the diagnostics so reports say so.
+    """
+    findings: List[Finding] = []
+    ones = np.ones(kmdp.n_states)
+    for a, gen in enumerate(kmdp.generators):
+        mask = kmdp.available[a]
+        if not mask.any():
+            continue
+        if not np.all(np.isfinite(kmdp.costs[a][mask])):
+            i = int(np.argmin(np.where(mask, np.isfinite(kmdp.costs[a]), True)))
+            findings.append(Finding(
+                code="nonfinite-cost", severity="error",
+                message=f"effective cost rate is {float(kmdp.costs[a][i])!r}",
+                state=repr(kmdp.state_label(i)),
+                action=repr(kmdp.action_set[a]),
+            ))
+        if not gen.is_finite():
+            findings.append(Finding(
+                code="nonfinite-rate", severity="error",
+                message="generator factors contain non-finite entries",
+                action=repr(kmdp.action_set[a]),
+            ))
+            continue
+        row_sums = gen.matvec(ones)
+        tol = 1e-9 * max(gen.max_abs_entry(), 1.0)
+        bad = mask & (np.abs(row_sums) > tol)
+        if np.any(bad):
+            i = int(np.argmax(bad))
+            findings.append(Finding(
+                code="nonconservative-row", severity="error",
+                message=(f"generator row sums to {row_sums[i]:g} "
+                         f"against magnitude {gen.max_abs_entry():g}"),
+                state=repr(kmdp.state_label(i)),
+                action=repr(kmdp.action_set[a]),
+                value=float(row_sums[i]),
+            ))
+    if any(f.severity == "error" for f in findings):
+        return findings
+
+    exit_rates = kmdp.exit_rates()
+    max_rate = float(np.max(exit_rates, initial=0.0))
+    positive = exit_rates[exit_rates > 0.0]
+    min_rate = float(np.min(positive)) if positive.size else 0.0
+    shift = canonical_shift(max_rate)
+    diagnostics.update(
+        max_exit_rate=max_rate,
+        min_positive_exit_rate=min_rate,
+        canonical_shift=shift,
+        entry_checks="skipped: matrix-free Kronecker view",
+    )
+    state_max_exit = np.max(
+        np.where(kmdp.available, exit_rates, 0.0), axis=0
+    )
+    dead = state_max_exit <= NEAR_ZERO_RELATIVE * max_rate
+    if kmdp.n_states > 1 and np.any(dead):
+        for i in np.nonzero(dead)[0][:10]:
+            findings.append(Finding(
+                code="zero-exit-state", severity="warning",
+                message=("state is absorbing under every action; the "
+                         "chain cannot be irreducible"),
+                state=repr(kmdp.state_label(int(i))),
+                value=float(state_max_exit[int(i)]),
+            ))
+    if min_rate > 0.0 and max_rate > 0.0:
+        stiffness = max_rate / min_rate
+        diagnostics["stiffness_ratio"] = stiffness
+        if stiffness > STIFFNESS_WARN:
+            findings.append(Finding(
+                code="high-stiffness", severity="warning",
+                message=(f"exit-rate stiffness ratio {stiffness:.3g} exceeds "
+                         f"{STIFFNESS_WARN:g}; uniformized value iteration "
+                         "will need many sweeps"),
+                value=float(stiffness),
+                remediation=("prefer policy iteration; for value iteration "
+                             "pass uniformization slack ~1.05 and a "
+                             "time budget"),
+            ))
+        if stiffness > float(np.ldexp(1.0, DYNAMIC_RANGE_LIMIT_EXP)):
+            findings.append(Finding(
+                code="extreme-dynamic-range", severity="error",
+                message=(f"rate dynamic range {stiffness:.3g} exceeds "
+                         f"2**{DYNAMIC_RANGE_LIMIT_EXP}; no double-precision "
+                         "rescaling can represent both ends"),
+                value=float(stiffness),
+            ))
+    if max_rate > 0.0 and not (
+        RATE_SCALE_LO_EXP <= shift <= RATE_SCALE_HI_EXP
+    ):
+        findings.append(Finding(
+            code="extreme-rate-scale", severity="repair",
+            message=(f"maximal exit rate {max_rate:.3g} (binary exponent "
+                     f"{shift}) is outside the trusted magnitude window "
+                     f"[2**{RATE_SCALE_LO_EXP}, 2**{RATE_SCALE_HI_EXP}]"),
+            value=float(max_rate),
+            remediation=(f"rescale rates by 2**{-shift} (exact); solver "
+                         "gains divide by the same factor"),
+        ))
+    return findings
+
+
+def admit_ctmdp(
+    mdp, level: str = "standard", backend: str = "auto"
+) -> AdmissionReport:
+    """Run the admission checks on a built model.
+
+    Accepts a dense :class:`~repro.ctmdp.model.CTMDP`, a
+    :class:`~repro.ctmdp.sparse.SparseCTMDP`, or a
+    :class:`~repro.ctmdp.kron.KroneckerCTMDP`. Dense models admit
+    through the compiled arrays; ``backend="sparse"`` (or ``"auto"``
+    above the dense state limit) runs the identical scans on the CSR
+    entry view instead -- same findings, no densification. Kronecker
+    models at or below :data:`KRON_DENSIFY_LIMIT` states densify for
+    full per-entry fidelity; larger ones use the matrix-free checks of
+    :func:`_kron_findings`.
 
     Does not raise on findings; callers inspect the report (use
     :func:`admit_model` for the raising pipeline).
     """
+    from repro.ctmdp.backends import BACKENDS, DENSE_STATE_LIMIT
     from repro.ctmdp.compiled import compile_ctmdp
+    from repro.ctmdp.kron import KroneckerCTMDP
+    from repro.ctmdp.sparse import SparseCTMDP, compile_sparse_ctmdp
 
     if level not in LEVELS:
         raise InvalidModelError(f"unknown admission level {level!r}; use {LEVELS}")
+    if backend not in BACKENDS:
+        raise InvalidModelError(
+            f"unknown backend {backend!r}; use one of {BACKENDS}"
+        )
     diagnostics: Dict[str, Any] = {
         "n_states": mdp.n_states,
         "rate_scale": float(getattr(mdp, "rate_scale", 1.0)),
     }
     findings: List[Finding] = []
+
+    if isinstance(mdp, KroneckerCTMDP):
+        if mdp.n_states <= KRON_DENSIFY_LIMIT:
+            diagnostics["admission_view"] = "densified-kron"
+            inner = admit_ctmdp(mdp.to_ctmdp(), level=level, backend="dense")
+            inner.diagnostics.update(diagnostics)
+            return inner
+        diagnostics["admission_view"] = "matrix-free-kron"
+        findings.extend(_kron_findings(mdp, diagnostics))
+        if level == "full":
+            diagnostics["condition_check"] = (
+                "skipped: matrix-free Kronecker view"
+            )
+        return AdmissionReport(
+            verdict=_verdict(findings), level=level, findings=findings,
+            diagnostics=diagnostics,
+            remediation=_remediation(findings, diagnostics),
+        )
+
+    use_sparse = isinstance(mdp, SparseCTMDP) or backend == "sparse" or (
+        backend in ("auto", "kron") and mdp.n_states > DENSE_STATE_LIMIT
+    )
     try:
-        comp = compile_ctmdp(mdp)
+        if use_sparse:
+            comp = compile_sparse_ctmdp(mdp)
+            diagnostics["admission_view"] = "sparse"
+        else:
+            comp = compile_ctmdp(mdp)
     except InvalidModelError as exc:
         findings.append(Finding(
             code="empty-action-set", severity="error", message=str(exc),
@@ -520,7 +704,12 @@ def admit_ctmdp(mdp, level: str = "standard") -> AdmissionReport:
         if level == "full" and not any(
             f.severity == "error" for f in findings
         ):
-            findings.extend(_condition_findings(comp, diagnostics))
+            if comp.n_states <= CONDITION_STATE_LIMIT:
+                findings.extend(_condition_findings(comp, diagnostics))
+            else:
+                diagnostics["condition_check"] = (
+                    f"skipped: n_states > {CONDITION_STATE_LIMIT}"
+                )
     verdict = _verdict(findings)
     remediation = _remediation(findings, diagnostics)
     return AdmissionReport(
@@ -557,6 +746,7 @@ def admit_model(
     raise_on_reject: bool = True,
     sample_budget: int = 100,
     seed: int = 0,
+    backend: str = "auto",
 ) -> AdmissionReport:
     """The single admission pipeline for every entry point.
 
@@ -572,6 +762,12 @@ def admit_model(
     repaired (rescaled) model is built, re-checked, and returned on the
     report (``verdict="repaired"``, ``report.repaired_model``).
 
+    ``backend`` selects the model representation SYS models build and
+    admit through (see :func:`admit_ctmdp`); ``"auto"`` picks dense
+    below the state-count threshold and the CSR view above it, so
+    admission of a 10^5-state model never allocates the dense
+    O(pairs x states) generator.
+
     Raises
     ------
     ModelRejectedError
@@ -586,20 +782,30 @@ def admit_model(
     if level not in LEVELS:
         raise InvalidModelError(f"unknown admission level {level!r}; use {LEVELS}")
 
+    build_backend = (
+        "dense" if backend in ("dense", "compiled", "reference") else backend
+    )
     is_sys = isinstance(model, PowerManagedSystemModel)
     if is_sys:
         admit_inputs(model.provider, model.requestor, model.capacity)
         if level == "entry":
             return AdmissionReport(verdict="ok", level=level)
-        mdp = model.build_ctmdp(weight)
+        mdp = model.build_ctmdp(weight, backend=build_backend)
     else:
         mdp = model
         if level == "entry":
             level = "standard"  # raw CTMDPs have no cheaper gate
 
-    report = admit_ctmdp(mdp, level=level)
+    report = admit_ctmdp(mdp, level=level, backend=backend)
 
-    if (is_sys and level == "full"
+    from repro.ctmdp.model import CTMDP
+
+    if (is_sys and level == "full" and not isinstance(mdp, CTMDP)):
+        # The unichain sweep enumerates/samples policies on the dense
+        # dict-based model; on the sparse build it would densify, so it
+        # is skipped (the structural checks above still ran).
+        report.diagnostics["unichain_check"] = "skipped: non-dense backend"
+    if (is_sys and level == "full" and isinstance(mdp, CTMDP)
             and not any(f.severity == "error" for f in report.findings)):
         from repro.dpm.verification import verify_all_policies_unichain
 
@@ -635,8 +841,8 @@ def admit_model(
             )
             # Re-check the repaired model at the same structural level;
             # remediation must not merely move the problem.
-            repaired_mdp = repaired.build_ctmdp(weight)
-            recheck = admit_ctmdp(repaired_mdp, level="standard")
+            repaired_mdp = repaired.build_ctmdp(weight, backend=build_backend)
+            recheck = admit_ctmdp(repaired_mdp, level="standard", backend=backend)
             report.diagnostics["repaired_max_exit_rate"] = (
                 recheck.diagnostics.get("max_exit_rate")
             )

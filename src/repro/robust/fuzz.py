@@ -6,7 +6,12 @@ wrong answer, never a hang.* Each generated model is pushed through
 
 1. the admission gate (:func:`repro.robust.admission.admit_model`,
    level ``"full"``),
-2. policy iteration on both backends, cross-checked bit-for-bit,
+2. policy iteration on the compiled and reference backends,
+   cross-checked bit-for-bit, then the sparse (CSR) backend -- which
+   must reproduce the compiled gain whenever it returns -- and, for
+   small models, the matrix-free Kronecker backend via
+   ``KroneckerCTMDP.from_ctmdp`` (typed failures on degenerate models
+   are recorded for both, non-finite results are violations),
 3. value iteration (where the stiffness diagnostics say it can
    converge in bounded time),
 4. the event-driven simulator executing the solved policy,
@@ -357,6 +362,72 @@ def run_case(
                 violate(f"dict-vs-compiled gain mismatch: {ref.gain!r} != {res.gain!r}")
             if not np.array_equal(ref.bias, res.bias):
                 violate("dict-vs-compiled bias mismatch")
+
+        # Sparse (CSR) backend. A typed failure is recorded, not a
+        # violation: on near-multichain models the evaluation system
+        # under an intermediate policy can be singular to working
+        # precision, where SuperLU and LAPACK legitimately land on
+        # different members of the near-null-space family and the
+        # cycle detector fires by design (seed baseline-96 is the
+        # canonical reproducer). When the sparse solve does return, a
+        # different optimal policy is fine (ties), but the optimal
+        # gain must agree.
+        try:
+            sps = policy_iteration(
+                mdp, max_iterations=500, backend="sparse",
+                time_budget_s=time_budget_s,
+            )
+        except ReproError as exc:
+            out["sparse"] = f"typed-error:{type(exc).__name__}"
+        else:
+            if not (_finite(sps.gain) and _finite(sps.bias)
+                    and _finite(sps.stationary)):
+                violate("non-finite sparse backend solution")
+            else:
+                # Relative on the gain, plus an absolute floor: the gain
+                # is a difference of O(cost)-sized quantities, so below
+                # ~1e-12 x the cost scale any disagreement is just
+                # double-precision cancellation noise.
+                tol = 1e-6 * max(abs(res.gain), abs(sps.gain)) + 1e-12
+                if abs(sps.gain - res.gain) > tol:
+                    violate(
+                        f"sparse gain {sps.gain!r} disagrees with "
+                        f"compiled {res.gain!r}"
+                    )
+
+        # Matrix-free Kronecker backend on small models (single-axis
+        # lift, so the operator numbers are exactly the CSR rows). The
+        # Krylov path may legitimately fail typed on hostile chains
+        # (recorded); anything non-finite or untyped is a violation.
+        from repro.ctmdp.model import CTMDP as _CTMDP
+
+        if isinstance(mdp, _CTMDP) and mdp.n_states <= 200:
+            from repro.ctmdp.kron import KroneckerCTMDP
+
+            kmdp = KroneckerCTMDP.from_ctmdp(mdp)
+            try:
+                kr = policy_iteration(
+                    kmdp, max_iterations=500, time_budget_s=time_budget_s
+                )
+            except ReproError as exc:
+                out["kron"] = f"typed-error:{type(exc).__name__}"
+            else:
+                if not (_finite(kr.gain) and _finite(kr.bias)):
+                    violate("non-finite kron backend solution")
+                else:
+                    # The Krylov gain carries cancellation noise at the
+                    # cost scale (it is c_ref + (G h)_ref); agreement
+                    # below ~1e-12 x that scale is not measurable.
+                    cost_scale = float(np.max(
+                        np.abs(kmdp.costs[kmdp.available]), initial=0.0
+                    ))
+                    tol = (1e-6 * max(abs(res.gain), abs(kr.gain))
+                           + 1e-12 * max(cost_scale, 1.0))
+                    if abs(kr.gain - res.gain) > tol:
+                        violate(
+                            f"kron gain {kr.gain!r} disagrees with "
+                            f"compiled {res.gain!r}"
+                        )
 
         stiffness = report.diagnostics.get("stiffness_ratio", np.inf)
         if stiffness < VI_STIFFNESS_LIMIT:

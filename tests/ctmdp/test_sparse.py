@@ -1,0 +1,180 @@
+"""Tests for the CSR sparse lowering and its Krylov solver ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.ctmdp.sparse as sparse_mod
+from repro.ctmdp.compiled import compile_ctmdp
+from repro.ctmdp.model import CTMDP
+from repro.ctmdp.policy import Policy, evaluate_policy
+from repro.ctmdp.sparse import (
+    SparseCTMDP,
+    compile_sparse_ctmdp,
+    solve_sparse_with_fallback,
+    sparse_stationary_distribution,
+)
+from repro.errors import (
+    InvalidModelError,
+    NotIrreducibleError,
+    SolverError,
+)
+from repro.markov.generator import stationary_distribution
+
+
+@pytest.fixture
+def power_mdp() -> CTMDP:
+    mdp = CTMDP(["up", "down"])
+    mdp.add_action("up", "stay", rates=[0.0, 0.5], cost_rate=10.0)
+    mdp.add_action("up", "sleep", rates=[0.0, 4.0], cost_rate=10.0,
+                   impulse_costs=[0.0, 2.0])
+    mdp.add_action("down", "stay", rates=[0.0, 0.0], cost_rate=1.0)
+    mdp.add_action("down", "wake", rates=[5.0, 0.0], cost_rate=1.0,
+                   impulse_costs=[3.0, 0.0])
+    return mdp
+
+
+class TestSparseLowering:
+    def test_from_ctmdp_matches_compiled_bitwise(self, power_mdp):
+        comp = compile_ctmdp(power_mdp)
+        smdp = compile_sparse_ctmdp(power_mdp)
+        assert smdp.states == comp.states
+        assert smdp.actions == comp.actions
+        np.testing.assert_array_equal(smdp.cost, comp.cost)
+        np.testing.assert_array_equal(smdp.generator.toarray(), comp.generator)
+        np.testing.assert_array_equal(smdp.pair_state, comp.pair_state)
+        np.testing.assert_array_equal(smdp.pair_offset, comp.pair_offset)
+
+    def test_compile_is_cached_on_the_model(self, power_mdp):
+        assert compile_sparse_ctmdp(power_mdp) is compile_sparse_ctmdp(power_mdp)
+        smdp = compile_sparse_ctmdp(power_mdp)
+        assert compile_sparse_ctmdp(smdp) is smdp
+
+    def test_from_coo_completes_diagonals(self):
+        smdp = SparseCTMDP.from_coo(
+            states=["a", "b"],
+            actions=[["go"], ["back"]],
+            pair_rows=np.array([0, 1]),
+            cols=np.array([1, 0]),
+            rates=np.array([2.0, 3.0]),
+            cost=np.array([1.0, 4.0]),
+        )
+        np.testing.assert_array_equal(
+            smdp.generator.toarray(), [[-2.0, 2.0], [3.0, -3.0]]
+        )
+        np.testing.assert_array_equal(smdp.exit_rates(), [2.0, 3.0])
+
+    def test_from_coo_rejects_negative_rates(self):
+        with pytest.raises(InvalidModelError):
+            SparseCTMDP.from_coo(
+                ["a", "b"], [["go"], ["back"]],
+                np.array([0]), np.array([1]), np.array([-1.0]),
+                np.zeros(2),
+            )
+
+    def test_from_coo_rejects_self_transitions(self):
+        with pytest.raises(InvalidModelError):
+            SparseCTMDP.from_coo(
+                ["a", "b"], [["go"], ["back"]],
+                np.array([0]), np.array([0]), np.array([1.0]),
+                np.zeros(2),
+            )
+
+    def test_canonical_rescaling_is_exact(self, power_mdp):
+        smdp = compile_sparse_ctmdp(power_mdp)
+        g, c, shift = smdp.canonical()
+        np.testing.assert_array_equal(
+            g.toarray(), np.ldexp(smdp.generator.toarray(), -shift)
+        )
+        np.testing.assert_array_equal(c, np.ldexp(smdp.cost, -shift))
+
+    def test_sparse_entries_row_major(self, power_mdp):
+        smdp = compile_sparse_ctmdp(power_mdp)
+        rows, cols, vals = smdp.sparse_entries()
+        assert np.all(np.diff(rows) >= 0)
+        dense = smdp.generator.toarray()
+        np.testing.assert_array_equal(vals, dense[rows, cols])
+
+
+class TestSolverLadder:
+    def bordered_system(self):
+        """A small well-posed bordered evaluation system."""
+        g = np.array([[-2.0, 2.0, 0.0],
+                      [1.0, -3.0, 2.0],
+                      [0.0, 4.0, -4.0]])
+        a = np.zeros((4, 4))
+        a[:3, :3] = g
+        a[:3, 3] = -1.0
+        a[3, 0] = 1.0
+        b = np.array([1.0, 2.0, 3.0, 0.0])
+        return sp.csc_array(a), b
+
+    def test_direct_rung_solves(self):
+        a, b = self.bordered_system()
+        x = solve_sparse_with_fallback(a, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+
+    def test_gmres_rung_meets_documented_residual(self, monkeypatch):
+        """Forcing the Krylov rung still meets the residual contract."""
+
+        def broken(a_csc, b):
+            raise RuntimeError("forced direct failure")
+
+        monkeypatch.setattr(sparse_mod, "_direct_solve", broken)
+        a, b = self.bordered_system()
+        x = solve_sparse_with_fallback(a, b)
+        a_max = float(np.max(np.abs(a.toarray())))
+        residual = np.max(np.abs(a @ x - b)) / (
+            a_max * max(np.max(np.abs(x)), 1e-300)
+        )
+        from repro.robust.guardrails import RESIDUAL_RTOL
+
+        assert residual <= RESIDUAL_RTOL
+
+    def test_singular_system_raises_typed(self, monkeypatch):
+        a = sp.csc_array(np.zeros((3, 3)))
+        b = np.ones(3)
+        with pytest.raises(SolverError) as err:
+            solve_sparse_with_fallback(a, b)
+        assert err.value.diagnostics["backend"] == "sparse"
+
+
+class TestSparseStationary:
+    def test_matches_dense(self, two_state_generator):
+        p_sparse = sparse_stationary_distribution(
+            sp.csr_array(two_state_generator)
+        )
+        p_dense = stationary_distribution(two_state_generator)
+        np.testing.assert_allclose(p_sparse, p_dense, atol=1e-12)
+
+    def test_reducible_raises(self, reducible_generator):
+        with pytest.raises(NotIrreducibleError):
+            sparse_stationary_distribution(sp.csr_array(reducible_generator))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidModelError):
+            sparse_stationary_distribution(sp.csr_array(np.zeros((2, 3))))
+
+
+class TestSparseEvaluation:
+    def test_evaluate_policy_matches_dense(self, power_mdp):
+        policy = Policy(power_mdp, {"up": "sleep", "down": "wake"})
+        dense = evaluate_policy(policy)
+        sparse = evaluate_policy(policy, backend="sparse")
+        assert abs(dense.gain - sparse.gain) < 1e-10
+        np.testing.assert_allclose(dense.bias, sparse.bias, atol=1e-9)
+        np.testing.assert_allclose(
+            dense.stationary, sparse.stationary, atol=1e-10
+        )
+
+    def test_randomized_policy_rejected(self, power_mdp):
+        from repro.ctmdp.policy import RandomizedPolicy
+
+        randomized = RandomizedPolicy(power_mdp, {
+            "up": {"stay": 0.5, "sleep": 0.5},
+            "down": {"wake": 1.0},
+        })
+        with pytest.raises(SolverError):
+            evaluate_policy(randomized, backend="sparse")

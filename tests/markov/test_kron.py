@@ -1,0 +1,131 @@
+"""Tests for the matrix-free Kronecker generator operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import InvalidGeneratorError
+from repro.markov.kron import KroneckerGenerator
+from repro.markov.tensor import tensor_sum
+
+
+def random_generator(rng, n: int) -> np.ndarray:
+    """A dense random CTMC generator of order n."""
+    g = rng.uniform(0.1, 2.0, size=(n, n))
+    np.fill_diagonal(g, 0.0)
+    np.fill_diagonal(g, -g.sum(axis=1))
+    return g
+
+
+class TestMatvec:
+    def test_tensor_sum_matches_dense(self):
+        rng = np.random.default_rng(0)
+        a, b, c = (random_generator(rng, n) for n in (2, 3, 4))
+        op = KroneckerGenerator.tensor_sum([a, b, c])
+        dense = tensor_sum(tensor_sum(a, b), c)
+        x = rng.standard_normal(24)
+        np.testing.assert_allclose(op.matvec(x), dense @ x, atol=1e-12)
+        np.testing.assert_allclose(op.rmatvec(x), dense.T @ x, atol=1e-12)
+        np.testing.assert_allclose(op.to_dense(), dense, atol=1e-12)
+
+    def test_sparse_factors_match_dense_factors(self):
+        rng = np.random.default_rng(1)
+        a, b = random_generator(rng, 3), random_generator(rng, 5)
+        dense_op = KroneckerGenerator.tensor_sum([a, b])
+        sparse_op = KroneckerGenerator.tensor_sum(
+            [sp.csr_array(a), sp.csr_array(b)]
+        )
+        x = rng.standard_normal(15)
+        np.testing.assert_allclose(
+            sparse_op.matvec(x), dense_op.matvec(x), atol=1e-12
+        )
+
+    def test_product_term_matches_kron(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal((3, 3)), rng.standard_normal((4, 4))
+        op = KroneckerGenerator.tensor_product([a, b], coeff=2.5)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(
+            op.matvec(x), 2.5 * np.kron(a, b) @ x, atol=1e-12
+        )
+
+    def test_identity_factors_skipped(self):
+        rng = np.random.default_rng(3)
+        a = random_generator(rng, 3)
+        op = KroneckerGenerator((2, 3), [(1.0, (None, a))])
+        dense = np.kron(np.eye(2), a)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(op.matvec(x), dense @ x, atol=1e-12)
+
+    def test_matmul_operator(self):
+        rng = np.random.default_rng(4)
+        a = random_generator(rng, 4)
+        op = KroneckerGenerator.tensor_sum([a])
+        x = rng.standard_normal(4)
+        np.testing.assert_allclose(op @ x, a @ x, atol=1e-12)
+
+    def test_rejects_wrong_operand_shape(self):
+        op = KroneckerGenerator.tensor_sum([np.eye(2), np.eye(3)])
+        with pytest.raises(InvalidGeneratorError):
+            op.matvec(np.zeros(5))
+
+
+class TestStructure:
+    def test_diagonal_matches_dense(self):
+        rng = np.random.default_rng(5)
+        a, b = random_generator(rng, 3), random_generator(rng, 4)
+        op = KroneckerGenerator.tensor_sum([sp.csr_array(a), b])
+        np.testing.assert_allclose(
+            op.diagonal(), np.diag(op.to_dense()), atol=1e-12
+        )
+
+    def test_to_csr_matches_to_dense(self):
+        rng = np.random.default_rng(6)
+        a, b = random_generator(rng, 2), random_generator(rng, 5)
+        op = KroneckerGenerator.tensor_sum([a, sp.csr_array(b)])
+        np.testing.assert_allclose(
+            op.to_csr().toarray(), op.to_dense(), atol=1e-12
+        )
+
+    def test_is_finite(self):
+        a = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        assert KroneckerGenerator.tensor_sum([a]).is_finite()
+        bad = a.copy()
+        bad[0, 1] = np.nan
+        assert not KroneckerGenerator.tensor_sum([bad]).is_finite()
+
+    def test_max_abs_entry_bounds_dense_max(self):
+        rng = np.random.default_rng(7)
+        a, b = random_generator(rng, 3), random_generator(rng, 3)
+        op = KroneckerGenerator.tensor_sum([a, b])
+        assert op.max_abs_entry() >= np.max(np.abs(op.to_dense())) - 1e-12
+
+    def test_aslinearoperator_shape_and_matvec(self):
+        rng = np.random.default_rng(8)
+        a = random_generator(rng, 4)
+        lin = KroneckerGenerator.tensor_sum([a]).aslinearoperator()
+        assert lin.shape == (4, 4)
+        x = rng.standard_normal(4)
+        np.testing.assert_allclose(lin @ x, a @ x, atol=1e-12)
+
+
+class TestValidation:
+    def test_rejects_empty_dims(self):
+        with pytest.raises(InvalidGeneratorError):
+            KroneckerGenerator((), [])
+
+    def test_rejects_factor_shape_mismatch(self):
+        with pytest.raises(InvalidGeneratorError):
+            KroneckerGenerator((2, 3), [(1.0, (np.eye(2), np.eye(2)))])
+
+    def test_rejects_wrong_factor_count(self):
+        with pytest.raises(InvalidGeneratorError):
+            KroneckerGenerator((2, 3), [(1.0, (np.eye(2),))])
+
+    def test_to_dense_guarded_by_limit(self):
+        op = KroneckerGenerator.tensor_sum([np.eye(8), np.eye(8)])
+        with pytest.raises(InvalidGeneratorError):
+            op.to_dense(limit=16)
+        assert op.to_dense(limit=64).shape == (64, 64)

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.markov.generator import stationary_distribution, validate_generator
-from repro.markov.tensor import product_states, tensor_product, tensor_sum
+from repro.markov.tensor import (
+    product_states,
+    tensor_product,
+    tensor_sum,
+    tensor_sum_csr,
+)
 
 
 class TestTensorProduct:
@@ -52,6 +58,42 @@ class TestTensorSum:
         np.testing.assert_allclose(
             stationary_distribution(joint), np.kron(pa, pb), atol=1e-12
         )
+
+
+class TestSparsePropagation:
+    def test_sparse_product_stays_sparse_and_matches_dense(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = tensor_product(sp.csr_array(a), b)
+        assert sp.issparse(out)
+        np.testing.assert_allclose(out.toarray(), tensor_product(a, b))
+
+    def test_sparse_sum_stays_sparse_and_matches_dense(
+        self, two_state_generator, three_state_cycle
+    ):
+        out = tensor_sum(
+            sp.csr_array(two_state_generator), three_state_cycle
+        )
+        assert sp.issparse(out)
+        np.testing.assert_allclose(
+            out.toarray(),
+            tensor_sum(two_state_generator, three_state_cycle),
+        )
+
+    def test_tensor_sum_csr_accepts_dense_and_sparse(
+        self, two_state_generator, three_state_cycle
+    ):
+        dense_in = tensor_sum_csr(two_state_generator, three_state_cycle)
+        sparse_in = tensor_sum_csr(
+            sp.csr_array(two_state_generator), sp.csr_array(three_state_cycle)
+        )
+        expected = tensor_sum(two_state_generator, three_state_cycle)
+        np.testing.assert_allclose(dense_in.toarray(), expected)
+        np.testing.assert_allclose(sparse_in.toarray(), expected)
+
+    def test_tensor_sum_csr_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            tensor_sum_csr(np.zeros((2, 3)), np.eye(2))
 
 
 class TestProductStates:

@@ -136,9 +136,9 @@ class TestSweepWeightsResume:
 
         real = optimize_weighted
 
-        def counting(model, weight, solver="policy_iteration"):
+        def counting(model, weight, solver="policy_iteration", backend="auto"):
             solved.append(weight)
-            return real(model, weight, solver=solver)
+            return real(model, weight, solver=solver, backend=backend)
 
         monkeypatch.setattr(optimizer_module, "optimize_weighted", counting)
         resumed = sweep_weights(

@@ -1,0 +1,256 @@
+"""Cross-backend equivalence of the solver core (dense / sparse / kron).
+
+The backend ladder's contract: every tier returns the same optimal
+policies and gains on the same model -- bit-compatible for the direct
+(dense, sparse-LU) paths, within the documented Krylov residual
+tolerance for the matrix-free paths. This suite pins that contract on
+the paper's SYS model and on adversarial fuzzer-generated models, plus
+the backend-resolution rules themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.ctmdp.sparse as sparse_mod
+from repro.ctmdp.backends import BACKENDS, DENSE_STATE_LIMIT, resolve_backend
+from repro.ctmdp.discounted import discounted_policy_iteration
+from repro.ctmdp.kron import KroneckerCTMDP, kron_farm_model
+from repro.ctmdp.policy_iteration import policy_iteration
+from repro.ctmdp.value_iteration import relative_value_iteration
+from repro.dpm.presets import paper_system
+from repro.errors import SolverError
+from repro.robust.admission import admit_model
+from repro.robust.fuzz import build_from_spec, generate_spec
+
+#: Fuzzer corpus entries that admit and solve cleanly (checked when
+#: picked); regenerated deterministically from (kind, seed).
+FUZZ_MODELS = (
+    ("baseline", 0),
+    ("capacity_one", 5),
+    ("near_duplicate_actions", 7),
+    ("paper_perturbed", 11),
+    ("baseline", 12),
+)
+
+#: Gain agreement for Krylov-backed (kron) paths: relative, plus an
+#: absolute floor at double-precision cancellation scale.
+KRON_GAIN_RTOL = 1e-8
+
+
+def paper_mdp(self_switch: "float | None" = None):
+    model = (paper_system() if self_switch is None
+             else paper_system(self_switch_rate=self_switch))
+    return model.build_ctmdp(weight=1.0)
+
+
+def fuzz_mdp(kind: str, seed: int):
+    """Rebuild the admitted MDP exactly as the fuzzer driver does."""
+    spec = generate_spec(kind, seed)
+    model, is_sys = build_from_spec(spec)
+    weight = float(spec.get("weight", 0.0))
+    report = admit_model(
+        model, level="full", weight=weight, raise_on_reject=False,
+        sample_budget=24, seed=int(spec.get("seed", 0)),
+    )
+    assert report.verdict != "rejected", (
+        f"fuzz model {kind}-{seed} no longer admits; re-pick FUZZ_MODELS"
+    )
+    mdp = report.admitted_mdp
+    if mdp is None:
+        target = (report.repaired_model
+                  if report.repaired_model is not None else model)
+        mdp = target.build_ctmdp(weight) if is_sys else target
+    return mdp
+
+
+class TestPolicyIteration:
+    def test_sparse_matches_compiled_on_paper_sys(self):
+        mdp = paper_mdp()
+        dense = policy_iteration(mdp, backend="compiled")
+        sparse = policy_iteration(mdp, backend="sparse")
+        assert sparse.policy.as_dict() == dense.policy.as_dict()
+        assert abs(sparse.gain - dense.gain) < 1e-10
+        np.testing.assert_allclose(
+            sparse.stationary, dense.stationary, atol=1e-10
+        )
+
+    def test_dense_alias_is_compiled_bitwise(self):
+        mdp = paper_mdp()
+        a = policy_iteration(mdp, backend="dense")
+        b = policy_iteration(mdp, backend="compiled")
+        assert a.gain == b.gain
+        assert a.policy.as_dict() == b.policy.as_dict()
+        np.testing.assert_array_equal(a.bias, b.bias)
+
+    def test_kron_matches_compiled_on_paper_sys(self):
+        mdp = paper_mdp()
+        dense = policy_iteration(mdp, backend="compiled")
+        kron = policy_iteration(KroneckerCTMDP.from_ctmdp(mdp))
+        assert kron.policy.as_dict() == dense.policy.as_dict()
+        tol = KRON_GAIN_RTOL * max(abs(dense.gain), 1.0)
+        assert abs(kron.gain - dense.gain) < tol
+
+    @pytest.mark.parametrize("kind,seed", FUZZ_MODELS)
+    def test_sparse_matches_compiled_on_fuzz_models(self, kind, seed):
+        mdp = fuzz_mdp(kind, seed)
+        dense = policy_iteration(mdp, backend="compiled")
+        sparse = policy_iteration(mdp, backend="sparse")
+        scale = max(abs(dense.gain), abs(sparse.gain), 1e-12)
+        assert abs(sparse.gain - dense.gain) <= 1e-8 * scale
+
+    @pytest.mark.parametrize("kind,seed", FUZZ_MODELS)
+    def test_kron_matches_compiled_on_fuzz_models(self, kind, seed):
+        mdp = fuzz_mdp(kind, seed)
+        dense = policy_iteration(mdp, backend="compiled")
+        try:
+            kron = policy_iteration(KroneckerCTMDP.from_ctmdp(mdp))
+        except SolverError as exc:
+            # The unpreconditioned matrix-free Krylov path may refuse a
+            # hostile model with a typed error; that satisfies the
+            # backend contract (same lenient rule as the fuzzer).
+            pytest.skip(f"kron backend returned typed error: {exc}")
+        cost_scale = float(np.max(np.abs(dense.bias), initial=0.0))
+        tol = (KRON_GAIN_RTOL * max(abs(dense.gain), abs(kron.gain))
+               + 1e-12 * max(cost_scale, 1.0))
+        assert abs(kron.gain - dense.gain) <= tol
+
+
+class TestValueIteration:
+    def test_sparse_matches_compiled(self):
+        # VI needs the aperiodicity self-switch variant of the preset.
+        mdp = paper_mdp(self_switch=50.0)
+        dense = relative_value_iteration(mdp, span_tolerance=1e-9,
+                                         backend="compiled")
+        sparse = relative_value_iteration(mdp, span_tolerance=1e-9,
+                                          backend="sparse")
+        assert sparse.policy.as_dict() == dense.policy.as_dict()
+        assert abs(sparse.gain - dense.gain) < 1e-8
+
+    def test_kron_matches_compiled(self):
+        mdp = paper_mdp(self_switch=50.0)
+        dense = relative_value_iteration(mdp, span_tolerance=1e-9,
+                                         backend="compiled")
+        kron = relative_value_iteration(
+            KroneckerCTMDP.from_ctmdp(mdp), span_tolerance=1e-9
+        )
+        assert kron.policy.as_dict() == dense.policy.as_dict()
+        assert abs(kron.gain - dense.gain) < 1e-7
+
+
+class TestDiscounted:
+    @pytest.mark.parametrize("backend", ["sparse"])
+    def test_backends_match_compiled(self, backend):
+        mdp = paper_mdp()
+        dense = discounted_policy_iteration(mdp, 0.5, backend="compiled")
+        other = discounted_policy_iteration(mdp, 0.5, backend=backend)
+        assert other.policy.as_dict() == dense.policy.as_dict()
+        np.testing.assert_allclose(other.values, dense.values, atol=1e-8)
+
+    def test_kron_matches_compiled(self):
+        mdp = paper_mdp()
+        dense = discounted_policy_iteration(mdp, 0.5, backend="compiled")
+        kron = discounted_policy_iteration(
+            KroneckerCTMDP.from_ctmdp(mdp), 0.5
+        )
+        assert kron.policy.as_dict() == dense.policy.as_dict()
+        np.testing.assert_allclose(kron.values, dense.values, atol=1e-7)
+
+
+class TestKronNative:
+    """A genuinely tensor-structured model solved on every tier."""
+
+    def test_farm_model_pi_matches_dense(self):
+        kmdp = kron_farm_model(3, 3)  # 4^3 = 64 states
+        dense = policy_iteration(kmdp.to_ctmdp())
+        kron = policy_iteration(kmdp)
+        assert kron.policy.as_dict() == dense.policy.as_dict()
+        assert abs(kron.gain - dense.gain) < 1e-8
+
+    def test_farm_model_vi_matches_dense(self):
+        kmdp = kron_farm_model(2, 4)  # 5^2 = 25 states
+        dense = relative_value_iteration(kmdp.to_ctmdp(),
+                                         span_tolerance=1e-9)
+        kron = relative_value_iteration(kmdp, span_tolerance=1e-9)
+        assert kron.policy.as_dict() == dense.policy.as_dict()
+        assert abs(kron.gain - dense.gain) < 1e-7
+
+
+class TestKrylovResidualContract:
+    def test_forced_gmres_rung_meets_contract(self, monkeypatch):
+        """With the direct rung disabled, evaluation still holds the
+        documented residual tolerance and reproduces the dense gain."""
+        mdp = paper_mdp()
+        dense = policy_iteration(mdp, backend="compiled")
+
+        def broken(a_csc, b):
+            raise RuntimeError("forced direct failure")
+
+        monkeypatch.setattr(sparse_mod, "_direct_solve", broken)
+        sparse = policy_iteration(mdp, backend="sparse")
+        assert abs(sparse.gain - dense.gain) < 1e-6 * max(abs(dense.gain), 1.0)
+
+    def test_accepted_solution_residual(self, monkeypatch):
+        """The ladder's accepted Krylov solution satisfies the
+        documented relative-residual bound on the actual system."""
+        import scipy.sparse as sp
+
+        from repro.robust.guardrails import RESIDUAL_RTOL
+
+        def broken(a_csc, b):
+            raise RuntimeError("forced direct failure")
+
+        monkeypatch.setattr(sparse_mod, "_direct_solve", broken)
+        smdp = sparse_mod.compile_sparse_ctmdp(paper_mdp())
+        g_can, c_can, shift = smdp.canonical()
+        sel = smdp.pair_offset[:-1]
+        n = smdp.n_states
+        rows = g_can[sel]
+        gain_col = sp.csr_array(
+            (np.full(n, -1.0), (np.arange(n), np.zeros(n, dtype=int))),
+            shape=(n, 1),
+        )
+        ref_row = sp.csr_array(([1.0], ([0], [0])), shape=(1, n))
+        a = sp.block_array([[rows, gain_col], [ref_row, None]], format="csc")
+        b = np.concatenate([-c_can[sel], [0.0]])
+        x = sparse_mod.solve_sparse_with_fallback(a, b)
+        a_max = float(np.max(np.abs(a.data)))
+        residual = float(np.max(np.abs(a @ x - b))) / (
+            a_max * max(float(np.max(np.abs(x))), 1e-300)
+        )
+        assert residual <= RESIDUAL_RTOL
+
+
+class TestBackendResolution:
+    def test_backends_tuple(self):
+        assert set(
+            ("auto", "dense", "compiled", "sparse", "kron", "reference")
+        ) == set(BACKENDS)
+
+    def test_auto_picks_compiled_below_limit(self):
+        mdp = paper_mdp()
+        assert mdp.n_states <= DENSE_STATE_LIMIT
+        assert resolve_backend(mdp, "auto") == "compiled"
+
+    def test_auto_picks_sparse_above_limit(self):
+        import types
+
+        big = types.SimpleNamespace(n_states=DENSE_STATE_LIMIT + 1)
+        assert resolve_backend(big, "auto") == "sparse"
+
+    def test_kron_model_resolves_to_kron(self):
+        kmdp = kron_farm_model(2, 2)
+        assert resolve_backend(kmdp, "auto") == "kron"
+
+    def test_plain_model_rejects_kron_backend(self):
+        with pytest.raises(SolverError):
+            resolve_backend(paper_mdp(), "kron")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError):
+            resolve_backend(paper_mdp(), "quantum")
+
+    def test_sys_build_rejects_kron(self):
+        with pytest.raises(SolverError):
+            paper_system().build_ctmdp(1.0, backend="kron")
