@@ -20,7 +20,6 @@ default run stays a sub-minute smoke.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 import tracemalloc
@@ -29,6 +28,7 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import once
+from repro.obs.benchtrack import record_suite
 from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.kron import kron_farm_model
 from repro.ctmdp.policy_iteration import policy_iteration
@@ -57,9 +57,10 @@ FARM_POINTS = ((6, 7), (6, 9))
 
 
 def _record(key: str, payload) -> None:
-    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
-    data[key] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Merge one measurement into the canonical bench file (schema,
+    manifest, and flattened comparable metrics -- see
+    :mod:`repro.obs.benchtrack`)."""
+    record_suite(BENCH_JSON, key, payload)
 
 
 def _timed(fn):

@@ -20,12 +20,12 @@ and asserted <3 %.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import time
 from pathlib import Path
 
 from benchmarks.conftest import BENCH_SEED, once
+from repro.obs.benchtrack import record_suite
 from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.policy_iteration import policy_iteration
 from repro.dpm.presets import paper_service_provider, paper_system
@@ -54,9 +54,10 @@ POOL_N_REQUESTS = 4_000
 
 
 def _record(key: str, payload) -> None:
-    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
-    data[key] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Merge one measurement into the canonical bench file (schema,
+    manifest, and flattened comparable metrics -- see
+    :mod:`repro.obs.benchtrack`)."""
+    record_suite(BENCH_JSON, key, payload)
 
 
 def _best_of(fn, repeats: int = 5):

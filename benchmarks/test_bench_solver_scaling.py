@@ -15,7 +15,6 @@ wall-clock numbers into ``BENCH_solver_core.json`` next to this file.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -24,6 +23,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_SEED, once
+from repro.obs.benchtrack import record_suite
 from repro.ctmdp.compiled import compile_ctmdp
 from repro.ctmdp.linear_program import solve_average_cost_lp
 from repro.ctmdp.policy_iteration import policy_iteration
@@ -38,10 +38,10 @@ BENCH_JSON = Path(__file__).parent / "BENCH_solver_core.json"
 
 
 def _record(key: str, payload) -> None:
-    """Merge one measurement into ``BENCH_solver_core.json``."""
-    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
-    data[key] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Merge one measurement into the canonical bench file (schema,
+    manifest, and flattened comparable metrics -- see
+    :mod:`repro.obs.benchtrack`)."""
+    record_suite(BENCH_JSON, key, payload)
 
 
 def _best_of(fn, repeats: int = 3):

@@ -14,9 +14,18 @@ Subcommands:
   the admission gate and print the report; exits 0 when admitted
   as-is, :data:`EXIT_REPAIRED` when an exact remediation was applied,
   and 3 when rejected.
+- ``profile`` -- render a ``--profile-out`` phase-profile JSON as a
+  call tree plus a hot-phase table.
+- ``bench-report`` -- print trend tables for ``benchmarks/BENCH_*.json``
+  records, or diff them against a baseline directory; ``--check`` exits
+  :data:`EXIT_BENCH_REGRESSION` when a checked metric regressed beyond
+  its tolerance.
 
-All subcommands default to the paper's Section-V system; ``--rate``,
-``--capacity``, and ``--weight`` adjust it.
+All model subcommands default to the paper's Section-V system;
+``--rate``, ``--capacity``, and ``--weight`` adjust it. Every
+subcommand accepts ``--metrics-out`` / ``--trace-out`` /
+``--profile-out`` (``--profile-out`` implies span collection, so a
+trace and a profile can come from the same run).
 
 Library failures (:class:`repro.errors.ReproError` subclasses) exit
 with a one-line ``error: ...`` message on stderr and a distinct
@@ -58,6 +67,10 @@ EXIT_CODES = (
 #: ``validate`` verdict ``"repaired"``: the model is solvable, but only
 #: after the (exact) remediation recorded in the printed report.
 EXIT_REPAIRED = 10
+
+#: ``bench-report --check``: at least one checked metric moved past its
+#: regression tolerance relative to the baseline.
+EXIT_BENCH_REGRESSION = 11
 
 
 def exit_code_for(exc: Exception) -> int:
@@ -374,6 +387,43 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import format_profile, read_profile
+
+    profile = read_profile(args.profile)
+    print(format_profile(profile, sort=args.sort, limit=args.limit), end="")
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs.benchtrack import bench_report, regressions
+
+    if args.check and args.baseline is None:
+        print(
+            "error: --check needs --baseline DIR to compare against",
+            file=sys.stderr,
+        )
+        return 2
+    text, deltas = bench_report(
+        args.bench_dir,
+        baseline_dir=args.baseline,
+        only=args.only,
+        verbose=args.verbose,
+    )
+    print(text)
+    if args.check:
+        bad = regressions(deltas)
+        if bad:
+            print(
+                f"bench regression check FAILED: {len(bad)} metric(s) "
+                "regressed beyond tolerance",
+                file=sys.stderr,
+            )
+            return EXIT_BENCH_REGRESSION
+        print("bench regression check passed")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     if args.exhibit == "figure4":
         from repro.experiments.figure4 import format_figure4, run_figure4
@@ -414,6 +464,12 @@ def _observability_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write span timings as JSONL to PATH (first line: manifest)",
+    )
+    group.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="profile the run (wall + CPU time and tracemalloc peak per "
+             "span) and write the self/cumulative phase tree as JSON to "
+             "PATH; render it with 'repro-dpm profile PATH'",
     )
     group.add_argument(
         "--log-level", default=None, choices=LEVELS,
@@ -524,6 +580,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(validate)
     validate.set_defaults(func=cmd_validate)
 
+    profile = sub.add_parser(
+        "profile",
+        help="render a --profile-out phase-profile JSON as text",
+        parents=[common],
+    )
+    profile.add_argument("profile", help="profile JSON written by --profile-out")
+    profile.add_argument("--sort", default="self", choices=("self", "cum"),
+                         help="hot-phase table ordering (default: self time)")
+    profile.add_argument("--limit", type=int, default=30,
+                         help="rows in the hot-phase table (default: 30)")
+    profile.set_defaults(func=cmd_profile)
+
+    bench = sub.add_parser(
+        "bench-report",
+        help="print BENCH_*.json trend tables; diff against a baseline",
+        parents=[common],
+    )
+    bench.add_argument("--bench-dir", default="benchmarks",
+                       help="directory holding BENCH_*.json (default: benchmarks)")
+    bench.add_argument("--baseline", default=None, metavar="DIR",
+                       help="baseline directory of BENCH_*.json to diff against")
+    bench.add_argument("--only", default=None, metavar="PATTERN",
+                       help="restrict to metric names matching PATTERN "
+                            "(substring, or fnmatch glob)")
+    bench.add_argument("--check", action="store_true",
+                       help=f"exit {EXIT_BENCH_REGRESSION} if any checked "
+                            "metric regressed beyond its tolerance")
+    bench.add_argument("--verbose", action="store_true",
+                       help="show unchanged and informational metrics too")
+    bench.set_defaults(func=cmd_bench_report)
+
     return parser
 
 
@@ -531,13 +618,32 @@ def _dispatch(args: argparse.Namespace, argv: "Optional[Sequence[str]]") -> int:
     if args.log_level is not None:
         configure_logging(args.log_level)
     registry = MetricsRegistry() if args.metrics_out else None
-    tracer = Tracer() if args.trace_out else None
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        # The profiler IS a tracer, so one object serves both
+        # --trace-out and --profile-out from the same span stream.
+        from repro.obs.profile import PhaseProfiler
+
+        tracer = PhaseProfiler()
+    elif args.trace_out:
+        tracer = Tracer()
+    else:
+        tracer = None
     if registry is None and tracer is None:
         return args.func(args)
-    from repro.obs.export import run_manifest, write_metrics, write_trace
+    from repro.obs.export import (
+        run_manifest,
+        write_metrics,
+        write_profile,
+        write_trace,
+    )
 
-    with instrument(metrics=registry, tracer=tracer):
-        status = args.func(args)
+    try:
+        with instrument(metrics=registry, tracer=tracer):
+            status = args.func(args)
+    finally:
+        if profile_out:
+            tracer.close()
     manifest = run_manifest(
         argv=list(argv) if argv is not None else sys.argv[1:],
         seed=getattr(args, "seed", None),
@@ -545,9 +651,12 @@ def _dispatch(args: argparse.Namespace, argv: "Optional[Sequence[str]]") -> int:
     if registry is not None:
         write_metrics(registry, args.metrics_out, manifest=manifest)
         print(f"metrics written to {args.metrics_out}")
-    if tracer is not None:
+    if tracer is not None and args.trace_out:
         write_trace(tracer, args.trace_out, manifest=manifest)
         print(f"trace written to {args.trace_out}")
+    if profile_out:
+        write_profile(tracer, profile_out, manifest=manifest)
+        print(f"profile written to {profile_out}")
     return status
 
 

@@ -16,11 +16,19 @@ Three representation tiers sit behind one API:
 ``"auto"`` resolves from the model type and size: Kronecker models run
 matrix-free, sparse models run sparse, and plain :class:`CTMDP` models
 run dense up to :data:`DENSE_STATE_LIMIT` states, sparse beyond.
+
+Every resolution is auditable: with instrumentation active, each call
+appends a row to the :data:`DECISION_SERIES` series (requested backend,
+resolved tier, state count, reason) and bumps a per-tier counter;
+``auto`` selections additionally emit a structured log line so a model
+silently landing on a weaker tier is visible at ``--log-level info``.
 """
 
 from __future__ import annotations
 
 from repro.errors import SolverError
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
 
 #: Every accepted ``backend=`` argument.
 BACKENDS = ("auto", "dense", "compiled", "sparse", "kron", "reference")
@@ -29,6 +37,44 @@ BACKENDS = ("auto", "dense", "compiled", "sparse", "kron", "reference")
 #: many states; beyond it the dense lowering's O(pairs x states) rows
 #: and O(n^3) solves lose to CSR across the board.
 DENSE_STATE_LIMIT = 2000
+
+#: Series of backend-decision records: one row per resolution with
+#: ``requested``/``resolved``/``n_states``/``reason``/``who`` fields.
+DECISION_SERIES = "solver.backend.decisions"
+
+logger = get_logger("ctmdp.backends")
+
+
+def _record_decision(
+    requested: str, resolved: str, n_states: int, reason: str, who: str
+) -> None:
+    """Append the decision record + counter and log auto selections."""
+    ins = obs_active()
+    if ins.enabled and ins.metrics is not None:
+        ins.metrics.series(DECISION_SERIES).append(
+            requested=requested,
+            resolved=resolved,
+            n_states=n_states,
+            reason=reason,
+            who=who,
+        )
+        ins.metrics.counter(f"solver.backend.selected.{resolved}").inc()
+    if requested == "auto":
+        logger.info(
+            "backend auto-selected tier=%s n_states=%d reason=%s who=%s",
+            resolved,
+            n_states,
+            reason,
+            who,
+        )
+    else:
+        logger.debug(
+            "backend resolved tier=%s requested=%s n_states=%d who=%s",
+            resolved,
+            requested,
+            n_states,
+            who,
+        )
 
 
 def resolve_backend(mdp, backend: str, who: str = "solver") -> str:
@@ -48,6 +94,9 @@ def resolve_backend(mdp, backend: str, who: str = "solver") -> str:
 
     if isinstance(mdp, KroneckerCTMDP):
         if backend in ("auto", "kron"):
+            _record_decision(
+                backend, "kron", mdp.n_states, "kronecker-model", who
+            )
             return "kron"
         raise SolverError(
             f"{who} backend {backend!r} cannot run a KroneckerCTMDP; "
@@ -56,6 +105,9 @@ def resolve_backend(mdp, backend: str, who: str = "solver") -> str:
         )
     if isinstance(mdp, SparseCTMDP):
         if backend in ("auto", "sparse"):
+            _record_decision(
+                backend, "sparse", mdp.n_states, "sparse-model", who
+            )
             return "sparse"
         raise SolverError(
             f"{who} backend {backend!r} cannot run a SparseCTMDP; "
@@ -69,10 +121,19 @@ def resolve_backend(mdp, backend: str, who: str = "solver") -> str:
             "structured model); wrap via KroneckerCTMDP.from_ctmdp or "
             "build one directly"
         )
+    n_states = mdp.n_states
     if backend == "auto":
-        return (
-            "compiled" if mdp.n_states <= DENSE_STATE_LIMIT else "sparse"
-        )
-    if backend == "dense":
-        return "compiled"
-    return backend
+        if n_states <= DENSE_STATE_LIMIT:
+            resolved, reason = "compiled", (
+                f"n_states<={DENSE_STATE_LIMIT} fits the dense tier"
+            )
+        else:
+            resolved, reason = "sparse", (
+                f"n_states>{DENSE_STATE_LIMIT} exceeds the dense tier"
+            )
+    elif backend == "dense":
+        resolved, reason = "compiled", "explicit request (dense alias)"
+    else:
+        resolved, reason = backend, "explicit request"
+    _record_decision(backend, resolved, n_states, reason, who)
+    return resolved

@@ -60,6 +60,27 @@ LABEL_LIMIT = 300_000
 #: the operator's magnitude bound.
 CONSERVATION_RTOL = 1e-9
 
+#: Counter of Kronecker-factor operator applications (``matvec`` +
+#: ``rmatvec``) -- the matrix-free tier's unit of solver work, the way
+#: ``nnz``-weighted sweeps are the sparse tier's.
+MATVEC_COUNTER = "solver.kron.matvecs"
+
+#: Series of matrix-free GMRES residual trajectories: one row per
+#: Krylov solve with the per-iteration preconditioned norms.
+KRYLOV_SERIES = "solver.kron.krylov.residuals"
+
+#: Gauge holding the uniformization rate (model units) of the most
+#: recent uniformized kron solve -- the constant that scales every
+#: sweep's contraction.
+UNIFORMIZATION_GAUGE = "solver.kron.uniformization_rate"
+
+
+def _count_matvecs(k: int = 1) -> None:
+    """Bump the matvec counter (one guard read; no-op when disabled)."""
+    ins = obs_active()
+    if ins.enabled and ins.metrics is not None:
+        ins.metrics.counter(MATVEC_COUNTER).inc(k)
+
 
 class ArrayPolicy:
     """A stationary policy stored as a flat action-index array.
@@ -456,6 +477,7 @@ def _policy_generator_apply(kmdp: KroneckerCTMDP, sel: np.ndarray):
     ]
 
     def apply(x: np.ndarray) -> np.ndarray:
+        _count_matvecs(len(masks))
         y = np.empty_like(x)
         for a, mask in masks:
             y[mask] = kmdp.generators[a].matvec(x)[mask]
@@ -469,6 +491,7 @@ def _policy_generator_rapply(kmdp: KroneckerCTMDP, sel: np.ndarray):
     masks = [(a, sel == a) for a in np.unique(sel)]
 
     def apply(x: np.ndarray) -> np.ndarray:
+        _count_matvecs(len(masks))
         y = np.zeros_like(x)
         for a, mask in masks:
             xa = np.where(mask, x, 0.0)
@@ -479,13 +502,37 @@ def _policy_generator_rapply(kmdp: KroneckerCTMDP, sel: np.ndarray):
 
 
 def _gmres_solve(operator, b, x0, what: str, context: "Dict") -> np.ndarray:
-    """GMRES with the documented Krylov target; typed error on failure."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore")
-        x, info = gmres(
-            operator, b, x0=x0, rtol=KRYLOV_RTOL, atol=0.0,
-            restart=GMRES_RESTART, maxiter=GMRES_MAXITER,
-        )
+    """GMRES with the documented Krylov target; typed error on failure.
+
+    With metrics active, each solve appends its per-iteration residual
+    trajectory to :data:`KRYLOV_SERIES` and bumps the solve counter.
+    """
+    ins = obs_active()
+    metrics = ins.metrics if ins.enabled else None
+    residuals: "List[float]" = []
+    callback = (
+        (lambda pr_norm: residuals.append(float(pr_norm)))
+        if ins.enabled
+        else None
+    )
+    with ins.span("gmres_solve", what=what, n=int(operator.shape[0])) as span:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            x, info = gmres(
+                operator, b, x0=x0, rtol=KRYLOV_RTOL, atol=0.0,
+                restart=GMRES_RESTART, maxiter=GMRES_MAXITER,
+                callback=callback, callback_type="pr_norm",
+            )
+        converged = info == 0 and bool(np.all(np.isfinite(x)))
+        span.attrs.update(iterations=len(residuals), converged=converged)
+        if metrics is not None:
+            metrics.counter("solver.kron.gmres_solves").inc()
+            metrics.series(KRYLOV_SERIES).append(
+                what=what,
+                iterations=len(residuals),
+                residuals=residuals,
+                converged=converged,
+            )
     if info != 0 or not np.all(np.isfinite(x)):
         raise SolverError(
             f"{what}: matrix-free GMRES failed to converge "
@@ -521,50 +568,61 @@ def kron_gain_bias(
     shift = kmdp.canonical_shift
     max_rate_can = float(np.ldexp(kmdp.max_exit_rate(), -shift))
     lam = APERIODICITY_SLACK * max_rate_can if max_rate_can > 0 else 1.0
-    g_apply = _policy_generator_apply(kmdp, sel)
-
-    def g_can(x: np.ndarray) -> np.ndarray:
-        # Canonical application is exact: 2**-shift times the matvec.
-        return np.ldexp(g_apply(x), -shift)
-
-    c_can = np.ldexp(
-        kmdp.costs[sel, np.arange(n)], -shift
-    )
-    c_ref = float(c_can[reference_state])
-
-    def elimination(x: np.ndarray) -> np.ndarray:
-        # A h = h - P h + (P h)_ref 1  with  P = I + G/lam.
-        px = x + g_can(x) / lam
-        return x - px + px[reference_state]
-
-    operator = LinearOperator((n, n), matvec=elimination, dtype=float)
-    b = (c_can - c_ref) / lam
-    h = _gmres_solve(
-        operator, b, x0,
-        what="matrix-free policy evaluation",
-        context={"reference_state": reference_state},
-    )
-    h = h - h[reference_state]
-    gh = g_can(h)
-    gain_can = c_ref + float(gh[reference_state])
-    # Residual of the original evaluation equations, guardrail-style.
-    residual = c_can + gh - gain_can
-    scale = (
-        max_rate_can * 2.0 * float(np.max(np.abs(h), initial=0.0))
-        + float(np.max(np.abs(c_can), initial=0.0))
-        + abs(gain_can)
-    )
-    rel = float(np.max(np.abs(residual), initial=0.0)) / max(scale, 1e-300)
-    if rel > RESIDUAL_RTOL:
-        raise SolverError(
-            f"matrix-free policy evaluation residual {rel:.3g} exceeds "
-            f"{RESIDUAL_RTOL:g}; the induced chain is likely multichain",
-            diagnostics={
-                "backend": "kron", "residual": rel,
-                "residual_rtol": RESIDUAL_RTOL,
-            },
+    ins = obs_active()
+    if ins.enabled and ins.metrics is not None:
+        ins.metrics.gauge(UNIFORMIZATION_GAUGE).set(
+            float(np.ldexp(lam, shift))
         )
-    return float(np.ldexp(gain_can, shift)), h
+    with ins.span(
+        "policy_evaluation", backend="kron", n_states=n
+    ) as span:
+        g_apply = _policy_generator_apply(kmdp, sel)
+
+        def g_can(x: np.ndarray) -> np.ndarray:
+            # Canonical application is exact: 2**-shift times the matvec.
+            return np.ldexp(g_apply(x), -shift)
+
+        c_can = np.ldexp(
+            kmdp.costs[sel, np.arange(n)], -shift
+        )
+        c_ref = float(c_can[reference_state])
+
+        def elimination(x: np.ndarray) -> np.ndarray:
+            # A h = h - P h + (P h)_ref 1  with  P = I + G/lam.
+            px = x + g_can(x) / lam
+            return x - px + px[reference_state]
+
+        operator = LinearOperator((n, n), matvec=elimination, dtype=float)
+        b = (c_can - c_ref) / lam
+        h = _gmres_solve(
+            operator, b, x0,
+            what="matrix-free policy evaluation",
+            context={"reference_state": reference_state},
+        )
+        h = h - h[reference_state]
+        gh = g_can(h)
+        gain_can = c_ref + float(gh[reference_state])
+        # Residual of the original evaluation equations, guardrail-style.
+        residual = c_can + gh - gain_can
+        scale = (
+            max_rate_can * 2.0 * float(np.max(np.abs(h), initial=0.0))
+            + float(np.max(np.abs(c_can), initial=0.0))
+            + abs(gain_can)
+        )
+        rel = float(np.max(np.abs(residual), initial=0.0)) / max(scale, 1e-300)
+        span.attrs.update(residual=rel)
+        if rel > RESIDUAL_RTOL:
+            raise SolverError(
+                f"matrix-free policy evaluation residual {rel:.3g} exceeds "
+                f"{RESIDUAL_RTOL:g}; the induced chain is likely multichain",
+                diagnostics={
+                    "backend": "kron", "residual": rel,
+                    "residual_rtol": RESIDUAL_RTOL,
+                },
+            )
+        gain = float(np.ldexp(gain_can, shift))
+        span.attrs.update(gain=gain)
+        return gain, h
 
 
 def kron_stationary(kmdp: KroneckerCTMDP, sel: np.ndarray) -> np.ndarray:
@@ -588,9 +646,13 @@ def kron_stationary(kmdp: KroneckerCTMDP, sel: np.ndarray) -> np.ndarray:
     b[-1] = 1.0
     x0 = np.full(n, 1.0 / n)
     try:
-        p = _gmres_solve(
-            operator, b, x0, what="matrix-free stationary solve", context={}
-        )
+        with obs_active().span(
+            "stationary_solve", backend="kron", n_states=n
+        ):
+            p = _gmres_solve(
+                operator, b, x0,
+                what="matrix-free stationary solve", context={},
+            )
     except SolverError as exc:
         raise NotIrreducibleError(
             "stationary distribution is not unique or does not exist: "
@@ -645,6 +707,7 @@ def _improve_kron(
         mask = kmdp.available[a]
         if not mask.any():
             continue
+        _count_matvecs()
         values = np.ldexp(
             kmdp.costs[a] + kmdp.generators[a].matvec(bias), -shift
         )
@@ -798,6 +861,8 @@ def relative_value_iteration_kron(
             )
     else:
         lam = APERIODICITY_SLACK * max_rate if max_rate > 0 else 1.0
+    if metrics is not None:
+        metrics.gauge(UNIFORMIZATION_GAUGE).set(lam)
     state_range = np.arange(n)
     w = np.zeros(n)
     span_history: List[float] = []
@@ -815,6 +880,7 @@ def relative_value_iteration_kron(
                 mask = kmdp.available[a]
                 if not mask.any():
                     continue
+                _count_matvecs()
                 values = (
                     kmdp.costs[a] / lam
                     + w
@@ -914,6 +980,7 @@ def discounted_policy_iteration_kron(
             mask = kmdp.available[a]
             if not mask.any():
                 continue
+            _count_matvecs()
             vals = kmdp.costs[a] + kmdp.generators[a].matvec(values)
             test[a, mask] = vals[mask]
         best_val = test[sel, state_range]

@@ -39,6 +39,7 @@ from repro.ctmdp.compiled import PairIndexedCTMDP
 from repro.ctmdp.model import CTMDP
 from repro.errors import InvalidModelError, NotIrreducibleError, SolverError
 from repro.markov.generator import DEFAULT_ATOL, canonical_shift
+from repro.obs.log import get_logger
 from repro.obs.runtime import active as obs_active
 from repro.robust.guardrails import RESIDUAL_RTOL, _relative_residual
 
@@ -53,11 +54,31 @@ KRYLOV_RTOL = 1e-10
 GMRES_RESTART = 100
 GMRES_MAXITER = 200
 
+#: Series of per-solve residual records: one row per policy evaluation
+#: through the ladder, carrying which rung fired (``direct``/``gmres``),
+#: why (``reason``), the CSR ``nnz``, and the residual trajectory --
+#: a single accepted residual for the direct rung, the per-iteration
+#: preconditioned GMRES norms for the Krylov rung.
+KRYLOV_SERIES = "solver.sparse.krylov.residuals"
+
+logger = get_logger("ctmdp.sparse")
+
 
 def _direct_solve(a_csc, b: np.ndarray) -> np.ndarray:
     """Direct sparse LU solve (module-level so tests can force the
-    Krylov rung by monkeypatching, mirroring ``guardrails._dense_solve``)."""
-    return splu(a_csc).solve(b)
+    Krylov rung by monkeypatching, mirroring ``guardrails._dense_solve``).
+
+    With metrics active, records the LU fill-in -- ``(nnz(L) +
+    nnz(U)) / nnz(A)`` -- the number that explains why a direct solve
+    suddenly got slow or memory-hungry on a new model family.
+    """
+    lu = splu(a_csc)
+    ins = obs_active()
+    if ins.enabled and ins.metrics is not None:
+        ins.metrics.histogram("solver.sparse.lu_fill_factor").observe(
+            float(lu.L.nnz + lu.U.nnz) / max(int(a_csc.nnz), 1)
+        )
+    return lu.solve(b)
 
 
 def _ilu_preconditioner(a_csc) -> "Optional[LinearOperator]":
@@ -92,48 +113,115 @@ def solve_sparse_with_fallback(
     a_csc = sp.csc_array(a)
     if a_max is None:
         a_max = float(np.max(np.abs(a_csc.data), initial=1.0))
-    direct_error: "Optional[str]" = None
-    direct_residual: "Optional[float]" = None
-    try:
+    nnz = int(a_csc.nnz)
+    ins = obs_active()
+    metrics = ins.metrics if ins.enabled else None
+    with ins.span(
+        "sparse_solve", what=what, n=int(a_csc.shape[0]), nnz=nnz
+    ) as span:
+        direct_error: "Optional[str]" = None
+        direct_residual: "Optional[float]" = None
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                x = _direct_solve(a_csc, b)
+        except (RuntimeError, ValueError) as exc:
+            direct_error = str(exc)
+        else:
+            if np.all(np.isfinite(x)):
+                ok, direct_residual = True, _relative_residual(
+                    a_csc, x, b, a_max=a_max
+                )
+                if direct_residual <= residual_rtol:
+                    span.attrs.update(
+                        rung="direct", residual=direct_residual
+                    )
+                    if metrics is not None:
+                        metrics.counter("solver.sparse.direct_solves").inc()
+                        metrics.series(KRYLOV_SERIES).append(
+                            what=what,
+                            rung="direct",
+                            nnz=nnz,
+                            reason="direct residual within tolerance",
+                            iterations=0,
+                            residuals=[direct_residual],
+                            residual=direct_residual,
+                        )
+                    return x
+            else:
+                direct_error = (
+                    "direct sparse solve produced non-finite entries"
+                )
+
+        # Krylov rung: ILU-preconditioned GMRES run to the documented
+        # KRYLOV_RTOL target, accepted under the ladder's residual_rtol.
+        fallback_reason = direct_error or (
+            f"direct residual {direct_residual:.3g} > {residual_rtol:g}"
+        )
+        residuals: "List[float]" = []
+        callback = (
+            (lambda pr_norm: residuals.append(float(pr_norm)))
+            if ins.enabled
+            else None
+        )
+        precond = _ilu_preconditioner(a_csc)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            x = _direct_solve(a_csc, b)
-    except (RuntimeError, ValueError) as exc:
-        direct_error = str(exc)
-    else:
-        if np.all(np.isfinite(x)):
-            ok, direct_residual = True, _relative_residual(
-                a_csc, x, b, a_max=a_max
+            x, info = gmres(
+                a_csc,
+                b,
+                M=precond,
+                rtol=KRYLOV_RTOL,
+                atol=0.0,
+                restart=GMRES_RESTART,
+                maxiter=GMRES_MAXITER,
+                callback=callback,
+                callback_type="pr_norm",
             )
-            if direct_residual <= residual_rtol:
-                return x
-        else:
-            direct_error = "direct sparse solve produced non-finite entries"
-
-    # Krylov rung: ILU-preconditioned GMRES run to the documented
-    # KRYLOV_RTOL target, accepted under the ladder's residual_rtol.
-    precond = _ilu_preconditioner(a_csc)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore")
-        x, info = gmres(
-            a_csc,
-            b,
-            M=precond,
-            rtol=KRYLOV_RTOL,
-            atol=0.0,
-            restart=GMRES_RESTART,
-            maxiter=GMRES_MAXITER,
+        gmres_residual = (
+            _relative_residual(a_csc, x, b, a_max=a_max)
+            if np.all(np.isfinite(x))
+            else float("inf")
         )
-    gmres_residual = (
-        _relative_residual(a_csc, x, b, a_max=a_max)
-        if np.all(np.isfinite(x))
-        else float("inf")
-    )
-    if gmres_residual <= residual_rtol:
-        ins = obs_active()
-        if ins.metrics is not None:
-            ins.metrics.counter("solver.sparse.gmres_fallbacks").inc()
-        return x
+        converged = gmres_residual <= residual_rtol
+        span.attrs.update(
+            rung="gmres" if converged else "failed",
+            residual=gmres_residual,
+            gmres_iterations=len(residuals),
+        )
+        if metrics is not None:
+            metrics.series(KRYLOV_SERIES).append(
+                what=what,
+                rung="gmres" if converged else "failed",
+                nnz=nnz,
+                reason=fallback_reason,
+                iterations=len(residuals),
+                residuals=residuals,
+                residual=gmres_residual,
+            )
+        if converged:
+            if metrics is not None:
+                metrics.counter("solver.sparse.gmres_fallbacks").inc()
+            logger.info(
+                "sparse solve fell back to ILU-GMRES what=%s nnz=%d "
+                "reason=%s iterations=%d residual=%.3g",
+                what,
+                nnz,
+                fallback_reason,
+                len(residuals),
+                gmres_residual,
+            )
+            return x
+        if metrics is not None:
+            metrics.counter("solver.sparse.ladder_failures").inc()
+        logger.warning(
+            "sparse solve ladder exhausted what=%s nnz=%d reason=%s "
+            "gmres_residual=%.3g",
+            what,
+            nnz,
+            fallback_reason,
+            gmres_residual,
+        )
 
     diagnostics: "Dict[str, object]" = {
         "what": what,
@@ -186,6 +274,17 @@ def sparse_stationary_distribution(
         raise InvalidModelError(
             f"stationary distribution needs a square generator, got {gen.shape}"
         )
+    ins = obs_active()
+    with ins.span(
+        "stationary_solve", backend="sparse", n_states=int(n), nnz=int(gen.nnz)
+    ) as span:
+        p = _stationary_balance_solve(gen, n, span)
+    return p
+
+
+def _stationary_balance_solve(gen, n: int, span) -> np.ndarray:
+    """The bordered balance-system solve behind
+    :func:`sparse_stationary_distribution` (split out for the span)."""
     exit_rates = -gen.diagonal()
     shift = canonical_shift(float(np.max(exit_rates, initial=0.0)))
     # m = A^T where A = G_can^T with row n-1 := ones; so m is G_can with
@@ -213,6 +312,10 @@ def sparse_stationary_distribution(
         if np.all(np.isfinite(p))
         else float("inf")
     )
+    span.attrs.update(residual=residual)
+    ins = obs_active()
+    if ins.enabled and ins.metrics is not None:
+        ins.metrics.counter("solver.sparse.stationary_solves").inc()
     if residual > RESIDUAL_RTOL:
         raise NotIrreducibleError(
             "stationary distribution is not unique or does not exist: "

@@ -17,14 +17,29 @@ experiment drivers:
 - :mod:`repro.obs.export` -- metrics-JSON / trace-JSONL writers plus a
   run manifest (git sha, argv, seed, versions);
 - :mod:`repro.obs.log` -- stdlib ``logging`` wiring under the
-  ``repro`` namespace (the CLI's ``--log-level``).
+  ``repro`` namespace (the CLI's ``--log-level``);
+- :mod:`repro.obs.profile` -- ``PhaseProfiler``, a drop-in tracer that
+  adds CPU time and tracemalloc peaks per span and aggregates them into
+  a self/cumulative profile tree (the CLI's ``--profile-out``);
+- :mod:`repro.obs.benchtrack` -- canonical ``BENCH_*.json`` records
+  plus the noise-aware regression comparator behind
+  ``repro bench-report``.
 """
 
+from repro.obs.benchtrack import (
+    BENCH_SCHEMA,
+    MetricRecord,
+    bench_report,
+    compare,
+    load_bench,
+    record_suite,
+)
 from repro.obs.export import (
     read_metrics,
     read_trace,
     run_manifest,
     write_metrics,
+    write_profile,
     write_trace,
 )
 from repro.obs.log import configure_logging, get_logger
@@ -38,29 +53,48 @@ from repro.obs.metrics import (
     Series,
     log_buckets,
 )
+from repro.obs.profile import (
+    PhaseProfiler,
+    build_profile,
+    format_profile,
+    read_profile,
+    top_self_phase,
+)
 from repro.obs.runtime import DISABLED, Instrumentation, active, instrument
 from repro.obs.trace import SpanRecord, Tracer
 
 __all__ = [
+    "BENCH_SCHEMA",
     "DEFAULT_BUCKETS",
     "DISABLED",
     "Counter",
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "MetricRecord",
     "MetricsRegistry",
     "ObservabilityError",
+    "PhaseProfiler",
     "Series",
     "SpanRecord",
     "Tracer",
     "active",
+    "bench_report",
+    "build_profile",
+    "compare",
     "configure_logging",
+    "format_profile",
     "get_logger",
     "instrument",
+    "load_bench",
     "log_buckets",
     "read_metrics",
+    "read_profile",
     "read_trace",
+    "record_suite",
     "run_manifest",
+    "top_self_phase",
     "write_metrics",
+    "write_profile",
     "write_trace",
 ]

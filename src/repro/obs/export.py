@@ -100,6 +100,30 @@ def write_trace(
         fh.write(tracer.to_jsonl())
 
 
+def write_profile(
+    profiler,
+    path: "str | os.PathLike",
+    manifest: "Optional[Dict[str, Any]]" = None,
+) -> None:
+    """Write a :class:`~repro.obs.profile.PhaseProfiler` tree as JSON.
+
+    Same envelope as :func:`write_metrics`: a ``manifest`` block plus
+    the ``profile`` document from :meth:`PhaseProfiler.to_profile` (or
+    any pre-built profile dict -- both are accepted so tests can write
+    synthetic trees).
+    """
+    profile = (
+        profiler.to_profile() if hasattr(profiler, "to_profile") else profiler
+    )
+    payload = {
+        "manifest": manifest if manifest is not None else run_manifest(),
+        "profile": profile,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def write_admission_report(
     report,
     path: "str | os.PathLike",

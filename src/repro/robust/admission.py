@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.errors import InvalidModelError, ModelRejectedError
 from repro.markov.generator import canonical_shift
+from repro.obs.runtime import active as obs_active
 
 # -- thresholds --------------------------------------------------------------
 
@@ -626,6 +627,24 @@ def _kron_findings(kmdp, diagnostics: "Dict[str, Any]") -> "List[Finding]":
     return findings
 
 
+def _record_report(report: AdmissionReport) -> None:
+    """Labeled admission counters: one per gate, verdict, and finding.
+
+    ``admission.findings.<code>`` makes the 13 finding codes queryable
+    from a metrics export without parsing report JSON; verdict counters
+    reflect the gate-level outcome (before any pipeline-level unichain
+    escalation in :func:`admit_model`, which counts its own findings).
+    """
+    ins = obs_active()
+    if not ins.enabled or ins.metrics is None:
+        return
+    metrics = ins.metrics
+    metrics.counter("admission.gates").inc()
+    metrics.counter(f"admission.verdict.{report.verdict}").inc()
+    for finding in report.findings:
+        metrics.counter(f"admission.findings.{finding.code}").inc()
+
+
 def admit_ctmdp(
     mdp, level: str = "standard", backend: str = "auto"
 ) -> AdmissionReport:
@@ -642,8 +661,26 @@ def admit_ctmdp(
     :func:`_kron_findings`.
 
     Does not raise on findings; callers inspect the report (use
-    :func:`admit_model` for the raising pipeline).
+    :func:`admit_model` for the raising pipeline). Each call opens one
+    ``admission.gate`` span (with per-phase child spans inside) and
+    bumps the verdict/finding counters of :func:`_record_report`.
     """
+    ins = obs_active()
+    with ins.span(
+        "admission.gate",
+        level=level,
+        backend=backend,
+        n_states=int(mdp.n_states),
+    ) as span:
+        report = _admit_ctmdp_impl(mdp, level, backend)
+        span.attrs.update(verdict=report.verdict)
+        _record_report(report)
+        return report
+
+
+def _admit_ctmdp_impl(
+    mdp, level: str, backend: str
+) -> AdmissionReport:
     from repro.ctmdp.backends import BACKENDS, DENSE_STATE_LIMIT
     from repro.ctmdp.compiled import compile_ctmdp
     from repro.ctmdp.kron import KroneckerCTMDP
@@ -661,14 +698,17 @@ def admit_ctmdp(
     }
     findings: List[Finding] = []
 
+    ins = obs_active()
     if isinstance(mdp, KroneckerCTMDP):
         if mdp.n_states <= KRON_DENSIFY_LIMIT:
             diagnostics["admission_view"] = "densified-kron"
-            inner = admit_ctmdp(mdp.to_ctmdp(), level=level, backend="dense")
+            # Stays inside the caller's admission.gate span/counters.
+            inner = _admit_ctmdp_impl(mdp.to_ctmdp(), level, "dense")
             inner.diagnostics.update(diagnostics)
             return inner
         diagnostics["admission_view"] = "matrix-free-kron"
-        findings.extend(_kron_findings(mdp, diagnostics))
+        with ins.span("admission.kron"):
+            findings.extend(_kron_findings(mdp, diagnostics))
         if level == "full":
             diagnostics["condition_check"] = (
                 "skipped: matrix-free Kronecker view"
@@ -683,11 +723,12 @@ def admit_ctmdp(
         backend in ("auto", "kron") and mdp.n_states > DENSE_STATE_LIMIT
     )
     try:
-        if use_sparse:
-            comp = compile_sparse_ctmdp(mdp)
-            diagnostics["admission_view"] = "sparse"
-        else:
-            comp = compile_ctmdp(mdp)
+        with ins.span("admission.compile"):
+            if use_sparse:
+                comp = compile_sparse_ctmdp(mdp)
+                diagnostics["admission_view"] = "sparse"
+            else:
+                comp = compile_ctmdp(mdp)
     except InvalidModelError as exc:
         findings.append(Finding(
             code="empty-action-set", severity="error", message=str(exc),
@@ -698,14 +739,17 @@ def admit_ctmdp(
         )
     diagnostics["n_pairs"] = comp.n_pairs
     entries = comp.sparse_entries()
-    findings.extend(_structural_findings(comp, entries))
+    with ins.span("admission.structural"):
+        findings.extend(_structural_findings(comp, entries))
     if not any(f.code == "nonfinite-rate" for f in findings):
-        findings.extend(_numerical_findings(comp, diagnostics, entries))
+        with ins.span("admission.numerical"):
+            findings.extend(_numerical_findings(comp, diagnostics, entries))
         if level == "full" and not any(
             f.severity == "error" for f in findings
         ):
             if comp.n_states <= CONDITION_STATE_LIMIT:
-                findings.extend(_condition_findings(comp, diagnostics))
+                with ins.span("admission.condition"):
+                    findings.extend(_condition_findings(comp, diagnostics))
             else:
                 diagnostics["condition_check"] = (
                     f"skipped: n_states > {CONDITION_STATE_LIMIT}"
@@ -809,11 +853,23 @@ def admit_model(
             and not any(f.severity == "error" for f in report.findings)):
         from repro.dpm.verification import verify_all_policies_unichain
 
-        sweep = verify_all_policies_unichain(
-            model, sample_budget=sample_budget, seed=seed
-        )
+        ins = obs_active()
+        with ins.span(
+            "admission.unichain", sample_budget=sample_budget
+        ) as sweep_span:
+            sweep = verify_all_policies_unichain(
+                model, sample_budget=sample_budget, seed=seed
+            )
+            sweep_span.attrs.update(
+                policies_checked=sweep.n_policies_checked,
+                violations=len(sweep.violations),
+            )
         report.diagnostics["unichain_policies_checked"] = sweep.n_policies_checked
         report.diagnostics["unichain_exhaustive"] = sweep.exhaustive
+        if ins.enabled and ins.metrics is not None and sweep.violations:
+            ins.metrics.counter(
+                "admission.findings.multichain-policy"
+            ).inc(len(sweep.violations))
         for assignment in sweep.violations:
             first = next(iter(assignment.items()))
             report.findings.append(Finding(

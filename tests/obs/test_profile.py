@@ -1,0 +1,176 @@
+"""Tests for the phase profiler: per-span capture + tree aggregation."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs.export import write_profile
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    build_profile,
+    flatten_profile,
+    format_profile,
+    read_profile,
+    top_self_phase,
+)
+from repro.obs.runtime import active, instrument
+
+
+class TestPhaseProfiler:
+    def test_is_a_tracer(self):
+        """instrument(tracer=profiler) must serve existing span sites."""
+        profiler = PhaseProfiler(trace_malloc=False)
+        with instrument(tracer=profiler):
+            with active().span("phase", n=1) as span:
+                span.attrs.update(extra=2)
+        profiler.close()
+        (record,) = profiler.records
+        assert record.name == "phase"
+        assert record.attrs == {"n": 1, "extra": 2}
+        assert record.span_id in profiler.profiles
+
+    def test_cpu_time_recorded(self):
+        profiler = PhaseProfiler(trace_malloc=False)
+        with profiler.span("spin") as span:
+            deadline = time.process_time() + 0.01
+            while time.process_time() < deadline:
+                pass
+        profile = profiler.profiles[span.span_id]
+        profiler.close()
+        assert profile["cpu_s"] >= 0.009
+        assert "alloc_peak_bytes" not in profile
+
+    def test_alloc_peak_attributed_to_span(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.span("alloc") as span:
+                blob = bytearray(4_000_000)
+            del blob
+            peak = profiler.profiles[span.span_id]["alloc_peak_bytes"]
+            assert peak >= 4_000_000
+        finally:
+            profiler.close()
+
+    def test_nested_child_peak_folds_into_parent(self):
+        """A parent's peak is never below the largest child peak."""
+        profiler = PhaseProfiler()
+        try:
+            with profiler.span("parent") as parent:
+                with profiler.span("child") as child:
+                    blob = bytearray(4_000_000)
+                    del blob
+                # Child's allocation is freed; the parent frame must
+                # still remember the high-water mark it caused.
+            profs = profiler.profiles
+            assert (
+                profs[parent.span_id]["alloc_peak_bytes"]
+                >= profs[child.span_id]["alloc_peak_bytes"]
+                >= 4_000_000
+            )
+        finally:
+            profiler.close()
+
+    def test_close_idempotent_and_releases_tracemalloc(self):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        profiler = PhaseProfiler()
+        profiler.close()
+        profiler.close()
+        assert tracemalloc.is_tracing() == was_tracing
+
+
+class TestBuildProfile:
+    def _spans(self):
+        """root(1.0s) -> a(0.6s, called twice) -> b(0.2s)."""
+        return [
+            {"span_id": 1, "parent_id": None, "name": "root",
+             "start": 0.0, "duration": 1.0, "attrs": {}},
+            {"span_id": 2, "parent_id": 1, "name": "a",
+             "start": 0.1, "duration": 0.4, "attrs": {}},
+            {"span_id": 3, "parent_id": 1, "name": "a",
+             "start": 0.5, "duration": 0.2, "attrs": {}},
+            {"span_id": 4, "parent_id": 2, "name": "b",
+             "start": 0.2, "duration": 0.2, "attrs": {}},
+        ]
+
+    def test_self_and_cumulative_math(self):
+        profile = build_profile(self._spans())
+        assert profile["schema"] == PROFILE_SCHEMA
+        nodes = {n["path"]: n for n in flatten_profile(profile)}
+        assert nodes["root"]["cum_s"] == 1.0
+        assert abs(nodes["root"]["self_s"] - 0.4) < 1e-12  # 1.0 - 0.6
+        assert nodes["root/a"]["calls"] == 2
+        assert abs(nodes["root/a"]["cum_s"] - 0.6) < 1e-12
+        assert abs(nodes["root/a"]["self_s"] - 0.4) < 1e-12
+        assert nodes["root/a/b"]["self_s"] == 0.2
+        assert profile["total_s"] == 1.0
+
+    def test_open_spans_skipped(self):
+        spans = self._spans()
+        spans[1]["duration"] = None
+        profile = build_profile(spans)
+        paths = {n["path"] for n in flatten_profile(profile)}
+        assert "root" in paths
+        # The open span is skipped but its sibling (same path) remains.
+        assert {"root/a", "root/a/b"} <= paths
+
+    def test_top_self_phase(self):
+        top = top_self_phase(build_profile(self._spans()))
+        # root and root/a tie at 0.4 self; path breaks the tie.
+        assert top["path"] == "root/a"
+        assert top_self_phase({"tree": []}) is None
+
+    def test_cpu_and_alloc_folded_in(self):
+        profiles = {
+            1: {"cpu_s": 0.5, "alloc_peak_bytes": 100},
+            2: {"cpu_s": 0.2, "alloc_peak_bytes": 900},
+            3: {"cpu_s": 0.1, "alloc_peak_bytes": 200},
+        }
+        profile = build_profile(self._spans(), profiles)
+        nodes = {n["path"]: n for n in flatten_profile(profile)}
+        assert abs(nodes["root/a"]["cum_cpu_s"] - 0.3) < 1e-12
+        assert nodes["root/a"]["alloc_peak_bytes"] == 900  # max, not sum
+        assert abs(nodes["root"]["self_cpu_s"] - 0.2) < 1e-12
+
+
+class TestProfileIO:
+    def test_write_read_round_trip(self, tmp_path):
+        profiler = PhaseProfiler(trace_malloc=False)
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        profiler.close()
+        path = tmp_path / "profile.json"
+        write_profile(profiler, path, manifest={"seed": 7})
+        doc = json.loads(path.read_text())
+        assert doc["manifest"] == {"seed": 7}
+        profile = read_profile(path)
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert [n["name"] for n in profile["tree"]] == ["outer"]
+        assert profile["tree"][0]["children"][0]["name"] == "inner"
+
+    def test_read_bare_document(self, tmp_path):
+        profiler = PhaseProfiler(trace_malloc=False)
+        with profiler.span("solo"):
+            pass
+        profiler.close()
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(profiler.to_profile()))
+        assert read_profile(path)["tree"][0]["name"] == "solo"
+
+    def test_format_profile_renders_tree_and_flat(self):
+        profiler = PhaseProfiler(trace_malloc=False)
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        profiler.close()
+        text = format_profile(profiler.to_profile())
+        assert "phase tree (wall-clock):" in text
+        assert "  inner" in text  # indented under outer
+        assert "outer/inner" in text  # flat table path
+        assert "total:" in text
+        by_cum = format_profile(profiler.to_profile(), sort="cum")
+        assert "hot phases (by cum_s" in by_cum

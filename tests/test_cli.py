@@ -410,3 +410,180 @@ class TestValidateCommand:
     def test_level_entry_is_cheap(self, capsys):
         assert main(["validate", "--level", "entry"]) == 0
         assert "verdict: ok" in capsys.readouterr().out
+
+
+class TestProfileFlagAndCommand:
+    """--profile-out capture plus the ``repro profile`` renderer."""
+
+    def test_solve_writes_profile(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["solve", "--profile-out", str(path)]) == 0
+        from repro.obs.profile import read_profile, top_self_phase
+
+        profile = read_profile(path)
+        assert profile["schema"] == "repro-profile/v1"
+        assert profile["tree"]
+        assert top_self_phase(profile)["self_s"] >= 0.0
+        assert f"profile written to {path}" in capsys.readouterr().out
+
+    def test_profile_command_renders(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["solve", "--profile-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase tree (wall-clock):" in out
+        assert "hot phases" in out
+        assert main(["profile", str(path), "--sort", "cum"]) == 0
+
+    def test_profile_and_trace_agree(self, tmp_path, capsys):
+        """Acceptance: the profile's top self-time phase is a span the
+        trace recorded, and the instrumented run leaves an auditable
+        backend decision + Krylov residual rows in the metrics."""
+        import json
+
+        m, t, p = (tmp_path / n for n in ("m.json", "t.jsonl", "p.json"))
+        assert (
+            main(
+                [
+                    "solve",
+                    "--capacity",
+                    "600",
+                    "--backend",
+                    "sparse",
+                    "--metrics-out",
+                    str(m),
+                    "--trace-out",
+                    str(t),
+                    "--profile-out",
+                    str(p),
+                ]
+            )
+            == 0
+        )
+        from repro.obs.export import read_metrics, read_trace
+        from repro.obs.profile import read_profile, top_self_phase
+
+        metrics = read_metrics(m)["metrics"]
+        (decision,) = metrics["solver.backend.decisions"]["records"]
+        assert decision["resolved"] == "sparse"
+        assert decision["reason"]
+        rows = metrics["solver.sparse.krylov.residuals"]["records"]
+        assert rows and all(r["residuals"] for r in rows)
+        _, spans = read_trace(t)
+        span_names = {s["name"] for s in spans}
+        assert "sparse_solve" in span_names
+        top = top_self_phase(read_profile(p))
+        assert top["name"] in span_names
+
+
+class TestBenchReportCommand:
+    def _bench_dir(self, root, solve_s):
+        from repro.obs.benchtrack import record_suite
+
+        root.mkdir(exist_ok=True)
+        record_suite(
+            root / "BENCH_demo.json",
+            "suite",
+            {"solve_s": solve_s, "n_states": 10},
+            manifest={},
+        )
+        return root
+
+    def test_trend_mode(self, tmp_path, capsys):
+        bench = self._bench_dir(tmp_path / "bench", 1.0)
+        assert main(["bench-report", "--bench-dir", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_demo.json" in out
+        assert "suite.solve_s" in out
+
+    def test_check_requires_baseline(self, capsys):
+        assert main(["bench-report", "--check"]) == 2
+        assert "--check needs --baseline" in capsys.readouterr().err
+
+    def test_self_compare_passes_check(self, tmp_path, capsys):
+        bench = self._bench_dir(tmp_path / "bench", 1.0)
+        assert (
+            main(
+                [
+                    "bench-report",
+                    "--bench-dir",
+                    str(bench),
+                    "--baseline",
+                    str(bench),
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        assert "check passed" in capsys.readouterr().out
+
+    def test_synthetic_regression_fails_check(self, tmp_path, capsys):
+        from repro.cli import EXIT_BENCH_REGRESSION
+
+        baseline = self._bench_dir(tmp_path / "baseline", 1.0)
+        current = self._bench_dir(tmp_path / "current", 1.25)
+        assert (
+            main(
+                [
+                    "bench-report",
+                    "--bench-dir",
+                    str(current),
+                    "--baseline",
+                    str(baseline),
+                    "--check",
+                ]
+            )
+            == EXIT_BENCH_REGRESSION
+        )
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "FAILED" in captured.err
+
+    def test_only_filter(self, tmp_path, capsys):
+        baseline = self._bench_dir(tmp_path / "baseline", 1.0)
+        current = self._bench_dir(tmp_path / "current", 1.25)
+        assert (
+            main(
+                [
+                    "bench-report",
+                    "--bench-dir",
+                    str(current),
+                    "--baseline",
+                    str(baseline),
+                    "--only",
+                    "n_states",
+                    "--check",
+                ]
+            )
+            == 0
+        )
+
+
+class TestValidateObservability:
+    def test_metrics_and_trace_passthrough(self, tmp_path, capsys):
+        m, t = tmp_path / "m.json", tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "validate",
+                    "--metrics-out",
+                    str(m),
+                    "--trace-out",
+                    str(t),
+                ]
+            )
+            == 0
+        )
+        from repro.obs.export import read_metrics, read_trace
+
+        metrics = read_metrics(m)["metrics"]
+        assert metrics["admission.gates"]["value"] >= 1
+        verdicts = [
+            n for n in metrics if n.startswith("admission.verdict.")
+        ]
+        assert verdicts
+        _, spans = read_trace(t)
+        names = {s["name"] for s in spans}
+        assert "admission.gate" in names
+        assert "admission.structural" in names
