@@ -22,6 +22,14 @@ appends a row to the :data:`DECISION_SERIES` series (requested backend,
 resolved tier, state count, reason) and bumps a per-tier counter;
 ``auto`` selections additionally emit a structured log line so a model
 silently landing on a weaker tier is visible at ``--log-level info``.
+
+The sparse and kron tiers additionally carry the cross-solve reuse
+layer (:mod:`repro.ctmdp.reuse`, DESIGN §12): within a solve,
+evaluation systems are updated in place and factorizations reused
+across improvement rounds; across solves, the DPM sweeps seed each
+weight with its neighbor's converged policy. Reuse never changes
+results -- converged policies are re-evaluated through the standard
+ladder -- and is observable through the ``solver.reuse.*`` counters.
 """
 
 from __future__ import annotations

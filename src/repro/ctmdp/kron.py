@@ -527,11 +527,16 @@ def _gmres_solve(operator, b, x0, what: str, context: "Dict") -> np.ndarray:
         span.attrs.update(iterations=len(residuals), converged=converged)
         if metrics is not None:
             metrics.counter("solver.kron.gmres_solves").inc()
+            if x0 is not None:
+                # Warm-started from a previous round's solution (the
+                # cross-solve reuse layer's matrix-free leg).
+                metrics.counter("solver.reuse.gmres_warm_starts").inc()
             metrics.series(KRYLOV_SERIES).append(
                 what=what,
                 iterations=len(residuals),
                 residuals=residuals,
                 converged=converged,
+                warm_started=x0 is not None,
             )
     if info != 0 or not np.all(np.isfinite(x)):
         raise SolverError(

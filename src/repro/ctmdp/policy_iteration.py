@@ -384,6 +384,7 @@ def _policy_iteration_sparse(
     atol: float,
     reference_state: int,
     time_budget_s: "Optional[float]" = None,
+    reuse: bool = True,
 ) -> PolicyIterationResult:
     """Policy iteration over the CSR lowering.
 
@@ -393,6 +394,15 @@ def _policy_iteration_sparse(
     assembled as a sparse block matrix each round and solved through the
     :mod:`repro.ctmdp.sparse` direct/Krylov ladder, and the sweep's test
     quantities come from one sparse matvec.
+
+    With ``reuse`` (default), intermediate evaluations run through the
+    :class:`repro.ctmdp.reuse.BorderedSystemCache` ladder -- in-place
+    CSR row surgery instead of per-round re-lowering, and stale-LU
+    preconditioned GMRES instead of per-round refactorization. Reused
+    solves only steer the improvement trajectory: the converged policy
+    is always re-evaluated through the standard ladder, so the returned
+    gain/bias/stationary are bit-identical to a ``reuse=False`` solve
+    of the same converged policy (DESIGN §12).
     """
     import scipy.sparse as sp
 
@@ -448,12 +458,29 @@ def _policy_iteration_sparse(
         )
         return float(np.ldexp(solution[n], shift)), solution[:n]
 
+    reuse_cache = None
+    if reuse:
+        from repro.ctmdp.reuse import BorderedSystemCache
+
+        reuse_cache = BorderedSystemCache(g_can, n, reference_state)
+
+    def solve_rows_reused(rows: np.ndarray) -> "tuple[float, np.ndarray]":
+        np.negative(c_can[rows], out=b[:n])
+        solution = reuse_cache.solve(
+            rows, b, max(1.0, float(np.max(row_inf[rows])))
+        )
+        return float(np.ldexp(solution[n], shift)), solution[:n]
+
     started = time.perf_counter()
     cycles = _CycleDetector()
     gain_history: List[float] = []
     if ins.enabled:
         sweep_start = time.perf_counter()
+    # The initial evaluation always runs the standard ladder so the
+    # reuse path and a cold solve share their starting point exactly;
+    # `exact` tracks whether the current (gain, bias) came off it.
     gain, bias = solve_rows(sel)
+    exact = True
     gain_history.append(gain)
     series = _convergence_series(metrics) if metrics is not None else None
     if series is not None:
@@ -482,7 +509,11 @@ def _policy_iteration_sparse(
                     sel.tobytes(), iteration, gain_history,
                     _policy_payload(comp.assignment_from_rows(sel)),
                 )
-                gain, bias = solve_rows(sel)
+                if reuse_cache is not None:
+                    gain, bias = solve_rows_reused(sel)
+                    exact = False
+                else:
+                    gain, bias = solve_rows(sel)
             gain_history.append(gain)
             if series is not None:
                 series.append(
@@ -494,6 +525,19 @@ def _policy_iteration_sparse(
                     sweep_s=time.perf_counter() - sweep_start,
                 )
             if not changed:
+                if not exact:
+                    # Reused solves hold the ladder's residual tolerance
+                    # but not the standard rung's exact bit pattern; the
+                    # converged policy's returned evaluation must be the
+                    # one a cold solve would produce, so re-run it
+                    # through the standard ladder (cold solves obtain
+                    # their final values from this same call).
+                    gain, bias = solve_rows(sel)
+                    gain_history[-1] = gain
+                    if metrics is not None:
+                        metrics.counter(
+                            "solver.reuse.final_reevaluations"
+                        ).inc()
                 if ins.enabled:
                     span.attrs.update(iterations=iteration, gain=gain)
                     if metrics is not None:
@@ -534,6 +578,7 @@ def policy_iteration(
     reference_state: int = 0,
     backend: str = "auto",
     time_budget_s: Optional[float] = None,
+    reuse: bool = True,
 ) -> PolicyIterationResult:
     """Solve a unichain average-cost CTMDP by policy iteration.
 
@@ -568,6 +613,14 @@ def policy_iteration(
         Optional wall-clock budget; exceeding it raises a structured
         :class:`SolverError` (``reason: time_budget_exceeded``) instead
         of running unbounded on a pathological model.
+    reuse:
+        Enable the within-solve reuse ladder on the sparse tier
+        (:mod:`repro.ctmdp.reuse`): incremental CSR updates and stale-LU
+        preconditioned evaluations between improvement rounds. The
+        converged policy is always re-evaluated through the standard
+        ladder, so results are bit-identical either way;
+        ``reuse=False`` restores the round-per-round rebuild (the bench
+        cold leg). Other tiers ignore the flag.
 
     Raises
     ------
@@ -592,7 +645,7 @@ def policy_iteration(
     if backend == "sparse":
         return _policy_iteration_sparse(
             mdp, initial_policy, max_iterations, atol, reference_state,
-            time_budget_s,
+            time_budget_s, reuse=reuse,
         )
     if backend == "compiled":
         return _policy_iteration_compiled(

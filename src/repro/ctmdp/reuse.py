@@ -1,0 +1,331 @@
+"""Within-solve reuse for the sparse policy-evaluation ladder.
+
+Sparse policy iteration solves the same bordered linear system shape
+every round -- selected canonical generator rows, a ``-1`` gain column,
+one reference row -- and between consecutive rounds the improvement
+step typically moves only a handful of states' actions. Yet the
+baseline path re-lowers the matrix (fancy-index + ``block_array``) and
+refactorizes (``splu``) from scratch each round. This module is the
+within-solve level of the cross-solve reuse layer (DESIGN §12):
+
+1. **Structural reuse.** :class:`BorderedSystemCache` keeps the bordered
+   CSR evaluation matrix alive across rounds and, when the changed rows
+   keep their sparsity counts (the common case: swapping one switch
+   destination for another), updates ``indices``/``data`` *in place*
+   (row surgery) instead of reassembling -- and even the reassembly is
+   a vectorized gather, never a ``block_array`` re-lowering.
+2. **Factorization reuse.** The last LU factorization is kept and, when
+   fewer than :data:`REUSE_MAX_CHANGED_FRACTION` of the rows changed,
+   the new system is solved by GMRES *preconditioned by the stale LU*
+   and warm-started at the previous solution vector -- a few matvecs
+   instead of a fresh factorization. The rung self-invalidates: if the
+   preconditioned solve misses :data:`~repro.ctmdp.sparse.KRYLOV_RTOL`
+   within one restart cycle, the cache refactorizes and refreshes.
+
+Correctness contract: every reused solve is *advisory* -- it only
+steers the policy-improvement trajectory. At convergence the sparse PI
+driver re-evaluates the final policy through the standard ladder
+(:func:`repro.ctmdp.sparse.solve_sparse_with_fallback`), so converged
+gains, biases, and stationary distributions are produced by exactly the
+same computation as a cold solve of the same policy -- bit-identical
+results, enforced by the warm/cold equivalence suite.
+
+All acceptance tests reuse the ladder's documented tolerances: a
+reused-LU solution is accepted only under the same relative-residual
+bound (``RESIDUAL_RTOL``) as every other rung, after running GMRES to
+``KRYLOV_RTOL``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import LinearOperator, gmres, splu
+
+from repro.obs.log import get_logger
+from repro.obs.runtime import active as obs_active
+from repro.robust.guardrails import RESIDUAL_RTOL, _relative_residual
+
+#: Largest fraction of evaluation rows that may change between rounds
+#: for the stale-LU GMRES rung to be attempted; beyond it the old
+#: factorization is too far from the new matrix to precondition well
+#: and the cache refactorizes directly.
+REUSE_MAX_CHANGED_FRACTION = 0.25
+
+#: Outer (restart) cycles granted to the reused-LU GMRES rung before it
+#: is declared a miss and the cache refactorizes. One cycle of
+#: :data:`repro.ctmdp.sparse.GMRES_RESTART` inner iterations is ample:
+#: with an exact-LU preconditioner of a matrix differing in ``k`` rows,
+#: GMRES converges in about ``k + 1`` iterations.
+REUSE_GMRES_MAXITER = 1
+
+logger = get_logger("ctmdp.reuse")
+
+
+def _concat_ranges(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` flattened -- the gather-offset helper."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.intp) - np.repeat(ends - counts, counts)
+
+
+class BorderedSystemCache:
+    """Incrementally maintained bordered policy-evaluation system.
+
+    Holds the ``(n+1, n+1)`` CSR matrix ``[[G_can[sel], -1], [e_ref, 0]]``
+    for the current row selection ``sel`` and the most recent LU
+    factorization / solution vector, exposing one :meth:`solve` that
+    runs the reuse ladder (stale-LU GMRES, then fresh LU, then the full
+    sparse fallback ladder).
+    """
+
+    def __init__(
+        self,
+        g_can,
+        n_states: int,
+        reference_state: int,
+        what: str = "policy evaluation system",
+    ) -> None:
+        g_can = sp.csr_array(g_can)
+        self._gp = g_can.indptr
+        self._gi = g_can.indices
+        self._gd = g_can.data
+        self._pair_counts = np.diff(self._gp)
+        self.n = int(n_states)
+        self.ref = int(reference_state)
+        self.what = what
+        self.sel: "Optional[np.ndarray]" = None
+        self._matrix = None
+        self._lu = None
+        self._lu_sel: "Optional[np.ndarray]" = None
+        self._solution: "Optional[np.ndarray]" = None
+
+    # -- structural maintenance ---------------------------------------------
+
+    def _assemble(self, sel: np.ndarray):
+        """Vectorized full assembly of the bordered CSR arrays."""
+        n = self.n
+        counts = self._pair_counts[sel]
+        indptr = np.empty(n + 2, dtype=np.intp)
+        indptr[0] = 0
+        np.cumsum(counts + 1, out=indptr[1 : n + 1])
+        indptr[n + 1] = indptr[n] + 1
+        total = int(counts.sum())
+        offs = _concat_ranges(counts)
+        src = np.repeat(self._gp[sel], counts) + offs
+        dst = np.repeat(indptr[:n], counts) + offs
+        indices = np.empty(total + n + 1, dtype=np.intp)
+        data = np.empty(total + n + 1)
+        indices[dst] = self._gi[src]
+        data[dst] = self._gd[src]
+        border = indptr[1 : n + 1] - 1
+        indices[border] = n
+        data[border] = -1.0
+        indices[-1] = self.ref
+        data[-1] = 1.0
+        self._matrix = sp.csr_array(
+            (data, indices, indptr), shape=(n + 1, n + 1)
+        )
+        self.sel = sel.copy()
+
+    def system_for(self, sel: np.ndarray):
+        """The bordered CSR matrix of *sel*, updated incrementally.
+
+        When every changed row keeps its nonzero count, only the
+        affected ``indices``/``data`` segments are rewritten in place
+        (``solver.reuse.incremental_update_rows`` counts them); a
+        sparsity change triggers a vectorized full reassembly.
+        """
+        ins = obs_active()
+        metrics = ins.metrics if ins.enabled else None
+        if self._matrix is None:
+            self._assemble(sel)
+            if metrics is not None:
+                metrics.counter("solver.reuse.full_assemblies").inc()
+            return self._matrix
+        changed = np.flatnonzero(sel != self.sel)
+        if changed.size == 0:
+            return self._matrix
+        new_counts = self._pair_counts[sel[changed]]
+        if np.array_equal(new_counts, self._pair_counts[self.sel[changed]]):
+            offs = _concat_ranges(new_counts)
+            src = np.repeat(self._gp[sel[changed]], new_counts) + offs
+            dst = (
+                np.repeat(self._matrix.indptr[changed], new_counts) + offs
+            )
+            self._matrix.indices[dst] = self._gi[src]
+            self._matrix.data[dst] = self._gd[src]
+            self.sel = sel.copy()
+            if metrics is not None:
+                metrics.counter("solver.reuse.incremental_updates").inc()
+                metrics.counter(
+                    "solver.reuse.incremental_update_rows"
+                ).inc(int(changed.size))
+        else:
+            self._assemble(sel)
+            if metrics is not None:
+                metrics.counter("solver.reuse.full_assemblies").inc()
+        return self._matrix
+
+    # -- the reuse ladder ----------------------------------------------------
+
+    def _reused_lu_gmres(
+        self, a, b: np.ndarray, a_max: float, changed: int
+    ) -> "Optional[np.ndarray]":
+        """Stale-LU-preconditioned, warm-started GMRES; None on a miss."""
+        from repro.ctmdp.sparse import GMRES_RESTART, KRYLOV_RTOL, KRYLOV_SERIES
+
+        ins = obs_active()
+        metrics = ins.metrics if ins.enabled else None
+        residuals = []
+        callback = (
+            (lambda pr_norm: residuals.append(float(pr_norm)))
+            if ins.enabled
+            else None
+        )
+        precond = LinearOperator(
+            a.shape, matvec=self._lu.solve, dtype=float
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            x, _ = gmres(
+                a,
+                b,
+                M=precond,
+                x0=self._solution,
+                rtol=KRYLOV_RTOL,
+                atol=0.0,
+                restart=GMRES_RESTART,
+                maxiter=REUSE_GMRES_MAXITER,
+                callback=callback,
+                callback_type="pr_norm",
+            )
+        residual = (
+            _relative_residual(a, x, b, a_max=a_max)
+            if np.all(np.isfinite(x))
+            else float("inf")
+        )
+        if residual > RESIDUAL_RTOL:
+            if metrics is not None:
+                metrics.counter("solver.reuse.reuse_misses").inc()
+            logger.debug(
+                "reused-LU rung missed: %d changed rows, residual %.3g",
+                changed,
+                residual,
+            )
+            return None
+        if metrics is not None:
+            metrics.counter("solver.reuse.factorization_reuses").inc()
+            metrics.counter("solver.reuse.gmres_warm_starts").inc()
+            metrics.series(KRYLOV_SERIES).append(
+                what=self.what,
+                rung="reused_lu",
+                nnz=int(a.nnz),
+                reason=f"{changed} rows changed since last factorization",
+                iterations=len(residuals),
+                residuals=residuals or [residual],
+                residual=residual,
+            )
+        return x
+
+    def solve(self, sel: np.ndarray, b: np.ndarray, a_max: float) -> np.ndarray:
+        """Solve the bordered system of *sel* through the reuse ladder.
+
+        Rungs, in order: stale-LU-preconditioned GMRES (when a
+        factorization exists and few enough rows changed), fresh sparse
+        LU (stored for subsequent reuse), then the full
+        :func:`~repro.ctmdp.sparse.solve_sparse_with_fallback` ladder.
+        The accepted solution always satisfies the ladder's
+        ``RESIDUAL_RTOL`` relative-residual contract.
+        """
+        a = self.system_for(sel)
+        if self._lu is not None and self._lu_sel is not None:
+            changed = int(np.count_nonzero(sel != self._lu_sel))
+            if changed <= REUSE_MAX_CHANGED_FRACTION * self.n:
+                x = self._reused_lu_gmres(a, b, a_max, changed)
+                if x is not None:
+                    self._solution = x
+                    return x
+        x = self._refactorize(a, b, a_max)
+        self._solution = x
+        return x
+
+    def _refactorize(self, a, b: np.ndarray, a_max: float) -> np.ndarray:
+        """Fresh LU of the current system; falls back to the full ladder.
+
+        One deliberate divergence from the standard ladder: when the LU
+        itself signals a *singular* system (factorization failure or a
+        non-finite solution), this raises immediately instead of
+        attempting the ILU-GMRES rescue rung. Mid-iteration evaluation
+        systems are singular exactly when the improvement step picked a
+        (numerically) multichain policy -- warm-start seeds can steer
+        into one -- and the Krylov rung cannot converge on a singular
+        matrix; it only burns its full iteration budget before failing.
+        Sweeps treat the fast failure as a rejected seed and re-solve
+        cold. Finite-but-inaccurate LU solutions (ill-conditioning, not
+        singularity) still fall through to the standard ladder.
+        """
+        from repro.ctmdp.sparse import KRYLOV_SERIES, solve_sparse_with_fallback
+        from repro.errors import SolverError
+
+        ins = obs_active()
+        metrics = ins.metrics if ins.enabled else None
+        a_csc = sp.csc_array(a)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                lu = splu(a_csc)
+                x = lu.solve(b)
+        except (RuntimeError, ValueError) as exc:
+            self._lu = None
+            self._lu_sel = None
+            raise SolverError(
+                f"{self.what} is singular under the current policy "
+                "selection (LU factorization failed); the improvement "
+                "step reached a multichain policy -- warm-started solves "
+                "fall back to a cold start",
+                diagnostics={"reason": "singular_reuse_system"},
+            ) from exc
+        if not np.all(np.isfinite(x)):
+            self._lu = None
+            self._lu_sel = None
+            raise SolverError(
+                f"{self.what} is singular under the current policy "
+                "selection (LU solution is non-finite); the improvement "
+                "step reached a multichain policy -- warm-started solves "
+                "fall back to a cold start",
+                diagnostics={"reason": "singular_reuse_system"},
+            )
+        residual = _relative_residual(a_csc, x, b, a_max=a_max)
+        if residual <= RESIDUAL_RTOL:
+            self._lu = lu
+            self._lu_sel = self.sel.copy()
+            if metrics is not None:
+                metrics.counter("solver.reuse.refactorizations").inc()
+                metrics.series(KRYLOV_SERIES).append(
+                    what=self.what,
+                    rung="direct",
+                    nnz=int(a_csc.nnz),
+                    reason="reuse-cache refactorization",
+                    iterations=0,
+                    residuals=[residual],
+                    residual=residual,
+                )
+            return x
+        # The cached factorization is stale and the fresh LU failed its
+        # acceptance test -- drop both and run the standard ladder (its
+        # GMRES rung still gets a warm start from the last solution).
+        self._lu = None
+        self._lu_sel = None
+        return solve_sparse_with_fallback(
+            a,
+            b,
+            what=self.what,
+            a_max=a_max,
+            x0=self._solution,
+        )

@@ -54,6 +54,19 @@ KRYLOV_RTOL = 1e-10
 GMRES_RESTART = 100
 GMRES_MAXITER = 200
 
+#: ILU preconditioner knobs for the GMRES rung. ``ILU_DROP_TOL`` is the
+#: ``spilu`` magnitude threshold below which fill-in entries are
+#: discarded -- small enough that the incomplete factors of the
+#: canonically rescaled (unit-magnitude) evaluation systems stay close
+#: to the exact LU, so GMRES typically converges in a handful of
+#: iterations. ``ILU_FILL_FACTOR`` caps the factors' growth at 10x the
+#: input's nnz, bounding the rung's memory at a small multiple of the
+#: model itself. Both values land in the solve-info series rows and
+#: ``SolverError`` diagnostics so a trace can attribute GMRES behavior
+#: to the preconditioner configuration that produced it.
+ILU_DROP_TOL = 1e-6
+ILU_FILL_FACTOR = 10.0
+
 #: Series of per-solve residual records: one row per policy evaluation
 #: through the ladder, carrying which rung fired (``direct``/``gmres``),
 #: why (``reason``), the CSR ``nnz``, and the residual trajectory --
@@ -81,18 +94,37 @@ def _direct_solve(a_csc, b: np.ndarray) -> np.ndarray:
     return lu.solve(b)
 
 
-def _ilu_preconditioner(a_csc) -> "Optional[LinearOperator]":
-    """ILU preconditioner for GMRES; Jacobi when ILU breaks down."""
+def _ilu_preconditioner(a_csc) -> "Tuple[LinearOperator, Dict[str, object]]":
+    """ILU preconditioner for GMRES; Jacobi when ILU breaks down.
+
+    Returns the operator plus a solve-info dict naming the
+    preconditioner kind and the :data:`ILU_DROP_TOL` /
+    :data:`ILU_FILL_FACTOR` knobs it was built with, which the ladder
+    copies into its telemetry rows and error diagnostics.
+    """
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            ilu = spilu(a_csc, drop_tol=1e-6, fill_factor=10.0)
-        return LinearOperator(a_csc.shape, matvec=ilu.solve, dtype=float)
+            ilu = spilu(
+                a_csc, drop_tol=ILU_DROP_TOL, fill_factor=ILU_FILL_FACTOR
+            )
+        info: "Dict[str, object]" = {
+            "preconditioner": "ilu",
+            "ilu_drop_tol": ILU_DROP_TOL,
+            "ilu_fill_factor": ILU_FILL_FACTOR,
+        }
+        return (
+            LinearOperator(a_csc.shape, matvec=ilu.solve, dtype=float),
+            info,
+        )
     except Exception:
         diag = a_csc.diagonal()
         scale = np.where(np.abs(diag) > 0.0, diag, 1.0)
-        return LinearOperator(
-            a_csc.shape, matvec=lambda x: x / scale, dtype=float
+        return (
+            LinearOperator(
+                a_csc.shape, matvec=lambda x: x / scale, dtype=float
+            ),
+            {"preconditioner": "jacobi"},
         )
 
 
@@ -103,12 +135,19 @@ def solve_sparse_with_fallback(
     residual_rtol: float = RESIDUAL_RTOL,
     context: "Optional[Dict]" = None,
     a_max: "Optional[float]" = None,
+    x0: "Optional[np.ndarray]" = None,
 ) -> np.ndarray:
     """Solve ``a @ x = b`` through the sparse ladder (see module doc).
 
     ``a_max`` is the caller-supplied magnitude scale of ``a`` used by
     the relative-residual test (computing it from a sparse matrix is the
     caller's O(nnz) job, done once per policy-iteration run).
+
+    ``x0`` warm-starts the GMRES rung (the direct rung ignores it): a
+    nearby previous solution -- e.g. the prior policy-iteration round's
+    value vector -- shrinks the initial residual and with it the Krylov
+    iteration count. Acceptance is unchanged: whatever the start, the
+    returned solution satisfies the ``residual_rtol`` contract.
     """
     a_csc = sp.csc_array(a)
     if a_max is None:
@@ -164,13 +203,18 @@ def solve_sparse_with_fallback(
             if ins.enabled
             else None
         )
-        precond = _ilu_preconditioner(a_csc)
+        precond, precond_info = _ilu_preconditioner(a_csc)
+        if x0 is not None and (
+            x0.shape != b.shape or not np.all(np.isfinite(x0))
+        ):
+            x0 = None
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             x, info = gmres(
                 a_csc,
                 b,
                 M=precond,
+                x0=x0,
                 rtol=KRYLOV_RTOL,
                 atol=0.0,
                 restart=GMRES_RESTART,
@@ -178,6 +222,8 @@ def solve_sparse_with_fallback(
                 callback=callback,
                 callback_type="pr_norm",
             )
+        if x0 is not None and metrics is not None:
+            metrics.counter("solver.reuse.gmres_warm_starts").inc()
         gmres_residual = (
             _relative_residual(a_csc, x, b, a_max=a_max)
             if np.all(np.isfinite(x))
@@ -188,6 +234,7 @@ def solve_sparse_with_fallback(
             rung="gmres" if converged else "failed",
             residual=gmres_residual,
             gmres_iterations=len(residuals),
+            **precond_info,
         )
         if metrics is not None:
             metrics.series(KRYLOV_SERIES).append(
@@ -196,8 +243,13 @@ def solve_sparse_with_fallback(
                 nnz=nnz,
                 reason=fallback_reason,
                 iterations=len(residuals),
-                residuals=residuals,
+                # A warm start can converge before the first pr_norm
+                # callback fires; the accepted residual keeps the row's
+                # trajectory non-empty either way.
+                residuals=residuals or [gmres_residual],
                 residual=gmres_residual,
+                warm_started=x0 is not None,
+                **precond_info,
             )
         if converged:
             if metrics is not None:
@@ -234,6 +286,7 @@ def solve_sparse_with_fallback(
         "gmres_residual": gmres_residual,
         "residual_rtol": residual_rtol,
     }
+    diagnostics.update(precond_info)
     if context:
         diagnostics.update(context)
     raise SolverError(
@@ -525,6 +578,54 @@ class SparseCTMDP(PairIndexedCTMDP):
         ).tocsr()
         return cls(states, actions, generator, cost,
                    rate_scale=rate_scale, extra=extra)
+
+    def with_cost(
+        self,
+        cost: np.ndarray,
+        extra: "Optional[Dict[str, np.ndarray]]" = None,
+    ) -> "SparseCTMDP":
+        """Structural sibling: same states/actions/generator, new costs.
+
+        This is the cross-weight reuse primitive (DESIGN §12): the
+        weighted-cost sweep only varies the cost channel, so sibling
+        models share every structural array by reference -- the CSR
+        generator, pair indexing, exit rates, the admission scan view,
+        and crucially the cached *canonical* generator, so re-weighting
+        never re-copies or re-scales O(nnz) data. Only the new cost
+        vector is validated and canonically rescaled (O(pairs)).
+        """
+        cost = np.asarray(cost, dtype=float)
+        if cost.shape != (self.n_pairs,):
+            raise InvalidModelError(
+                f"cost shape {cost.shape} does not match ({self.n_pairs},)"
+            )
+        if not np.all(np.isfinite(cost)):
+            raise InvalidModelError("cost overlay has non-finite entries")
+        sibling = object.__new__(type(self))
+        sibling.__dict__.update(self.__dict__)
+        cost = cost.copy()
+        cost.setflags(write=False)
+        sibling.cost = cost
+        if extra is not None:
+            validated: Dict[str, np.ndarray] = {}
+            for name, channel in extra.items():
+                channel = np.asarray(channel, dtype=float)
+                if channel.shape != (self.n_pairs,):
+                    raise InvalidModelError(
+                        f"extra channel {name!r} shape {channel.shape} does "
+                        f"not match ({self.n_pairs},)"
+                    )
+                channel = channel.copy()
+                channel.setflags(write=False)
+                validated[name] = channel
+            sibling.extra = validated
+        # Share the skeleton's canonical generator; only the canonical
+        # cost depends on the overlay (same exact ldexp as canonical()).
+        g_can, _, shift = self.canonical()
+        c_can = np.ldexp(cost, -shift)
+        c_can.setflags(write=False)
+        sibling._canonical = (g_can, c_can, shift)
+        return sibling
 
     # -- solver interface ----------------------------------------------------
 

@@ -29,11 +29,26 @@ from repro.ctmdp.value_iteration import relative_value_iteration
 from repro.dpm import cost as cost_channels
 from repro.dpm.analysis import AnalyticMetrics, evaluate_dpm_policy
 from repro.dpm.system import PowerManagedSystemModel
-from repro.errors import InfeasibleConstraintError, SolverError
+from repro.errors import (
+    InfeasibleConstraintError,
+    InvalidPolicyError,
+    SolverError,
+)
 from repro.obs.log import get_logger
 from repro.obs.runtime import active as obs_active
 
 SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
+
+#: Iteration budget for *seeded* policy-iteration solves. DPM models
+#: converge in well under ten improvement rounds, and a good seed in one
+#: to three -- but a harmful seed can send Howard iteration on a long
+#: excursion (hundreds of rounds, sometimes ending at a numerically
+#: multichain policy whose evaluation system is singular). Seeds are
+#: advisory, so a seeded solve that exceeds this budget is abandoned and
+#: re-run cold (``solver.reuse.warm_start_rejected``) rather than chased
+#: to wherever the excursion leads. Cold solves keep the solver's own
+#: default bound.
+WARM_START_MAX_ITERATIONS = 25
 
 logger = get_logger(__name__)
 
@@ -68,11 +83,32 @@ def _build_backend(backend: str) -> str:
     return backend
 
 
+def _seed_policy(mdp, initial_policy) -> "Optional[Policy]":
+    """Rebind a warm-start seed to *mdp* without validation.
+
+    The seed typically converged on a structural sibling (same states
+    and actions, neighboring weight), so its assignment transfers by
+    state value; the solver's own row lookup still rejects a stale
+    assignment with :class:`InvalidPolicyError`, which callers turn
+    into a cold start.
+    """
+    if initial_policy is None:
+        return None
+    assignment = (
+        initial_policy.as_dict()
+        if isinstance(initial_policy, Policy)
+        else dict(initial_policy)
+    )
+    return Policy._trusted(mdp, assignment)
+
+
 def optimize_weighted(
     model: PowerManagedSystemModel,
     weight: float,
     solver: str = "policy_iteration",
     backend: str = "auto",
+    initial_policy: "Optional[Policy]" = None,
+    reuse: bool = True,
 ) -> OptimizationResult:
     """Minimize the average rate of ``C_pow + weight * C_sq``.
 
@@ -94,6 +130,19 @@ def optimize_weighted(
         metric evaluation -- without any dense O(pairs x states)
         allocation. The LP solver is dense-only and rejects sparse/kron
         with a typed error.
+    initial_policy:
+        Optional warm-start seed for ``solver="policy_iteration"`` --
+        typically a neighboring weight's converged policy (the sweeps
+        pass it automatically). Policy iteration converges to the same
+        fixed point from any admissible start, so the result is
+        unchanged; only the number of improvement rounds shrinks. A
+        seed the model rejects -- or whose improvement path hits a
+        policy the solver cannot evaluate -- falls back to a cold
+        start (``solver.reuse.warm_start_rejected``). Other solvers
+        ignore it.
+    reuse:
+        Forwarded to :func:`repro.ctmdp.policy_iteration.policy_iteration`
+        (the within-solve reuse ladder on the sparse tier).
     """
     ins = obs_active()
     if ins.metrics is not None:
@@ -115,7 +164,39 @@ def optimize_weighted(
         else:
             mdp = model.build_ctmdp(weight, backend=_build_backend(backend))
             if solver == "policy_iteration":
-                policy = policy_iteration(mdp, backend=backend).policy
+                seed = _seed_policy(mdp, initial_policy)
+                if seed is not None and ins.metrics is not None:
+                    ins.metrics.counter("solver.reuse.warm_start_seeds").inc()
+                try:
+                    kwargs = (
+                        {"max_iterations": WARM_START_MAX_ITERATIONS}
+                        if seed is not None
+                        else {}
+                    )
+                    policy = policy_iteration(
+                        mdp, initial_policy=seed, backend=backend,
+                        reuse=reuse, **kwargs
+                    ).policy
+                except (InvalidPolicyError, KeyError, SolverError):
+                    if seed is None:
+                        raise
+                    # A stale seed (e.g. from a structurally different
+                    # model) must never change the outcome: re-solve cold.
+                    # SolverError covers the subtler hazards: a seeded
+                    # improvement path can exhaust its (deliberately
+                    # small) iteration budget, or visit an intermediate
+                    # policy whose induced chain is (numerically)
+                    # multichain -- a singular evaluation system a cold
+                    # start never encounters. Warm starts are advisory,
+                    # so any such failure falls back to the cold
+                    # trajectory.
+                    if ins.metrics is not None:
+                        ins.metrics.counter(
+                            "solver.reuse.warm_start_rejected"
+                        ).inc()
+                    policy = policy_iteration(
+                        mdp, backend=backend, reuse=reuse
+                    ).policy
             elif solver == "value_iteration":
                 policy = relative_value_iteration(
                     mdp, span_tolerance=1e-9, backend=backend
@@ -178,6 +259,28 @@ def deserialize_result(
     )
 
 
+def _warm_chain(
+    model: PowerManagedSystemModel,
+    weights: Sequence[float],
+    solver: str,
+    backend: str,
+) -> "List[OptimizationResult]":
+    """Serial sweep seeding each solve with the previous converged
+    policy. Along a weight schedule the optimum is piecewise constant,
+    so most solves start at (or one improvement step from) their own
+    fixed point."""
+    results: "List[OptimizationResult]" = []
+    previous: "Optional[Policy]" = None
+    for w in weights:
+        result = optimize_weighted(
+            model, w, solver=solver, backend=backend, initial_policy=previous
+        )
+        if isinstance(result.policy, Policy):
+            previous = result.policy
+        results.append(result)
+    return results
+
+
 def sweep_weights(
     model: PowerManagedSystemModel,
     weights: Sequence[float],
@@ -185,6 +288,7 @@ def sweep_weights(
     n_jobs: Optional[int] = None,
     checkpoint=None,
     backend: str = "auto",
+    warm_start: bool = True,
 ) -> "List[OptimizationResult]":
     """Solve for every weight in *weights* (the Figure-4 tradeoff curve).
 
@@ -195,6 +299,14 @@ def sweep_weights(
     solve (keyed ``repr(weight)``); on resume, cached weights are
     reconstructed without re-solving and the returned list is identical
     to an uninterrupted sweep.
+
+    Serial policy-iteration sweeps (``n_jobs`` absent or 1) chain warm
+    starts by default: each weight's solve is seeded with the previous
+    weight's converged policy (``warm_start=False`` restores cold
+    starts). Policy iteration reaches the same fixed point either way
+    -- the equivalence suite asserts bit-identical results -- the seed
+    only cuts the improvement rounds. Process-pool sweeps stay cold:
+    workers cannot see each other's results.
     """
     # Imported lazily: repro.sim pulls in repro.policies, which imports
     # back into repro.dpm during package initialization.
@@ -207,18 +319,26 @@ def sweep_weights(
             f"representation; backend {backend!r} cannot be combined with "
             "a checkpoint"
         )
+    chain = (
+        warm_start and solver == "policy_iteration" and n_jobs in (None, 1)
+    )
     if checkpoint is None:
+        if chain:
+            return _warm_chain(model, weights, solver, backend)
         return parallel_map(
             lambda w: optimize_weighted(model, w, solver=solver, backend=backend),
             weights,
             n_jobs=n_jobs,
         )
     missing = [w for w in weights if repr(float(w)) not in checkpoint]
-    solved = parallel_map(
-        lambda w: optimize_weighted(model, w, solver=solver, backend=backend),
-        missing,
-        n_jobs=n_jobs,
-    )
+    if chain:
+        solved = _warm_chain(model, missing, solver, backend)
+    else:
+        solved = parallel_map(
+            lambda w: optimize_weighted(model, w, solver=solver, backend=backend),
+            missing,
+            n_jobs=n_jobs,
+        )
     for w, result in zip(missing, solved):
         checkpoint.put(repr(float(w)), serialize_result(result))
     checkpoint.flush()
@@ -267,6 +387,7 @@ def find_weight_for_constraint(
     max_bisections: int = 60,
     solver: str = "policy_iteration",
     backend: str = "auto",
+    warm_start: bool = True,
 ) -> OptimizationResult:
     """The paper's Figure-3 loop: tune ``w`` until the constraint holds.
 
@@ -289,6 +410,14 @@ def find_weight_for_constraint(
         Bisection interval width (in weight units) at which to stop.
     max_bisections:
         Safety bound on iterations.
+    warm_start:
+        Seed each bisection solve with the converged policy of the
+        nearest previously solved weight (default). The optimum is
+        piecewise constant in ``w`` and bisection shrinks the interval
+        geometrically, so late midpoints almost always start at their
+        own fixed point. ``warm_start=False`` restores cold solves;
+        either way the bisection visits the same weights and returns
+        the same result.
 
     Raises
     ------
@@ -296,19 +425,32 @@ def find_weight_for_constraint(
         If even ``weight_upper_bound`` cannot meet the bound.
     """
     ins = obs_active()
+    solved: "List[tuple]" = []  # (weight, converged policy)
+
+    def solve(w: float) -> OptimizationResult:
+        seed = None
+        if warm_start and solver == "policy_iteration" and solved:
+            seed = min(solved, key=lambda item: abs(item[0] - w))[1]
+        result = optimize_weighted(
+            model, w, solver=solver, backend=backend, initial_policy=seed
+        )
+        if isinstance(result.policy, Policy):
+            solved.append((w, result.policy))
+        return result
+
     with ins.span(
         "find_weight_for_constraint",
         max_queue_length=float(max_queue_length),
         solver=solver,
     ) as span:
         low = 0.0
-        low_result = optimize_weighted(model, low, solver=solver, backend=backend)
+        low_result = solve(low)
         if low_result.metrics.average_queue_length <= max_queue_length:
             if ins.enabled:
                 span.attrs.update(weight=low, bisections=0)
             return low_result
         high = weight_upper_bound
-        high_result = optimize_weighted(model, high, solver=solver, backend=backend)
+        high_result = solve(high)
         if high_result.metrics.average_queue_length > max_queue_length:
             raise InfeasibleConstraintError(
                 f"queue-length bound {max_queue_length:g} unreachable even at "
@@ -321,7 +463,7 @@ def find_weight_for_constraint(
             if high - low <= tolerance:
                 break
             mid = 0.5 * (low + high)
-            mid_result = optimize_weighted(model, mid, solver=solver, backend=backend)
+            mid_result = solve(mid)
             bisections += 1
             if mid_result.metrics.average_queue_length <= max_queue_length:
                 high = mid

@@ -73,6 +73,7 @@ def deterministic_frontier(
     max_points: int = 200,
     checkpoint=None,
     backend: str = "auto",
+    warm_start: bool = True,
 ) -> "List[FrontierPoint]":
     """All deterministic Pareto points reachable by weighted optimization.
 
@@ -107,6 +108,15 @@ def deterministic_frontier(
         killed sweep replays cached solves exactly, so the bisection
         revisits the same weights and the final frontier is
         bit-identical to an uninterrupted run.
+    warm_start:
+        Seed each bisection solve with the converged policy of the
+        nearest previously solved weight (default;
+        ``solver="policy_iteration"`` only). The bisection explores
+        ever-narrower intervals, so most solves start inside their own
+        optimality interval and converge in one round. Policy iteration
+        reaches the same fixed point from any start, so the frontier --
+        points, policies, metrics -- is identical with or without
+        seeding (the warm-sweep suite asserts it bit-for-bit).
 
     Returns
     -------
@@ -123,6 +133,7 @@ def deterministic_frontier(
     ins = obs_active()
     points: "dict[tuple, FrontierPoint]" = {}
     solves = 0
+    solved: "List[tuple]" = []  # (weight, converged policy) seeds
 
     def record(weight: float) -> "tuple":
         nonlocal solves
@@ -130,10 +141,18 @@ def deterministic_frontier(
         if checkpoint is not None and ckpt_key in checkpoint:
             result = deserialize_result(model, checkpoint.get(ckpt_key))
         else:
-            result = optimize_weighted(model, weight, solver=solver, backend=backend)
+            seed = None
+            if warm_start and solver == "policy_iteration" and solved:
+                seed = min(solved, key=lambda item: abs(item[0] - weight))[1]
+            result = optimize_weighted(
+                model, weight, solver=solver, backend=backend,
+                initial_policy=seed,
+            )
             solves += 1
             if checkpoint is not None:
                 checkpoint.put(ckpt_key, serialize_result(result))
+        if isinstance(result.policy, Policy):
+            solved.append((weight, result.policy))
         key = _point_key(result.metrics)
         existing = points.get(key)
         if existing is None or weight < existing.weight:

@@ -136,9 +136,11 @@ class TestSweepWeightsResume:
 
         real = optimize_weighted
 
-        def counting(model, weight, solver="policy_iteration", backend="auto"):
+        def counting(
+            model, weight, solver="policy_iteration", backend="auto", **kwargs
+        ):
             solved.append(weight)
-            return real(model, weight, solver=solver, backend=backend)
+            return real(model, weight, solver=solver, backend=backend, **kwargs)
 
         monkeypatch.setattr(optimizer_module, "optimize_weighted", counting)
         resumed = sweep_weights(

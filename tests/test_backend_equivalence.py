@@ -254,3 +254,38 @@ class TestBackendResolution:
     def test_sys_build_rejects_kron(self):
         with pytest.raises(SolverError):
             paper_system().build_ctmdp(1.0, backend="kron")
+
+
+class TestReuseEquivalence:
+    """The reuse ladder never changes results: reuse=True == reuse=False.
+
+    Bit-identity holds because every converged policy is re-evaluated
+    through the standard sparse ladder before returning (DESIGN §12),
+    regardless of which reuse rungs served the intermediate rounds.
+    """
+
+    def _assert_identical(self, mdp):
+        cold = policy_iteration(mdp, backend="sparse", reuse=False)
+        warm = policy_iteration(mdp, backend="sparse", reuse=True)
+        assert warm.policy.as_dict() == cold.policy.as_dict()
+        assert warm.gain == cold.gain
+        np.testing.assert_array_equal(warm.bias, cold.bias)
+        np.testing.assert_array_equal(warm.stationary, cold.stationary)
+        assert warm.iterations == cold.iterations
+
+    def test_reuse_bit_identical_on_paper_sys(self):
+        self._assert_identical(paper_mdp())
+
+    @pytest.mark.parametrize("kind,seed", FUZZ_MODELS)
+    def test_reuse_bit_identical_on_fuzz_models(self, kind, seed):
+        self._assert_identical(fuzz_mdp(kind, seed))
+
+    def test_reuse_bit_identical_under_forced_gmres(self, monkeypatch):
+        # With the direct rung disabled, both the reuse cache's
+        # refactorization and the fallback ladder run GMRES -- results
+        # must still match a reuse-free solve bit-for-bit.
+        def broken(a_csc, b):
+            raise RuntimeError("forced direct failure")
+
+        monkeypatch.setattr(sparse_mod, "_direct_solve", broken)
+        self._assert_identical(paper_mdp())
