@@ -1,0 +1,139 @@
+"""Serving-runtime benchmarks: lookup latency, throughput, swap cost.
+
+The serving PR's promise is that the decision path is a dictionary
+lookup away from the admitted table -- no solver, no allocation storm --
+and that a hot-swap is a pointer rebind plus one atomic file write.
+Three measurements, recorded in ``BENCH_serving.json``:
+
+- **decisions/sec** through :meth:`PolicyServer.decide` over a seeded
+  request mix (informational -- absolute throughput is hardware-bound);
+- **p99 lookup latency** over the same mix, asserted under 1 ms -- the
+  budget that keeps a decision negligible next to even a capacity-3
+  re-solve;
+- **swap cost**: in-memory install (pointer rebind) and full persisted
+  swap (``ArtifactStore.save``: temp + fsync + rename), the downtime a
+  client could observe being bounded by the former.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, once
+from repro.dpm.optimizer import optimize_weighted
+from repro.dpm.presets import paper_system
+from repro.obs.benchtrack import record_suite
+from repro.serve.artifact import ArtifactStore, compile_artifact
+from repro.serve.server import PolicyServer
+
+BENCH_JSON = Path(__file__).parent / "BENCH_serving.json"
+
+#: Decisions timed per run; enough that p99 is a 10^2-sample statistic.
+N_DECISIONS = 20_000
+
+#: The decision path must stay negligible next to any re-solve.
+P99_BUDGET_S = 1e-3
+
+#: Swaps timed per run.
+N_SWAPS = 200
+
+
+def _request_mix(model, n, seed):
+    """A seeded (mode, transfer, count) request mix, valid joints only."""
+    rng = random.Random(seed)
+    active, _ = model.provider.modes[0], None
+    requests = []
+    for _ in range(n):
+        mode = rng.choice(model.provider.modes)
+        in_transfer = mode == active and rng.random() < 0.2
+        count = rng.randrange(0, model.capacity + 1)
+        requests.append((mode, in_transfer, count))
+    return requests
+
+
+def test_bench_decision_path(benchmark):
+    """Throughput and tail latency of the fresh-rung decision path."""
+    model = paper_system(capacity=3)
+    artifact = compile_artifact(model, optimize_weighted(model, 0.5), version=1)
+    server = PolicyServer(model)
+    server.install(artifact)
+    requests = _request_mix(model, N_DECISIONS, BENCH_SEED)
+
+    def measure():
+        latencies = []
+        started = time.perf_counter()
+        for mode, in_transfer, count in requests:
+            t0 = time.perf_counter()
+            server.decide(mode, in_transfer, count)
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - started
+        return elapsed, latencies
+
+    elapsed, latencies = once(benchmark, measure)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[int(len(latencies) * 0.99)]
+    decisions_per_sec = N_DECISIONS / elapsed
+    record_suite(
+        BENCH_JSON,
+        "decision_path",
+        {
+            "capacity": model.capacity,
+            "n_decisions": N_DECISIONS,
+            "decisions_per_sec": decisions_per_sec,
+            "p50_lookup_s": p50,
+            "p99_lookup_s": p99,
+            "p99_budget_s": P99_BUDGET_S,
+        },
+    )
+    print(
+        f"\ndecisions: {decisions_per_sec:,.0f}/s, "
+        f"p50 {p50 * 1e6:.1f} us, p99 {p99 * 1e6:.1f} us"
+    )
+    assert p99 < P99_BUDGET_S
+
+
+def test_bench_hot_swap(benchmark, tmp_path):
+    """Install (pointer rebind) and persisted swap (atomic file write)."""
+    model = paper_system(capacity=3)
+    artifacts = [
+        compile_artifact(
+            model, optimize_weighted(model, weight), version=version
+        )
+        for version, weight in enumerate((0.5, 2.0), start=1)
+    ]
+    server = PolicyServer(model)
+    store = ArtifactStore(tmp_path)
+
+    def measure():
+        install_total = 0.0
+        persist_total = 0.0
+        for i in range(N_SWAPS):
+            artifact = artifacts[i % len(artifacts)]
+            t0 = time.perf_counter()
+            server.install(artifact)
+            install_total += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            store.save(artifact)
+            persist_total += time.perf_counter() - t0
+        return install_total / N_SWAPS, persist_total / N_SWAPS
+
+    install_s, persist_s = once(benchmark, measure)
+    record_suite(
+        BENCH_JSON,
+        "hot_swap",
+        {
+            "capacity": model.capacity,
+            "n_swaps": N_SWAPS,
+            "install_s": install_s,
+            "persisted_swap_s": persist_s,
+        },
+    )
+    print(
+        f"\nswap: install {install_s * 1e6:.1f} us, persisted "
+        f"{persist_s * 1e3:.3f} ms"
+    )
+    # A client-observable swap is the pointer rebind, not the fsync.
+    assert install_s < persist_s

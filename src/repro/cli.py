@@ -20,6 +20,13 @@ Subcommands:
   records, or diff them against a baseline directory; ``--check`` exits
   :data:`EXIT_BENCH_REGRESSION` when a checked metric regressed beyond
   its tolerance.
+- ``serve`` -- the self-healing policy-serving runtime
+  (:mod:`repro.serve`): bootstrap from an artifact directory, then
+  either answer decisions over a JSON-lines TCP endpoint (``--port``)
+  or drive the deterministic virtual-time soak loop (default; the CI
+  chaos job runs it with ``--chaos``). Exits 0 when the run ends on
+  the fresh rung, :data:`EXIT_SERVING_DEGRADED` when it ends stale or
+  on the heuristic.
 
 All model subcommands default to the paper's Section-V system;
 ``--rate``, ``--capacity``, and ``--weight`` adjust it. Every
@@ -56,6 +63,8 @@ EXIT_CODES = (
     (errors.WorkerFailureError, 8),
     (errors.SimulationError, 6),
     (errors.CheckpointError, 7),
+    (errors.ArtifactError, 12),
+    (errors.ServeRequestError, 3),
     (errors.InvalidGeneratorError, 3),
     (errors.NotIrreducibleError, 3),
     (errors.InvalidModelError, 3),
@@ -71,6 +80,14 @@ EXIT_REPAIRED = 10
 #: ``bench-report --check``: at least one checked metric moved past its
 #: regression tolerance relative to the baseline.
 EXIT_BENCH_REGRESSION = 11
+
+#: ``serve``: a policy-serving artifact was corrupt, inadmissible, or
+#: could not be produced (see :class:`repro.errors.ArtifactError`).
+EXIT_ARTIFACT = 12
+
+#: ``serve``: the run ended below the fresh rung of the degradation
+#: ladder -- answering from a stale artifact or the N-policy heuristic.
+EXIT_SERVING_DEGRADED = 13
 
 
 def exit_code_for(exc: Exception) -> int:
@@ -243,6 +260,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "seed": args.seed,
             "replications": args.replications,
+            "backend": args.backend,
         })
         results = run_replications(
             model.provider,
@@ -289,6 +307,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
         "capacity": args.capacity,
         "max_weight": args.max_weight,
         "weight_tolerance": args.weight_tolerance,
+        "backend": args.backend,
     })
     frontier = deterministic_frontier(
         model,
@@ -421,6 +440,119 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
             )
             return EXIT_BENCH_REGRESSION
         print("bench regression check passed")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ArtifactStore, ServingRuntime
+    from repro.serve.supervisor import CircuitBreaker, RetryPolicy
+
+    model = _build_model(args)
+    store = ArtifactStore(args.artifact_dir)
+    solve = None
+    plan = None
+    attempt_timeout = args.attempt_timeout
+    if args.chaos:
+        from repro.serve.chaos import ChaosPlan, ChaosSolver
+
+        solve = ChaosSolver(
+            model,
+            args.weight,
+            probabilities={"crash": 0.25, "hang": 0.05, "nan": 0.15},
+            seed=args.chaos_seed,
+            solver="policy_iteration",
+            backend=args.backend,
+            hang_sleep=0.15,
+        )
+        plan = ChaosPlan(
+            model.requestor.rate,
+            seed=args.chaos_seed,
+            storm_period=max(args.duration / 8.0, 1.0),
+            corrupt_probability=0.01,
+            reload_probability=0.02,
+        )
+        if attempt_timeout is None:
+            attempt_timeout = 0.05
+    runtime = ServingRuntime(
+        model,
+        args.weight,
+        store,
+        backend=args.backend,
+        drift_threshold=args.drift_threshold,
+        drift_consecutive=args.drift_consecutive,
+        retry=RetryPolicy(attempts=args.retries, base_delay=0.01),
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold, reset_timeout=0.1
+        ),
+        attempt_timeout=attempt_timeout,
+        solve=solve,
+    )
+    rung = runtime.bootstrap(initial_solve=not args.no_initial_solve)
+    print(
+        f"bootstrap: serving from the {rung!r} rung "
+        f"(source: {runtime.bootstrap_source})"
+    )
+    if runtime.bootstrap_error:
+        print(f"bootstrap note: {runtime.bootstrap_error}", file=sys.stderr)
+    if args.port is not None:
+        import asyncio
+
+        async def _run() -> None:
+            server = await asyncio.start_server(
+                runtime.handle_connection, args.host, args.port
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving on {host}:{port} (JSON lines; op=health for status)")
+            async with server:
+                if args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:  # pragma: no cover - interactive mode
+                    await server.serve_forever()
+
+        asyncio.run(_run())
+    else:
+        report = runtime.soak(
+            args.duration, seed=args.seed, chaos=plan,
+            adapt_every=args.adapt_every,
+        )
+        doc = report.to_dict()
+        if plan is not None:
+            doc["chaos"] = {
+                "seed": args.chaos_seed,
+                "solver_outcomes": solve.outcomes,
+                "corruptions": plan.corruptions,
+                "reload_attempts": plan.reload_attempts,
+                "reload_rejections": plan.reload_rejections,
+                "reload_successes": plan.reload_successes,
+            }
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                _json.dump(doc, handle, indent=2, sort_keys=True)
+            print(f"soak report written to {args.json_out}")
+        print(
+            f"soak: {report.decisions} decisions over {report.arrivals} "
+            f"arrivals in {args.duration:g}s of virtual time "
+            f"({report.resolves} re-solves, "
+            f"{report.resolve_successes} succeeded)"
+        )
+        if report.selfcheck_violations:
+            print(
+                f"error: {report.selfcheck_violations} decision(s) "
+                "inconsistent with the admitted artifact",
+                file=sys.stderr,
+            )
+            return 1
+    status = runtime.status()
+    print(
+        f"health: {status['health']} (source: {status['source']}, "
+        f"artifact v{status['artifact_version']}, "
+        f"breaker: {status['breaker']}, "
+        f"breaker opened {status['breaker_opened']}x)"
+    )
+    if status["health"] != "ok":
+        return EXIT_SERVING_DEGRADED
     return 0
 
 
@@ -610,6 +742,60 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", action="store_true",
                        help="show unchanged and informational metrics too")
     bench.set_defaults(func=cmd_bench_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the self-healing policy-serving runtime",
+        parents=[common],
+    )
+    _add_model_arguments(serve)
+    serve.add_argument("--weight", type=float, default=1.0,
+                       help="performance weight of the served objective")
+    serve.add_argument("--artifact-dir", default="artifacts", metavar="DIR",
+                       help="directory holding the policy artifact "
+                            "(default: artifacts); bootstraps from a "
+                            "last-good artifact found there")
+    serve.add_argument("--duration", type=float, default=600.0,
+                       help="virtual seconds to soak (default: 600), or "
+                            "wall-clock seconds to stay up with --port "
+                            "(0 = forever)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the soak loop's arrival stream")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve a JSON-lines TCP endpoint on this port "
+                            "instead of running the soak loop")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--drift-threshold", type=float, default=0.25,
+                       help="relative rate deviation that counts as drift "
+                            "(default: 0.25)")
+    serve.add_argument("--drift-consecutive", type=int, default=3,
+                       help="consecutive beyond-threshold estimates needed "
+                            "to confirm drift (default: 3)")
+    serve.add_argument("--adapt-every", type=int, default=25,
+                       help="soak arrivals between adaptation checks "
+                            "(default: 25)")
+    serve.add_argument("--retries", type=int, default=3,
+                       help="solve attempts per re-solve request (default: 3)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failed re-solves before the "
+                            "circuit breaker opens (default: 3)")
+    serve.add_argument("--attempt-timeout", type=float, default=None,
+                       help="wall-clock budget per solve attempt in seconds "
+                            "(default: none -- solves run inline)")
+    serve.add_argument("--no-initial-solve", action="store_true",
+                       help="do not solve at bootstrap when no stored "
+                            "artifact is admissible (start on the "
+                            "heuristic rung)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="seeded fault injection: solver crashes/hangs/"
+                            "NaN results, artifact corruption, drift storm "
+                            "(the CI chaos job)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for --chaos fault injection (default: 0)")
+    serve.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the soak report as JSON to PATH")
+    _add_backend_argument(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

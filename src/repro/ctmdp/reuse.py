@@ -273,10 +273,16 @@ class BorderedSystemCache:
         from repro.ctmdp.sparse import KRYLOV_SERIES, solve_sparse_with_fallback
         from repro.errors import SolverError
 
+        from repro.robust.faultinject import numerical_fault
+
         ins = obs_active()
         metrics = ins.metrics if ins.enabled else None
         a_csc = sp.csc_array(a)
         try:
+            if numerical_fault("stale-lu-singular"):
+                raise RuntimeError(
+                    "injected singular reuse-system factorization"
+                )
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore")
                 lu = splu(a_csc)

@@ -85,6 +85,10 @@ def _direct_solve(a_csc, b: np.ndarray) -> np.ndarray:
     nnz(U)) / nnz(A)`` -- the number that explains why a direct solve
     suddenly got slow or memory-hungry on a new model family.
     """
+    from repro.robust.faultinject import numerical_fault
+
+    if numerical_fault("direct-fail"):
+        raise RuntimeError("injected direct sparse-LU failure")
     lu = splu(a_csc)
     ins = obs_active()
     if ins.enabled and ins.metrics is not None:
@@ -102,7 +106,11 @@ def _ilu_preconditioner(a_csc) -> "Tuple[LinearOperator, Dict[str, object]]":
     :data:`ILU_FILL_FACTOR` knobs it was built with, which the ladder
     copies into its telemetry rows and error diagnostics.
     """
+    from repro.robust.faultinject import numerical_fault
+
     try:
+        if numerical_fault("ilu-breakdown"):
+            raise RuntimeError("injected ILU factorization breakdown")
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             ilu = spilu(
@@ -224,6 +232,13 @@ def solve_sparse_with_fallback(
             )
         if x0 is not None and metrics is not None:
             metrics.counter("solver.reuse.gmres_warm_starts").inc()
+        from repro.robust.faultinject import numerical_fault
+
+        if numerical_fault("krylov-stall"):
+            # Modeled non-convergence: the vector is poisoned exactly as
+            # a stalled GMRES would leave it, so the acceptance test
+            # below -- not this hook -- decides the failure.
+            x = np.full_like(x, np.nan)
         gmres_residual = (
             _relative_residual(a_csc, x, b, a_max=a_max)
             if np.all(np.isfinite(x))

@@ -8,11 +8,16 @@ re-derive its policy when the estimate drifts. This module provides:
 - :class:`AdaptiveRateEstimator` -- a sliding-window maximum-likelihood
   estimator of the exponential rate (the reciprocal of the window's mean
   inter-arrival time);
+- :class:`DriftDetector` -- hysteresis on top of the estimator: decides
+  *when* the estimate has moved far enough from the rate a policy was
+  solved for that a re-solve is warranted (the serving runtime's
+  trigger);
 - :class:`AdaptivePolicySolver` -- caches optimal policies per quantized
   rate and re-solves when the estimate leaves the current band.
 
 The simulator-side policy that glues these to the event loop is
-:class:`repro.policies.optimal.AdaptiveCTMDPPolicy`.
+:class:`repro.policies.optimal.AdaptiveCTMDPPolicy`; the long-lived
+serving runtime built on the detector is :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -20,9 +25,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional
 
+from repro.ctmdp.policy import Policy
 from repro.dpm.optimizer import OptimizationResult, optimize_weighted
 from repro.dpm.system import PowerManagedSystemModel
 from repro.errors import InvalidModelError
+from repro.obs.runtime import active as obs_active
 
 #: Window length from the paper's 5 %-after-50-events observation.
 DEFAULT_WINDOW = 50
@@ -90,6 +97,146 @@ class AdaptiveRateEstimator:
         return 1.0 / self.rate()
 
 
+class DriftDetector:
+    """Decide when an estimated rate has drifted from a reference rate.
+
+    Raw rate estimates are noisy -- the paper's own 5 %-after-50-events
+    bound means a fresh window wobbles -- so a single excursion past the
+    threshold must not trigger a (costly) re-solve. The detector
+    requires ``consecutive`` successive observations beyond the relative
+    ``threshold`` before reporting drift, and :meth:`rebase` resets the
+    reference after a successful re-solve so the same drift is not
+    reported twice.
+
+    Parameters
+    ----------
+    reference_rate:
+        The rate the currently served policy was solved for.
+    threshold:
+        Relative deviation ``|est - ref| / ref`` that counts as drifted
+        (default 0.25 -- comfortably past the estimator's 5 % noise).
+    consecutive:
+        Number of successive beyond-threshold observations required
+        before :meth:`observe` reports drift (hysteresis against
+        single-window noise).
+    """
+
+    def __init__(
+        self,
+        reference_rate: float,
+        threshold: float = 0.25,
+        consecutive: int = 3,
+    ) -> None:
+        if reference_rate <= 0:
+            raise InvalidModelError(
+                f"reference rate must be positive, got {reference_rate}"
+            )
+        if threshold <= 0:
+            raise InvalidModelError(
+                f"drift threshold must be positive, got {threshold}"
+            )
+        if consecutive < 1:
+            raise InvalidModelError(
+                f"consecutive must be >= 1, got {consecutive}"
+            )
+        self._reference = float(reference_rate)
+        self._threshold = float(threshold)
+        self._consecutive = int(consecutive)
+        self._streak = 0
+        self._last_fraction = 0.0
+
+    @property
+    def reference_rate(self) -> float:
+        return self._reference
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def drift_fraction(self) -> float:
+        """Relative deviation of the most recent observation."""
+        return self._last_fraction
+
+    def observe(self, estimated_rate: float) -> bool:
+        """Feed one rate estimate; True when drift is confirmed.
+
+        Drift is confirmed on the ``consecutive``-th successive estimate
+        beyond the threshold and keeps being reported until
+        :meth:`rebase` -- the caller (supervisor) owns the decision of
+        when the underlying policy has actually been replaced.
+        """
+        if estimated_rate <= 0:
+            raise InvalidModelError(
+                f"estimated rate must be positive, got {estimated_rate}"
+            )
+        self._last_fraction = abs(estimated_rate - self._reference) / self._reference
+        if self._last_fraction > self._threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        drifted = self._streak >= self._consecutive
+        if drifted:
+            ins = obs_active()
+            if ins.metrics is not None:
+                ins.metrics.counter("serve.drift.detected").inc()
+        return drifted
+
+    def rebase(self, reference_rate: float) -> None:
+        """Reset the reference after the served policy was re-solved."""
+        if reference_rate <= 0:
+            raise InvalidModelError(
+                f"reference rate must be positive, got {reference_rate}"
+            )
+        self._reference = float(reference_rate)
+        self._streak = 0
+        self._last_fraction = 0.0
+
+
+def rated_model(
+    base_model: PowerManagedSystemModel, rate: float
+) -> PowerManagedSystemModel:
+    """A clone of *base_model* with the arrival rate replaced.
+
+    The single re-rating primitive shared by the banded adaptive solver
+    and the serving supervisor: provider, capacity, and transfer-state
+    choice are preserved, only the requestor changes.
+    """
+    if rate <= 0:
+        raise InvalidModelError(f"rate must be positive, got {rate}")
+    return PowerManagedSystemModel(
+        provider=base_model.provider,
+        requestor=base_model.requestor.with_rate(rate),
+        capacity=base_model.capacity,
+        include_transfer_states=base_model.include_transfer_states,
+    )
+
+
+def solve_rated(
+    base_model: PowerManagedSystemModel,
+    rate: float,
+    weight: float,
+    solver: str = "policy_iteration",
+    backend: str = "auto",
+    initial_policy: "Optional[Policy]" = None,
+) -> OptimizationResult:
+    """Solve *base_model* re-rated to *rate*, optionally warm-started.
+
+    The seed is advisory exactly as in
+    :func:`repro.dpm.optimizer.optimize_weighted`: a converged policy
+    from a neighboring rate usually starts at or near its own fixed
+    point (re-rating preserves the state/action space), and a harmful
+    seed falls back to a cold start without changing the result.
+    """
+    return optimize_weighted(
+        rated_model(base_model, rate),
+        weight,
+        solver=solver,
+        backend=backend,
+        initial_policy=initial_policy,
+    )
+
+
 class AdaptivePolicySolver:
     """Re-solves the SYS model as the estimated arrival rate drifts.
 
@@ -110,6 +257,12 @@ class AdaptivePolicySolver:
         center).
     solver:
         Passed through to :func:`repro.dpm.optimizer.optimize_weighted`.
+    backend:
+        Solver backend forwarded to the optimizer (``"auto"`` default).
+    warm_start:
+        Seed each band's solve with the most recently solved band's
+        converged policy (neighboring rates share most of their optimal
+        assignment). Seeds are advisory; results are unchanged.
     """
 
     def __init__(
@@ -118,6 +271,8 @@ class AdaptivePolicySolver:
         weight: float,
         band_width: float = 0.15,
         solver: str = "policy_iteration",
+        backend: str = "auto",
+        warm_start: bool = True,
     ) -> None:
         if not 0 < band_width < 1:
             raise InvalidModelError(f"band_width must be in (0, 1), got {band_width}")
@@ -125,6 +280,9 @@ class AdaptivePolicySolver:
         self._weight = float(weight)
         self._band_width = float(band_width)
         self._solver = solver
+        self._backend = backend
+        self._warm_start = bool(warm_start)
+        self._last_policy: "Optional[Policy]" = None
         self._cache: Dict[int, OptimizationResult] = {}
         self.n_solves = 0
 
@@ -152,14 +310,21 @@ class AdaptivePolicySolver:
             raise InvalidModelError(f"rate must be positive, got {rate}")
         band = self._band_of(rate)
         if band not in self._cache:
-            model = PowerManagedSystemModel(
-                provider=self._base_model.provider,
-                requestor=self._base_model.requestor.with_rate(self._band_center(band)),
-                capacity=self._base_model.capacity,
-                include_transfer_states=self._base_model.include_transfer_states,
+            seed = (
+                self._last_policy
+                if self._warm_start and self._solver == "policy_iteration"
+                else None
             )
-            self._cache[band] = optimize_weighted(
-                model, self._weight, solver=self._solver
+            result = solve_rated(
+                self._base_model,
+                self._band_center(band),
+                self._weight,
+                solver=self._solver,
+                backend=self._backend,
+                initial_policy=seed,
             )
+            if isinstance(result.policy, Policy):
+                self._last_policy = result.policy
+            self._cache[band] = result
             self.n_solves += 1
         return self._cache[band]

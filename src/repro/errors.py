@@ -114,3 +114,44 @@ class WorkerFailureError(SimulationError):
 class CheckpointError(ReproError):
     """A checkpoint file is unreadable, corrupt, or belongs to a
     different configuration than the resuming run."""
+
+
+class ArtifactError(ReproError):
+    """A policy-serving artifact could not be produced, stored, or
+    loaded. Base class of the serve-pipeline failure family; the CLI
+    maps it to its own exit code so operators can distinguish artifact
+    trouble from solver or model failures."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact file is unreadable, truncated, or fails its
+    checksum -- corruption, a torn write, or a non-artifact file.
+    Loading never trusts such a file; the serving runtime keeps
+    answering from the last admitted artifact instead."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """An artifact parses as JSON but does not match the
+    ``repro-policy/v1`` schema (missing fields, wrong shapes, an
+    unknown format version)."""
+
+
+class ArtifactRejectedError(ArtifactError):
+    """An artifact is structurally intact but inadmissible: its model
+    fingerprint does not match the serving model, the admission gate
+    rejected the model it encodes, its policy names invalid
+    states/actions, or its metrics are non-finite.
+
+    Carries the admission ``report`` (when the gate produced one) so
+    callers can inspect findings programmatically.
+    """
+
+    def __init__(self, message: str, report: "Optional[Any]" = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class ServeRequestError(ReproError):
+    """A decision request named an unknown mode or was otherwise
+    malformed. The serving layer answers such requests with a typed
+    error payload -- never a traceback, never a guessed action."""

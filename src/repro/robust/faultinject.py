@@ -170,3 +170,95 @@ def nan_contaminated(results: "Sequence[Any]") -> bool:
     type needs deeper inspection.
     """
     return any(isinstance(r, float) and r != r for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Numerical fault injection (the post-PR-6 solver ladder)
+# ---------------------------------------------------------------------------
+
+#: Faults injectable into the sparse/reuse numerical ladder:
+#:
+#: - ``"direct-fail"`` -- the sparse direct LU solve raises, forcing
+#:   the ILU-GMRES rescue rung (models SuperLU failure on a matrix the
+#:   ladder must still solve).
+#: - ``"ilu-breakdown"`` -- ILU factorization raises inside the
+#:   preconditioner builder, forcing the Jacobi fallback (models spilu
+#:   breakdown on near-singular pivots).
+#: - ``"krylov-stall"`` -- the GMRES rung's solution is replaced with
+#:   NaN, modeling non-convergence; the ladder must fail with a typed
+#:   :class:`~repro.errors.SolverError`, never return the vector.
+#: - ``"stale-lu-singular"`` -- the reuse cache's refactorization
+#:   raises as if the bordered system were singular; warm-started
+#:   sweeps must fall back to a cold start with identical results.
+NUMERICAL_KINDS = (
+    "direct-fail",
+    "ilu-breakdown",
+    "krylov-stall",
+    "stale-lu-singular",
+)
+
+
+@dataclass
+class NumericalFaultPlan:
+    """Armed numerical faults, counted down as the hooks consume them.
+
+    Unlike :class:`FaultPlan` these fire *in-process* (the numerical
+    ladder runs in the solver's own process, not a pool worker): the
+    hook sites in :mod:`repro.ctmdp.sparse` and
+    :mod:`repro.ctmdp.reuse` call :func:`numerical_fault` and a fired
+    fault is consumed -- ``arm(kind, times=2)`` fires on the first two
+    reaches of the site, then the real numerics resume. ``fired``
+    records consumption so tests can assert the fault actually
+    exercised the rung it targets.
+    """
+
+    armed: "dict[str, int]" = field(default_factory=dict)
+    fired: "dict[str, int]" = field(default_factory=dict)
+
+    def arm(self, kind: str, times: int = 1) -> "NumericalFaultPlan":
+        if kind not in NUMERICAL_KINDS:
+            raise FaultInjectionError(
+                f"unknown numerical fault kind {kind!r}; "
+                f"choose from {NUMERICAL_KINDS}"
+            )
+        if times < 1:
+            raise FaultInjectionError(f"fault times must be >= 1, got {times}")
+        self.armed[kind] = self.armed.get(kind, 0) + int(times)
+        return self
+
+    def consume(self, kind: str) -> bool:
+        remaining = self.armed.get(kind, 0)
+        if remaining <= 0:
+            return False
+        self.armed[kind] = remaining - 1
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+        return True
+
+
+_numerical_plan: "Optional[NumericalFaultPlan]" = None
+
+
+@contextmanager
+def inject_numerical(
+    plan: NumericalFaultPlan,
+) -> "Iterator[NumericalFaultPlan]":
+    """Activate *plan* for the block; restores the previous plan on exit."""
+    global _numerical_plan
+    previous = _numerical_plan
+    _numerical_plan = plan
+    try:
+        yield plan
+    finally:
+        _numerical_plan = previous
+
+
+def numerical_fault(kind: str) -> bool:
+    """Consume one armed numerical fault of *kind*, if any.
+
+    The hook the ladder's rungs call at their injection points; with no
+    plan active (production) this is one global read and a ``None``
+    check.
+    """
+    if _numerical_plan is None:
+        return False
+    return _numerical_plan.consume(kind)

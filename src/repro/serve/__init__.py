@@ -1,0 +1,61 @@
+"""Self-healing policy-serving runtime (DESIGN §13).
+
+The production story for "millions of users" is serving decisions, not
+solving once: a long-lived process answers state→action lookups while
+the workload drifts underneath it. This package composes the robustness
+substrate built by the earlier layers into a runtime that keeps
+answering *correctly* when a re-solve fails, hangs, or produces an
+inadmissible policy:
+
+- :mod:`repro.serve.artifact` -- solved policies compiled into flat,
+  versioned, checksummed lookup artifacts; the PR 5 admission gate is
+  the artifact-validation step, and swaps are atomic
+  (write-temp + fsync + rename; crash mid-swap is recoverable).
+- :mod:`repro.serve.supervisor` -- the drift-triggered re-solve loop:
+  retry with backoff, a circuit breaker that keeps serving on the
+  last-good artifact when re-solves keep failing, and atomic hot-swap
+  of admitted results.
+- :mod:`repro.serve.server` -- the decision surface: a graceful
+  degradation ladder (fresh artifact → stale artifact, flagged → the
+  paper's deterministic N-policy heuristic), an asyncio JSON-lines
+  server, and the self-driven soak loop behind ``repro-dpm serve``.
+- :mod:`repro.serve.chaos` -- seeded fault injection (solver crashes,
+  hangs, NaN policies, artifact corruption, drift storms) driving the
+  whole loop in tests and the CI chaos job.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    PolicyArtifact,
+    compile_artifact,
+    load_artifact,
+    model_fingerprint,
+    save_artifact,
+    validate_artifact,
+)
+from repro.serve.server import PolicyServer, ServeDecision, ServingRuntime
+from repro.serve.supervisor import (
+    CircuitBreaker,
+    ResolveReport,
+    RetryPolicy,
+    Supervisor,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStore",
+    "CircuitBreaker",
+    "PolicyArtifact",
+    "PolicyServer",
+    "ResolveReport",
+    "RetryPolicy",
+    "ServeDecision",
+    "ServingRuntime",
+    "Supervisor",
+    "compile_artifact",
+    "load_artifact",
+    "model_fingerprint",
+    "save_artifact",
+    "validate_artifact",
+]

@@ -1,0 +1,583 @@
+"""Flat, versioned, checksummed policy lookup artifacts.
+
+A solved policy leaves the solver as a :class:`~repro.ctmdp.policy.Policy`
+bound to a model instance -- the wrong shape for a serving process that
+must answer lookups for hours, survive restarts, and reject corrupt
+state. This module compiles an
+:class:`~repro.dpm.optimizer.OptimizationResult` into a self-describing
+document (schema ``repro-policy/v1``):
+
+- **Flat.** States are encoded as ``(mode, kind, index)`` triples in
+  model state order with a parallel action list; loading rebuilds an
+  O(1) lookup table with no solver machinery on the serve path.
+- **Versioned.** A monotonically increasing ``version`` plus the solved
+  arrival rate, weight, solver, and backend -- enough to answer "what
+  exactly is this process serving?" from the file alone.
+- **Checksummed.** A SHA-256 over the canonical JSON of everything
+  else. A torn write, a flipped bit, or a hand-edited file fails the
+  check with a typed :class:`~repro.errors.ArtifactIntegrityError`
+  before any action is ever served from it.
+- **Admitted.** :func:`validate_artifact` is the PR 5 admission gate
+  repurposed as the artifact-validation step of the serve pipeline: the
+  encoded model configuration must fingerprint-match the serving model,
+  pass :func:`repro.robust.admission.admit_model`, and the policy must
+  validate against the rebuilt CTMDP. Inadmissible artifacts raise
+  :class:`~repro.errors.ArtifactRejectedError` -- they are never served.
+
+:class:`ArtifactStore` owns the on-disk lifecycle: saves are atomic
+(temp file in the same directory, fsync, ``os.replace``, then a
+best-effort directory fsync), so a SIGKILL at any instant leaves either
+the previous artifact or the new one -- never a torn file. Leftover
+temp files from a crash mid-swap are swept on the next save/load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.dpm.service_queue import QueueState, STABLE, TRANSFER
+from repro.dpm.system import PowerManagedSystemModel, SystemState
+from repro.errors import (
+    ArtifactIntegrityError,
+    ArtifactRejectedError,
+    ArtifactSchemaError,
+    InvalidModelError,
+    InvalidPolicyError,
+    ServeRequestError,
+)
+from repro.obs.runtime import active as obs_active
+
+#: Schema tag stamped on every artifact document.
+ARTIFACT_SCHEMA = "repro-policy/v1"
+
+PathLike = Union[str, Path]
+
+
+def _canonical_json(payload: "Dict[str, Any]") -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: "Dict[str, Any]") -> str:
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    return hashlib.sha256(_canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def provider_fingerprint(provider) -> str:
+    """SHA-256 of the provider's full numeric structure.
+
+    Two providers fingerprint equal iff their mode names, switching
+    rates, service rates, power rates, switching energies, and
+    self-switch stand-in agree exactly (shortest-repr float identity) --
+    the condition under which a policy table transfers between them.
+    """
+    modes = list(provider.modes)
+    doc = {
+        "modes": modes,
+        "switching_rates": [
+            [provider.switching_rate(s, d) if s != d else 0.0 for d in modes]
+            for s in modes
+        ],
+        "service_rates": [provider.service_rate(m) for m in modes],
+        "power": [provider.power_rate(m) for m in modes],
+        "switching_energy": [
+            [provider.switching_energy(s, d) if s != d else 0.0 for d in modes]
+            for s in modes
+        ],
+        "self_switch_rate": provider.self_switch_rate,
+    }
+    return hashlib.sha256(_canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def model_fingerprint(model: PowerManagedSystemModel) -> str:
+    """Fingerprint of everything about *model* except the arrival rate.
+
+    The arrival rate is deliberately excluded: re-rated siblings (the
+    drift re-solve path) share a fingerprint, and the artifact carries
+    its exact solved rate separately.
+    """
+    doc = {
+        "provider": provider_fingerprint(model.provider),
+        "capacity": int(model.capacity),
+        "include_transfer_states": bool(model.include_transfer_states),
+    }
+    return hashlib.sha256(_canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+class PolicyArtifact:
+    """An immutable compiled policy table plus its provenance.
+
+    Construct via :func:`compile_artifact` (from a solved result) or
+    :meth:`from_document` (from a loaded JSON document); both leave the
+    instance fully validated at the structural level. Admission-level
+    validation against a serving model is :func:`validate_artifact`.
+    """
+
+    __slots__ = (
+        "version",
+        "rate",
+        "weight",
+        "solver",
+        "backend",
+        "capacity",
+        "include_transfer_states",
+        "fingerprint",
+        "states",
+        "actions",
+        "metrics",
+        "checksum",
+        "_table",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        rate: float,
+        weight: float,
+        solver: str,
+        backend: str,
+        capacity: int,
+        include_transfer_states: bool,
+        fingerprint: str,
+        states: "List[Tuple[str, str, int]]",
+        actions: "List[str]",
+        metrics: "Dict[str, float]",
+        checksum: "Optional[str]" = None,
+    ) -> None:
+        if version < 1:
+            raise ArtifactSchemaError(f"artifact version must be >= 1, got {version}")
+        if len(states) != len(actions):
+            raise ArtifactSchemaError(
+                f"{len(states)} states but {len(actions)} actions"
+            )
+        if not states:
+            raise ArtifactSchemaError("artifact has an empty policy table")
+        self.version = int(version)
+        self.rate = float(rate)
+        self.weight = float(weight)
+        self.solver = str(solver)
+        self.backend = str(backend)
+        self.capacity = int(capacity)
+        self.include_transfer_states = bool(include_transfer_states)
+        self.fingerprint = str(fingerprint)
+        self.states = [
+            (str(m), str(k), int(i)) for m, k, i in states
+        ]
+        self.actions = [str(a) for a in actions]
+        self.metrics = {str(k): float(v) for k, v in metrics.items()}
+        table: "Dict[Tuple[str, str, int], str]" = {}
+        for key, action in zip(self.states, self.actions):
+            if key in table:
+                raise ArtifactSchemaError(f"duplicate state {key!r} in artifact")
+            table[key] = action
+        self._table = table
+        body = self._body()
+        expected = _checksum(body)
+        if checksum is None:
+            self.checksum = expected
+        else:
+            if checksum != expected:
+                raise ArtifactIntegrityError(
+                    "artifact checksum mismatch: stored "
+                    f"{str(checksum)[:12]}..., computed {expected[:12]}... "
+                    "-- the file is corrupt or was edited by hand"
+                )
+            self.checksum = checksum
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def _body(self) -> "Dict[str, Any]":
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "version": self.version,
+            "model": {
+                "arrival_rate": self.rate,
+                "weight": self.weight,
+                "solver": self.solver,
+                "backend": self.backend,
+                "capacity": self.capacity,
+                "include_transfer_states": self.include_transfer_states,
+                "fingerprint": self.fingerprint,
+            },
+            "states": [list(s) for s in self.states],
+            "actions": list(self.actions),
+            "metrics": self.metrics,
+        }
+
+    def to_document(self) -> "Dict[str, Any]":
+        doc = self._body()
+        doc["checksum"] = self.checksum
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: "Dict[str, Any]") -> "PolicyArtifact":
+        """Parse and structurally validate a loaded artifact document.
+
+        Integrity failures (checksum) raise
+        :class:`~repro.errors.ArtifactIntegrityError`; structural ones
+        (missing fields, wrong schema) raise
+        :class:`~repro.errors.ArtifactSchemaError`.
+        """
+        if not isinstance(doc, dict):
+            raise ArtifactSchemaError(
+                f"artifact document must be an object, got {type(doc).__name__}"
+            )
+        if doc.get("schema") != ARTIFACT_SCHEMA:
+            raise ArtifactSchemaError(
+                f"unknown artifact schema {doc.get('schema')!r}; expected "
+                f"{ARTIFACT_SCHEMA!r}"
+            )
+        if "checksum" not in doc:
+            raise ArtifactSchemaError("artifact document has no checksum")
+        try:
+            model = doc["model"]
+            return cls(
+                version=doc["version"],
+                rate=model["arrival_rate"],
+                weight=model["weight"],
+                solver=model["solver"],
+                backend=model["backend"],
+                capacity=model["capacity"],
+                include_transfer_states=model["include_transfer_states"],
+                fingerprint=model["fingerprint"],
+                states=[tuple(s) for s in doc["states"]],
+                actions=doc["actions"],
+                metrics=doc["metrics"],
+                checksum=doc["checksum"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactSchemaError(
+                f"artifact document is malformed: {exc!r}"
+            ) from exc
+
+    # -- the serve-path lookup ------------------------------------------------
+
+    def action_for(self, mode: str, in_transfer: bool, count: int) -> str:
+        """The commanded mode for a joint state, with boundary clamping.
+
+        ``count`` is the occupancy for stable states and the waiting
+        count during a transfer; both clamp at the solved capacity,
+        mirroring :func:`repro.policies.optimal.view_to_system_state`.
+        Unknown modes or impossible (mode, transfer) combinations raise
+        a typed :class:`~repro.errors.ServeRequestError` -- the table
+        never guesses.
+        """
+        if count < 0:
+            raise ServeRequestError(f"occupancy must be >= 0, got {count}")
+        if in_transfer:
+            key = (mode, TRANSFER, min(int(count) + 1, self.capacity))
+        else:
+            key = (mode, STABLE, min(int(count), self.capacity))
+        action = self._table.get(key)
+        if action is None:
+            raise ServeRequestError(
+                f"no joint state for mode={mode!r}, "
+                f"transfer={in_transfer}, count={count} in the served "
+                "policy (unknown mode, or a transfer in an inactive mode)"
+            )
+        return action
+
+    def assignment(self) -> "Dict[SystemState, str]":
+        """The policy table keyed by model :class:`SystemState` values."""
+        return {
+            SystemState(mode, QueueState(kind, index)): action
+            for (mode, kind, index), action in self._table.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PolicyArtifact(version={self.version}, rate={self.rate:g}, "
+            f"weight={self.weight:g}, states={len(self.states)})"
+        )
+
+
+def compile_artifact(
+    model: PowerManagedSystemModel,
+    result,
+    version: int = 1,
+    solver: str = "policy_iteration",
+    backend: str = "auto",
+) -> PolicyArtifact:
+    """Compile a solved *result* on *model* into a lookup artifact.
+
+    Rejects (with typed errors) the outputs a broken solver could
+    produce: randomized policies, tables missing states, and non-finite
+    metrics (a NaN gain is a solver failure, not a servable policy).
+    """
+    from repro.ctmdp.policy import Policy
+
+    if not isinstance(result.policy, Policy):
+        raise ArtifactRejectedError(
+            "only deterministic policies are servable; got "
+            f"{type(result.policy).__name__}"
+        )
+    assignment = result.policy.as_dict()
+    states: "List[Tuple[str, str, int]]" = []
+    actions: "List[str]" = []
+    for state in model.states:
+        action = assignment.get(state)
+        if action is None:
+            raise ArtifactRejectedError(
+                f"solved policy misses model state {state!r}"
+            )
+        states.append((state.mode, state.queue.kind, state.queue.index))
+        actions.append(str(action))
+    metrics = {
+        "average_power": result.metrics.average_power,
+        "average_queue_length": result.metrics.average_queue_length,
+        "average_waiting_time": result.metrics.average_waiting_time,
+        "loss_rate": result.metrics.loss_rate,
+    }
+    for name, value in metrics.items():
+        if not math.isfinite(value):
+            raise ArtifactRejectedError(
+                f"solved metrics are non-finite ({name} = {value!r}); "
+                "refusing to compile a policy whose evaluation failed"
+            )
+    return PolicyArtifact(
+        version=version,
+        rate=model.requestor.rate,
+        weight=result.weight if result.weight is not None else 0.0,
+        solver=solver,
+        backend=backend,
+        capacity=model.capacity,
+        include_transfer_states=model.include_transfer_states,
+        fingerprint=model_fingerprint(model),
+        states=states,
+        actions=actions,
+        metrics=metrics,
+    )
+
+
+def validate_artifact(
+    artifact: PolicyArtifact,
+    model: PowerManagedSystemModel,
+    level: str = "standard",
+) -> PowerManagedSystemModel:
+    """Admit *artifact* for serving against *model*; returns the rated model.
+
+    The artifact-validation step of the serve pipeline (DESIGN §13):
+
+    1. the artifact's model fingerprint must match *model* (same
+       provider numbers, capacity, transfer-state choice);
+    2. the model re-rated to the artifact's solved rate must pass the
+       admission gate at *level* (verdict ``ok`` or ``repaired``);
+    3. the policy table must validate against the rebuilt CTMDP (every
+       state covered, every action available in its state);
+    4. the stored metrics must be finite.
+
+    Any failure raises :class:`~repro.errors.ArtifactRejectedError`
+    (carrying the admission report when one exists); success returns
+    the re-rated model so callers can reuse the build.
+    """
+    from repro.dpm.adaptive import rated_model
+    from repro.robust.admission import admit_model
+
+    ins = obs_active()
+    metrics = ins.metrics if ins.enabled else None
+    with ins.span("serve.validate_artifact", version=artifact.version):
+        if artifact.fingerprint != model_fingerprint(model):
+            if metrics is not None:
+                metrics.counter("serve.artifact.rejected").inc()
+            raise ArtifactRejectedError(
+                "artifact was compiled for a different model "
+                "(provider/capacity fingerprint mismatch); refusing to "
+                "serve it"
+            )
+        for name, value in artifact.metrics.items():
+            if not math.isfinite(value):
+                if metrics is not None:
+                    metrics.counter("serve.artifact.rejected").inc()
+                raise ArtifactRejectedError(
+                    f"artifact metrics are non-finite ({name} = {value!r})"
+                )
+        try:
+            rated = rated_model(model, artifact.rate)
+        except InvalidModelError as exc:
+            if metrics is not None:
+                metrics.counter("serve.artifact.rejected").inc()
+            raise ArtifactRejectedError(
+                f"artifact encodes an invalid arrival rate: {exc}"
+            ) from exc
+        report = admit_model(
+            rated,
+            level=level,
+            weight=artifact.weight,
+            raise_on_reject=False,
+        )
+        if report.verdict == "rejected":
+            if metrics is not None:
+                metrics.counter("serve.artifact.rejected").inc()
+            raise ArtifactRejectedError(
+                "artifact's model configuration was rejected by the "
+                f"admission gate ({len(report.findings)} finding(s))",
+                report=report,
+            )
+        from repro.ctmdp.policy import Policy
+
+        try:
+            mdp = rated.build_ctmdp(artifact.weight)
+            Policy(mdp, artifact.assignment())
+        except (InvalidPolicyError, InvalidModelError) as exc:
+            if metrics is not None:
+                metrics.counter("serve.artifact.rejected").inc()
+            raise ArtifactRejectedError(
+                f"artifact policy does not validate against its model: {exc}"
+            ) from exc
+        if metrics is not None:
+            metrics.counter("serve.artifact.admitted").inc()
+        return rated
+
+
+# -- the on-disk store -------------------------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """Raised by the test-only crash hook to model a SIGKILL mid-swap.
+
+    Derives from ``BaseException`` so no recovery code path can absorb
+    it: whatever partial on-disk state exists when it fires is exactly
+    the state a real SIGKILL would leave.
+    """
+
+
+class ArtifactStore:
+    """Atomic single-slot artifact storage in a directory.
+
+    The current artifact lives at ``<directory>/policy.json``. Saves
+    write a temp file in the same directory, fsync it, ``os.replace``
+    it into place, and fsync the directory (best effort), so a crash at
+    any instant leaves a loadable last-good artifact. Temp leftovers
+    from a crash are swept opportunistically.
+
+    ``crash_point`` is a test hook: set it to ``"after-write"``,
+    ``"after-fsync"``, or ``"after-replace"`` and the next save raises
+    :class:`SimulatedCrash` at that point, faithfully modeling a kill.
+    """
+
+    FILENAME = "policy.json"
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILENAME
+        self.crash_point: "Optional[str]" = None
+
+    def _maybe_crash(self, point: str) -> None:
+        if self.crash_point == point:
+            raise SimulatedCrash(point)
+
+    def sweep(self) -> int:
+        """Remove temp leftovers from crashed swaps; returns the count."""
+        removed = 0
+        if self.directory.is_dir():
+            for leftover in self.directory.glob(self.FILENAME + ".*.tmp"):
+                try:
+                    leftover.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing sweeps
+                    pass
+        return removed
+
+    def save(self, artifact: PolicyArtifact) -> None:
+        """Atomically persist *artifact* as the current policy."""
+        ins = obs_active()
+        with ins.span("serve.swap", version=artifact.version):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.sweep()
+            document = artifact.to_document()
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=self.FILENAME + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle, indent=1, sort_keys=True)
+                    handle.write("\n")
+                    handle.flush()
+                    self._maybe_crash("after-write")
+                    os.fsync(handle.fileno())
+                self._maybe_crash("after-fsync")
+                os.replace(tmp_name, self.path)
+                self._maybe_crash("after-replace")
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            try:
+                dir_fd = os.open(self.directory, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+            if ins.enabled and ins.metrics is not None:
+                ins.metrics.counter("serve.artifact.saves").inc()
+
+    def load(self) -> "Optional[PolicyArtifact]":
+        """The stored artifact, ``None`` when none was ever saved.
+
+        Corruption (unreadable JSON, checksum mismatch) raises
+        :class:`~repro.errors.ArtifactIntegrityError`; schema drift
+        raises :class:`~repro.errors.ArtifactSchemaError`. Both leave
+        the file in place for forensics -- the caller decides whether
+        to keep serving its in-memory last-good copy.
+        """
+        self.sweep()
+        ins = obs_active()
+        metrics = ins.metrics if ins.enabled else None
+        if not self.path.exists():
+            return None
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, ValueError) as exc:
+            if metrics is not None:
+                metrics.counter("serve.artifact.load_failures").inc()
+            raise ArtifactIntegrityError(
+                f"cannot read artifact {self.path}: {exc}"
+            ) from exc
+        try:
+            artifact = PolicyArtifact.from_document(document)
+        except ArtifactIntegrityError:
+            if metrics is not None:
+                metrics.counter("serve.artifact.load_failures").inc()
+            raise
+        except ArtifactSchemaError:
+            if metrics is not None:
+                metrics.counter("serve.artifact.load_failures").inc()
+            raise
+        if metrics is not None:
+            metrics.counter("serve.artifact.loads").inc()
+        return artifact
+
+
+def save_artifact(artifact: PolicyArtifact, path: PathLike) -> None:
+    """Atomically write *artifact* to an explicit file path."""
+    path = Path(path)
+    store = ArtifactStore(path.parent)
+    # Reuse the store's atomic dance with the custom filename.
+    store.path = path
+    store.FILENAME = path.name  # type: ignore[misc]
+    store.save(artifact)
+
+
+def load_artifact(path: PathLike) -> PolicyArtifact:
+    """Load and structurally validate an artifact from an explicit path.
+
+    Unlike :meth:`ArtifactStore.load`, a missing file is an error here:
+    the caller named a specific artifact and should know it is gone.
+    """
+    path = Path(path)
+    store = ArtifactStore(path.parent)
+    store.path = path
+    store.FILENAME = path.name  # type: ignore[misc]
+    artifact = store.load()
+    if artifact is None:
+        raise ArtifactIntegrityError(f"no artifact at {path}")
+    return artifact

@@ -1,0 +1,254 @@
+"""Seeded fault injection for the serving runtime.
+
+The chaos harness drives :mod:`repro.serve` through every failure the
+design claims to survive -- solver crashes, hangs, NaN policies,
+artifact corruption, drift storms -- deterministically (every choice
+flows from an explicit seed), so a CI failure replays locally from the
+seed alone. Two pieces:
+
+- :class:`ChaosSolver` -- an injectable solve callable for the
+  supervisor whose outcome per call is scripted or seeded: ``"ok"``
+  (the real pipeline), ``"crash"`` (typed :class:`SolverError`),
+  ``"hang"`` (sleeps past the supervisor's attempt timeout), ``"nan"``
+  (a structurally valid result whose metrics are non-finite -- must be
+  caught by artifact compilation, not served).
+- :class:`ChaosPlan` -- the soak-loop hooks: a piecewise-constant
+  drift storm over the true arrival rate, plus seeded on-disk artifact
+  corruption and reload probes that assert corrupt files are rejected
+  with typed errors while serving continues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.dpm.adaptive import solve_rated
+from repro.dpm.analysis import AnalyticMetrics
+from repro.dpm.system import PowerManagedSystemModel
+from repro.errors import ArtifactError, SolverError
+from repro.serve.artifact import validate_artifact
+
+#: Outcomes a :class:`ChaosSolver` knows how to inject.
+OUTCOMES = ("ok", "crash", "hang", "nan")
+
+
+class ChaosSolver:
+    """A supervisor ``solve`` callable with scripted/seeded failures.
+
+    Parameters
+    ----------
+    base_model, weight, solver, backend:
+        The real solve pipeline used for ``"ok"`` (and ``"nan"``)
+        outcomes, via :func:`repro.dpm.adaptive.solve_rated`.
+    script:
+        Explicit outcome sequence consumed call by call; after it is
+        exhausted every call is ``"ok"``. Mutually exclusive with
+        *probabilities*.
+    probabilities:
+        Mapping outcome → probability for seeded sampling (missing
+        mass is ``"ok"``); requires *seed*.
+    seed:
+        Seed for the probability sampler.
+    hang_sleep:
+        Wall-clock seconds a ``"hang"`` outcome blocks -- must exceed
+        the supervisor's ``attempt_timeout`` to register as a hang
+        (the supervisor abandons the attempt; without a timeout a hang
+        would block forever, so configure one).
+    """
+
+    def __init__(
+        self,
+        base_model: PowerManagedSystemModel,
+        weight: float,
+        script: "Optional[Sequence[str]]" = None,
+        probabilities: "Optional[Dict[str, float]]" = None,
+        seed: "Optional[int]" = None,
+        solver: str = "policy_iteration",
+        backend: str = "auto",
+        hang_sleep: float = 0.2,
+    ) -> None:
+        if script is not None and probabilities is not None:
+            raise ValueError("pass script or probabilities, not both")
+        if probabilities is not None and seed is None:
+            raise ValueError("seeded probabilities need an explicit seed")
+        for outcome in list(script or []) + list(probabilities or {}):
+            if outcome not in OUTCOMES:
+                raise ValueError(f"unknown chaos outcome {outcome!r}")
+        self.base_model = base_model
+        self.weight = float(weight)
+        self.solver = solver
+        self.backend = backend
+        self.hang_sleep = float(hang_sleep)
+        self._script: "List[str]" = list(script or [])
+        self._probabilities = dict(probabilities or {})
+        self._rng = random.Random(seed)
+        self.outcomes: "List[str]" = []
+
+    def _next_outcome(self) -> str:
+        if self._script:
+            return self._script.pop(0)
+        if self._probabilities:
+            roll = self._rng.random()
+            cumulative = 0.0
+            for outcome, p in sorted(self._probabilities.items()):
+                cumulative += p
+                if roll < cumulative:
+                    return outcome
+        return "ok"
+
+    def __call__(self, rate: float, initial_policy=None):
+        outcome = self._next_outcome()
+        self.outcomes.append(outcome)
+        if outcome == "crash":
+            raise SolverError(
+                "injected solver crash", diagnostics={"reason": "chaos"}
+            )
+        if outcome == "hang":
+            time.sleep(self.hang_sleep)
+            raise SolverError(
+                "injected hang outlived its abandonment",
+                diagnostics={"reason": "chaos-hang"},
+            )
+        result = solve_rated(
+            self.base_model,
+            rate,
+            self.weight,
+            solver=self.solver,
+            backend=self.backend,
+            initial_policy=initial_policy,
+        )
+        if outcome == "nan":
+            poisoned = AnalyticMetrics(
+                average_power=math.nan,
+                average_queue_length=result.metrics.average_queue_length,
+                loss_rate=result.metrics.loss_rate,
+                accepted_rate=result.metrics.accepted_rate,
+                average_waiting_time=result.metrics.average_waiting_time,
+                paper_waiting_time_approximation=(
+                    result.metrics.paper_waiting_time_approximation
+                ),
+            )
+            return dataclasses.replace(result, metrics=poisoned)
+        return result
+
+
+class ChaosPlan:
+    """Soak-loop hooks: drift storm + artifact corruption/reload probes.
+
+    The true arrival rate is piecewise constant: segment ``i`` of
+    length *storm_period* runs at ``base_rate * factor_i`` with factors
+    drawn from ``[factor_low, factor_high]`` by a dedicated seeded RNG
+    (log-uniform, so up- and down-drifts are symmetric). That is the
+    drift storm: it moves the estimator, the estimator moves the
+    detector, and the detector forces re-solves against whatever the
+    :class:`ChaosSolver` throws at them.
+
+    On each arrival the plan may also (with seeded probability)
+    corrupt the on-disk artifact in place -- flip a byte, truncate, or
+    replace with garbage -- and, independently, probe a reload: try to
+    load + validate the stored file the way a restarting process
+    would. A corrupt file must produce a typed :class:`ArtifactError`
+    (counted in :attr:`reload_rejections`); anything else escapes and
+    fails the harness.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        seed: int = 0,
+        storm_period: float = 10.0,
+        factor_low: float = 0.4,
+        factor_high: float = 2.5,
+        corrupt_probability: float = 0.0,
+        reload_probability: float = 0.0,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {base_rate}")
+        if storm_period <= 0:
+            raise ValueError(
+                f"storm_period must be positive, got {storm_period}"
+            )
+        if not 0 < factor_low <= factor_high:
+            raise ValueError(
+                f"need 0 < factor_low <= factor_high, got "
+                f"({factor_low}, {factor_high})"
+            )
+        self.base_rate = float(base_rate)
+        self.storm_period = float(storm_period)
+        self._log_low = math.log(factor_low)
+        self._log_high = math.log(factor_high)
+        self._factor_rng = random.Random(seed ^ 0x5EED)
+        self._factors: "List[float]" = []
+        self.corrupt_probability = float(corrupt_probability)
+        self.reload_probability = float(reload_probability)
+        self.corruptions = 0
+        self.reload_attempts = 0
+        self.reload_rejections = 0
+        self.reload_successes = 0
+
+    def _factor(self, segment: int) -> float:
+        while len(self._factors) <= segment:
+            u = self._factor_rng.random()
+            self._factors.append(
+                math.exp(self._log_low + u * (self._log_high - self._log_low))
+            )
+        return self._factors[segment]
+
+    def rate_at(self, vt: float) -> float:
+        """The true arrival rate at virtual time *vt*."""
+        return self.base_rate * self._factor(int(vt // self.storm_period))
+
+    def on_arrival(self, runtime, vt: float, rng: random.Random, report) -> None:
+        """Per-arrival chaos: maybe corrupt the store, maybe probe it."""
+        if (
+            self.corrupt_probability > 0
+            and rng.random() < self.corrupt_probability
+        ):
+            if self._corrupt(runtime.store, rng):
+                self.corruptions += 1
+        if (
+            self.reload_probability > 0
+            and rng.random() < self.reload_probability
+        ):
+            self._probe_reload(runtime)
+
+    def _corrupt(self, store, rng: random.Random) -> bool:
+        path = store.path
+        if not path.exists():
+            return False
+        data = bytearray(path.read_bytes())
+        style = rng.randrange(3)
+        if style == 0 and data:  # flip one byte
+            i = rng.randrange(len(data))
+            data[i] ^= 0xFF
+            path.write_bytes(bytes(data))
+        elif style == 1:  # truncate (torn write)
+            path.write_bytes(bytes(data[: len(data) // 2]))
+        else:  # replace with garbage
+            path.write_bytes(bytes(rng.getrandbits(8) for _ in range(64)))
+        return True
+
+    def _probe_reload(self, runtime) -> None:
+        """Load + validate the stored artifact like a restart would.
+
+        Only a typed :class:`ArtifactError` (or a clean admit) is
+        acceptable; serving state is only touched on a clean admit.
+        """
+        self.reload_attempts += 1
+        try:
+            stored = runtime.store.load()
+            if stored is None:
+                return
+            validate_artifact(
+                stored,
+                runtime.base_model,
+                level=runtime.supervisor.admission_level,
+            )
+        except ArtifactError:
+            self.reload_rejections += 1
+            return
+        self.reload_successes += 1

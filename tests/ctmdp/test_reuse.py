@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+import repro.ctmdp.reuse as reuse_mod
 import repro.ctmdp.sparse as sparse_mod
 from repro.ctmdp.policy_iteration import policy_iteration
 from repro.ctmdp.reuse import (
@@ -223,6 +224,114 @@ class TestReuseLadder:
         counters = _counters(metrics)
         assert counters["solver.reuse.refactorizations"] == 2
         assert counters.get("solver.reuse.factorization_reuses") is None
+
+
+class TestCacheSelfInvalidation:
+    """Satellite: `BorderedSystemCache` self-invalidation under forced
+    misses and repeated solve cycles (only the happy path was tested).
+    """
+
+    def _primed(self, capacity=30):
+        smdp = _paper_sparse(capacity=capacity)
+        g_can, c_can, _ = smdp.canonical()
+        cache = BorderedSystemCache(g_can, smdp.n_states, 0)
+        sel = smdp.pair_offset[:-1].copy()
+        a_max = max(1.0, float(np.max(np.abs(g_can.data))))
+        b = np.concatenate([-c_can[sel], [0.0]])
+        cache.solve(sel, b, a_max)
+        # States with at least two actions -- the only ones whose row
+        # choice can legally be perturbed.
+        flexible = np.flatnonzero(np.diff(smdp.pair_offset) > 1)
+        return smdp, c_can, cache, sel, a_max, flexible
+
+    def test_forced_miss_refactorizes_and_stays_correct(self, monkeypatch):
+        # A stale-LU GMRES that diverges (NaN, as a breakdown leaves it)
+        # must register as a miss, so each solve falls through to a
+        # fresh factorization -- and still meets the residual contract.
+        def diverged_gmres(a, b, **kwargs):
+            return np.full_like(b, np.nan), 1
+
+        metrics = MetricsRegistry()
+        with instrument(metrics=metrics):
+            smdp, c_can, cache, sel, a_max, flexible = self._primed()
+            monkeypatch.setattr(reuse_mod, "gmres", diverged_gmres)
+            for k in flexible[:3]:
+                sel2 = sel.copy()
+                sel2[k] += 1
+                b2 = np.concatenate([-c_can[sel2], [0.0]])
+                x = cache.solve(sel2, b2, a_max)
+                a = sp.csr_array(_reference_system(smdp, sel2))
+                residual = float(np.max(np.abs(a @ x - b2))) / (
+                    a_max * max(float(np.max(np.abs(x))), 1e-300)
+                )
+                assert residual <= RESIDUAL_RTOL
+        counters = _counters(metrics)
+        assert counters["solver.reuse.reuse_misses"] == 3
+        assert counters["solver.reuse.refactorizations"] == 4  # prime + 3
+        assert counters.get("solver.reuse.factorization_reuses") is None
+
+    def test_failed_acceptance_drops_lu_and_uses_full_ladder(
+        self, monkeypatch
+    ):
+        # An impossible acceptance threshold inside the reuse module
+        # makes both the stale-LU rung and the fresh-LU acceptance fail:
+        # the cache must drop its factorization state (self-invalidate)
+        # and hand the solve to the full sparse ladder, whose own
+        # (unpatched) contract still holds.
+        smdp, c_can, cache, sel, a_max, flexible = self._primed()
+        assert cache._lu is not None
+        monkeypatch.setattr(reuse_mod, "RESIDUAL_RTOL", 0.0)
+        sel2 = sel.copy()
+        sel2[flexible[0]] += 1
+        b2 = np.concatenate([-c_can[sel2], [0.0]])
+        x = cache.solve(sel2, b2, a_max)
+        assert cache._lu is None and cache._lu_sel is None
+        a = sp.csr_array(_reference_system(smdp, sel2))
+        residual = float(np.max(np.abs(a @ x - b2))) / (
+            a_max * max(float(np.max(np.abs(x))), 1e-300)
+        )
+        assert residual <= RESIDUAL_RTOL
+
+    def test_invalidated_cache_recovers_on_next_solve(self, monkeypatch):
+        # After a self-invalidation the next uninhibited solve must
+        # refactorize from scratch and restore normal reuse behavior.
+        metrics = MetricsRegistry()
+        with instrument(metrics=metrics):
+            smdp, c_can, cache, sel, a_max, flexible = self._primed()
+            monkeypatch.setattr(reuse_mod, "RESIDUAL_RTOL", 0.0)
+            sel2 = sel.copy()
+            sel2[flexible[0]] += 1
+            b2 = np.concatenate([-c_can[sel2], [0.0]])
+            cache.solve(sel2, b2, a_max)
+            assert cache._lu is None
+            monkeypatch.setattr(
+                reuse_mod, "RESIDUAL_RTOL", RESIDUAL_RTOL
+            )
+            b = np.concatenate([-c_can[sel], [0.0]])
+            cache.solve(sel, b, a_max)
+            assert cache._lu is not None  # refactorized
+            sel3 = sel.copy()
+            sel3[flexible[1]] += 1
+            b3 = np.concatenate([-c_can[sel3], [0.0]])
+            cache.solve(sel3, b3, a_max)
+        counters = _counters(metrics)
+        # The last solve reused the recovered factorization.
+        assert counters["solver.reuse.factorization_reuses"] == 1
+
+    def test_repeated_solve_cycles_match_reference(self):
+        # Ten alternating-selection solves through one cache, each
+        # checked against the block_array reference lowering.
+        smdp, c_can, cache, sel, a_max, flexible = self._primed(capacity=20)
+        for k in range(10):
+            sel2 = sel.copy()
+            sel2[flexible[k % len(flexible)]] += 1 if k % 2 == 0 else 0
+            b2 = np.concatenate([-c_can[sel2], [0.0]])
+            x = cache.solve(sel2, b2, a_max)
+            a = sp.csr_array(_reference_system(smdp, sel2))
+            residual = float(np.max(np.abs(a @ x - b2))) / (
+                a_max * max(float(np.max(np.abs(x))), 1e-300)
+            )
+            assert residual <= RESIDUAL_RTOL
 
 
 class TestWarmColdEquivalence:

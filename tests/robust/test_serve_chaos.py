@@ -1,0 +1,225 @@
+"""Chaos harness for the serving runtime (acceptance criteria).
+
+Under seeded fault injection -- solver crashes/hangs/NaN policies,
+on-disk artifact corruption, drift storms -- the server must never
+return an action inconsistent with its admitted artifact, never leak an
+untyped error, and every breaker/ladder transition must be observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm.presets import paper_system
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import instrument
+from repro.serve.artifact import ArtifactStore
+from repro.serve.chaos import ChaosPlan, ChaosSolver
+from repro.serve.server import ServingRuntime
+from repro.serve.supervisor import CircuitBreaker, RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def model():
+    return paper_system(capacity=3)
+
+
+def make_runtime(model, tmp_path, chaos_solver=None, **kwargs):
+    kwargs.setdefault(
+        "retry", RetryPolicy(attempts=2, base_delay=0.0, sleep=lambda s: None)
+    )
+    kwargs.setdefault(
+        "breaker", CircuitBreaker(failure_threshold=2, reset_timeout=0.0)
+    )
+    kwargs.setdefault("drift_consecutive", 2)
+    return ServingRuntime(
+        model, 0.5, ArtifactStore(tmp_path), solve=chaos_solver, **kwargs
+    )
+
+
+class TestChaosSolver:
+    def test_script_validated(self, model):
+        with pytest.raises(ValueError, match="unknown chaos outcome"):
+            ChaosSolver(model, 0.5, script=["ok", "explode"])
+        with pytest.raises(ValueError, match="not both"):
+            ChaosSolver(model, 0.5, script=["ok"], probabilities={"crash": 0.5})
+        with pytest.raises(ValueError, match="explicit seed"):
+            ChaosSolver(model, 0.5, probabilities={"crash": 0.5})
+
+    def test_nan_outcome_rejected_at_compile(self, model, tmp_path):
+        solver = ChaosSolver(model, 0.5, script=["nan"])
+        runtime = make_runtime(model, tmp_path, solver)
+        report = runtime.supervisor.resolve(model.requestor.rate)
+        assert not report.ok
+        assert report.failure == "rejected"
+        assert "non-finite" in report.error
+        assert runtime.store.load() is None  # nothing inadmissible persisted
+
+    def test_seeded_outcomes_deterministic(self, model):
+        a = ChaosSolver(model, 0.5, probabilities={"crash": 0.5}, seed=3)
+        b = ChaosSolver(model, 0.5, probabilities={"crash": 0.5}, seed=3)
+        for solver in (a, b):
+            for _ in range(8):
+                try:
+                    solver(model.requestor.rate)
+                except Exception:
+                    pass
+        assert a.outcomes == b.outcomes
+        assert "crash" in a.outcomes and "ok" in a.outcomes
+
+
+class TestBreakerLifecycle:
+    def test_open_stale_halfopen_recovery(self, model, tmp_path):
+        """The full arc: crashes open the breaker, the server keeps
+        answering from the stale last-good table, the half-open probe
+        succeeds and restores fresh serving."""
+        solver = ChaosSolver(
+            model, 0.5, script=["ok", "crash", "crash", "crash", "crash"]
+        )
+        with instrument(metrics=MetricsRegistry()) as ins:
+            runtime = make_runtime(model, tmp_path, solver)
+            assert runtime.bootstrap() == "fresh"
+
+            # Two failed requests (2 attempts each, all crash) open it:
+            # each failed request counts one breaker failure.
+            runtime.server.mark_stale()
+            r1 = runtime.supervisor.resolve(0.4)
+            assert r1.failure == "crash"
+            assert runtime.supervisor.breaker.state == "closed"
+            r2 = runtime.supervisor.resolve(0.4)
+            assert r2.failure == "crash"
+            assert runtime.supervisor.breaker.n_opened == 1
+
+            # Open breaker refuses without consuming script outcomes.
+            outcomes_before = len(solver.outcomes)
+            # reset_timeout=0 means it is immediately half-open, so use
+            # a second runtime-level check: force a refusal first.
+            runtime.supervisor.breaker._opened_at = float("inf")
+            refused = runtime.supervisor.resolve(0.4)
+            assert refused.failure == "breaker-open"
+            assert len(solver.outcomes) == outcomes_before
+
+            # Stale serving continues from the admitted v1 table.
+            decision = runtime.decide("active", False, 1)
+            assert decision.source == "stale"
+            assert decision.version == 1
+            assert decision.action == decision.artifact.action_for(
+                "active", False, 1
+            )
+
+            # Allow the half-open probe; script is exhausted → "ok".
+            runtime.supervisor.breaker._opened_at = 0.0
+            assert runtime.supervisor.breaker.state == "half-open"
+            probe = runtime.supervisor.resolve(
+                0.4, install=runtime.server.install
+            )
+            assert probe.ok
+            assert runtime.supervisor.breaker.state == "closed"
+            assert runtime.server.source == "fresh"
+            assert runtime.server.artifact.version == 2
+
+            doc = ins.metrics.to_dict()
+        assert doc["serve.breaker.opened"]["value"] == 1
+        assert doc["serve.breaker.closed"]["value"] == 1
+        assert doc["serve.resolve.refused"]["value"] == 1
+        assert doc["serve.swaps"]["value"] == 2
+
+    def test_halfopen_probe_failure_reopens(self, model, tmp_path):
+        solver = ChaosSolver(model, 0.5, script=["ok"] + ["crash"] * 6)
+        runtime = make_runtime(model, tmp_path, solver)
+        runtime.bootstrap()
+        runtime.supervisor.resolve(0.4)  # failed request #1
+        runtime.supervisor.resolve(0.4)  # failed request #2 → opens
+        assert runtime.supervisor.breaker.n_opened == 1
+        # reset_timeout=0 means it is immediately half-open.
+        assert runtime.supervisor.breaker.state == "half-open"
+        probe = runtime.supervisor.resolve(0.4)  # half-open probe crashes
+        assert not probe.ok
+        runtime.supervisor.breaker._opened_at = float("inf")
+        assert runtime.supervisor.breaker.state == "open"
+        assert runtime.supervisor.breaker.n_opened == 2
+
+
+class TestHangs:
+    def test_hung_solver_abandoned_and_serving_unharmed(self, model, tmp_path):
+        solver = ChaosSolver(
+            model, 0.5, script=["ok", "hang", "hang"], hang_sleep=0.3
+        )
+        runtime = make_runtime(
+            model,
+            tmp_path,
+            solver,
+            attempt_timeout=0.05,
+            retry=RetryPolicy(attempts=2, base_delay=0.0, sleep=lambda s: None),
+        )
+        runtime.bootstrap()
+        report = runtime.supervisor.resolve(0.4)
+        assert report.failure == "timeout"
+        assert report.attempts == 2
+        # The last-good table is untouched.
+        assert runtime.decide("active", False, 1).version == 1
+
+
+class TestSoakUnderChaos:
+    def _soak(self, model, tmp_path, seed, duration=4000.0):
+        solver = ChaosSolver(
+            model,
+            0.5,
+            probabilities={"crash": 0.25, "hang": 0.05, "nan": 0.15},
+            seed=seed,
+            hang_sleep=0.15,
+        )
+        plan = ChaosPlan(
+            model.requestor.rate,
+            seed=seed,
+            storm_period=duration / 8,
+            corrupt_probability=0.01,
+            reload_probability=0.02,
+        )
+        runtime = make_runtime(
+            model,
+            tmp_path,
+            solver,
+            attempt_timeout=0.05,
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout=0.1),
+        )
+        runtime.bootstrap()
+        report = runtime.soak(duration, seed=seed, chaos=plan)
+        return runtime, plan, report
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_never_wrong_never_untyped(self, model, tmp_path, seed):
+        """The headline acceptance criterion, two seeds."""
+        with instrument(metrics=MetricsRegistry()) as ins:
+            runtime, plan, report = self._soak(model, tmp_path / str(seed), seed)
+            doc = ins.metrics.to_dict()
+        assert report.selfcheck_violations == 0
+        assert "serve.selfcheck.violations" not in doc
+        assert report.arrivals > 200
+        assert report.decisions > 0
+        # Every decision came from an admitted table or the heuristic.
+        assert sum(report.by_source.values()) == report.decisions
+        # Corruption probes only ever saw typed rejections or clean admits.
+        assert plan.reload_attempts == (
+            plan.reload_rejections + plan.reload_successes
+        )
+        # The runtime never served the heuristic (it bootstrapped fresh
+        # and stale always has the last-good table to fall back on).
+        assert report.by_source["heuristic"] == 0
+
+    def test_soak_is_replayable_from_seed(self, model, tmp_path):
+        _, _, a = self._soak(model, tmp_path / "a", 5, duration=2000.0)
+        _, _, b = self._soak(model, tmp_path / "b", 5, duration=2000.0)
+        da, db = a.to_dict(), b.to_dict()
+        # estimated_rate depends only on arrival times → equal too, but
+        # drop anything wall-clock-ish just in case.
+        assert da == db
+
+    def test_corruption_actually_happens_and_is_survived(self, model, tmp_path):
+        runtime, plan, report = self._soak(model, tmp_path, 0, duration=6000.0)
+        assert plan.corruptions > 0
+        assert plan.reload_attempts > 0
+        assert plan.reload_rejections > 0  # probes did see corrupt files
+        assert report.selfcheck_violations == 0
+        # A corrupt store never poisons in-memory serving.
+        assert runtime.server.artifact is not None

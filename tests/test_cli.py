@@ -587,3 +587,118 @@ class TestValidateObservability:
         names = {s["name"] for s in spans}
         assert "admission.gate" in names
         assert "admission.structural" in names
+
+
+class TestServeCommand:
+    """The policy-serving runtime behind `repro-dpm serve`."""
+
+    def test_soak_run_healthy(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--duration", "600", "--seed", "3",
+                    "--artifact-dir", str(tmp_path / "artifacts"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bootstrap: serving from the 'fresh' rung" in out
+        assert "health: ok" in out
+        # The admitted artifact was persisted for the next process.
+        assert (tmp_path / "artifacts" / "policy.json").exists()
+
+    def test_bootstrap_reuses_stored_artifact(self, tmp_path, capsys):
+        art = str(tmp_path / "artifacts")
+        assert main(["serve", "--duration", "60", "--artifact-dir", art]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--duration", "60", "--artifact-dir", art]) == 0
+        assert "(source: stored)" in capsys.readouterr().out
+
+    def test_json_out_report(self, tmp_path, capsys):
+        report = tmp_path / "soak.json"
+        assert (
+            main(
+                [
+                    "serve", "--duration", "600",
+                    "--artifact-dir", str(tmp_path / "artifacts"),
+                    "--json-out", str(report),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(report.read_text())
+        assert doc["selfcheck_violations"] == 0
+        assert doc["decisions"] > 0
+        assert doc["final_status"]["health"] == "ok"
+
+    def test_degraded_serving_exits_13(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--duration", "60", "--no-initial-solve",
+                    "--artifact-dir", str(tmp_path / "artifacts"),
+                ]
+            )
+            == 13
+        )
+        out = capsys.readouterr().out
+        assert "'heuristic' rung" in out
+        assert "health: degraded" in out
+
+    def test_chaos_soak_survives(self, tmp_path, capsys):
+        report = tmp_path / "soak.json"
+        code = main(
+            [
+                "serve", "--chaos", "--duration", "6000",
+                "--seed", "0", "--chaos-seed", "0",
+                "--artifact-dir", str(tmp_path / "artifacts"),
+                "--json-out", str(report),
+            ]
+        )
+        import json
+
+        doc = json.loads(report.read_text())
+        assert doc["selfcheck_violations"] == 0
+        assert code in (0, 13)  # degraded-but-honest is acceptable
+        assert doc["chaos"]["reload_attempts"] == (
+            doc["chaos"]["reload_rejections"] + doc["chaos"]["reload_successes"]
+        )
+
+
+class TestServeExitCodes:
+    def test_artifact_and_request_error_codes(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        assert exit_code_for(errors.ArtifactError("x")) == 12
+        assert exit_code_for(errors.ArtifactIntegrityError("x")) == 12
+        assert exit_code_for(errors.ArtifactRejectedError("x")) == 12
+        assert exit_code_for(errors.ArtifactSchemaError("x")) == 12
+        assert exit_code_for(errors.ServeRequestError("x")) == 3
+
+
+class TestBackendInCheckpointConfig:
+    """Resuming under a different solver backend must be rejected."""
+
+    def test_frontier_resume_different_backend_rejected(self, tmp_path, capsys):
+        ck = tmp_path / "front.json"
+        base = ["frontier", "--weight-tolerance", "0.01", "--max-weight", "50",
+                "--checkpoint", str(ck)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--backend", "dense", "--resume"]) == 7
+        assert "different configuration" in capsys.readouterr().err
+
+    def test_simulate_resume_different_backend_rejected(self, tmp_path, capsys):
+        ck = tmp_path / "reps.json"
+        base = [
+            "simulate", "--policy", "greedy", "--requests", "300",
+            "--replications", "2", "--checkpoint", str(ck),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--backend", "dense", "--resume"]) == 7
+        assert "different configuration" in capsys.readouterr().err

@@ -7,6 +7,10 @@ import pytest
 
 import repro.errors
 from repro.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactRejectedError,
+    ArtifactSchemaError,
     CheckpointError,
     DomainError,
     InfeasibleConstraintError,
@@ -16,6 +20,7 @@ from repro.errors import (
     ModelRejectedError,
     NotIrreducibleError,
     ReproError,
+    ServeRequestError,
     SimulationError,
     SolverError,
     WorkerFailureError,
@@ -33,6 +38,11 @@ ALL_PUBLIC = [
     SimulationError,
     WorkerFailureError,
     CheckpointError,
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactSchemaError,
+    ArtifactRejectedError,
+    ServeRequestError,
 ]
 
 
@@ -61,6 +71,14 @@ class TestHierarchy:
 
     def test_worker_failure_is_simulation_error(self):
         assert issubclass(WorkerFailureError, SimulationError)
+
+    def test_artifact_family_is_catchable_as_artifact_error(self):
+        for exc in (
+            ArtifactIntegrityError,
+            ArtifactSchemaError,
+            ArtifactRejectedError,
+        ):
+            assert issubclass(exc, ArtifactError)
 
     def test_domain_and_rejection_are_invalid_model_errors(self):
         # Callers treating admission rejections and closed-form domain
