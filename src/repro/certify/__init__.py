@@ -1,0 +1,61 @@
+"""Solution certification: independent proof-carrying policies.
+
+The paper's value proposition is *exact* optimality of the solved
+CTMDP policy; this package independently verifies that claim after
+every solve and before any policy reaches serving. See DESIGN §14 for
+the certificate format and the serve-pipeline gate.
+"""
+
+from repro.certify.bellman import (
+    check_bellman,
+    independent_evaluation,
+    suboptimality_gap,
+)
+from repro.certify.consensus import CONSENSUS_BACKENDS, check_consensus
+from repro.certify.corpus import CORRUPTION_KINDS, CorruptedPolicy, build_corpus
+from repro.certify.duality import check_lp, check_lp_constrained
+from repro.certify.engine import (
+    CHECK_NAMES,
+    DEFAULT_TOLERANCE,
+    EXACT_STATE_LIMIT,
+    certify_artifact,
+    certify_result,
+    certify_solution,
+    require_certified,
+)
+from repro.certify.exact import check_exact, exact_generator, exact_stationary
+from repro.certify.report import (
+    CERT_SCHEMA,
+    CertFinding,
+    CertificationReport,
+    CheckResult,
+    policy_table_checksum,
+)
+
+__all__ = [
+    "CERT_SCHEMA",
+    "CHECK_NAMES",
+    "CONSENSUS_BACKENDS",
+    "CORRUPTION_KINDS",
+    "DEFAULT_TOLERANCE",
+    "EXACT_STATE_LIMIT",
+    "CertFinding",
+    "CertificationReport",
+    "CheckResult",
+    "CorruptedPolicy",
+    "build_corpus",
+    "certify_artifact",
+    "certify_result",
+    "certify_solution",
+    "check_bellman",
+    "check_consensus",
+    "check_exact",
+    "check_lp",
+    "check_lp_constrained",
+    "exact_generator",
+    "exact_stationary",
+    "independent_evaluation",
+    "policy_table_checksum",
+    "require_certified",
+    "suboptimality_gap",
+]

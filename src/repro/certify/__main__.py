@@ -1,0 +1,6 @@
+"""``python -m repro.certify`` runs the adversarial corpus (CI entry)."""
+
+from repro.certify.corpus import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

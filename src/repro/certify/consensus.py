@@ -1,0 +1,107 @@
+"""Cross-backend N-version consensus certificates.
+
+Independent evidence source #4: the repo carries several policy
+evaluation lowerings -- the reference dict-loop path, the dense
+compiled lowering, and the CSR sparse path -- that share no numerical
+kernel beyond BLAS. Each one evaluates the certified policy's gain on
+the same model; the votes are compared against their median so a
+single wandering backend cannot shift the consensus it is judged
+against. Certification demands *unanimity*: any backend straying
+beyond tolerance is a typed ``backend-disagreement`` finding, because
+a split vote means at least one production code path would serve a
+different number than the one being certified.
+
+Randomized policies are out of scope (the sparse path evaluates
+deterministic policies only), and the Kronecker backend evaluates
+factored models, which the flattened SYS product model is not; both
+limits are recorded on the check rather than silently narrowing it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.certify.report import CertFinding, CheckResult
+from repro.ctmdp.policy import evaluate_policy
+
+#: Evaluation backends that can all score a deterministic policy on a
+#: densely built model. ``kron`` needs a factored model and is noted as
+#: out of scope on every report.
+CONSENSUS_BACKENDS = ("reference", "compiled", "sparse")
+
+
+def check_consensus(
+    mdp,
+    policy,
+    tolerance: float,
+    scale: float,
+) -> CheckResult:
+    """Evaluate *policy* on every backend and demand unanimous gains."""
+    if hasattr(policy, "distribution"):
+        return CheckResult(
+            name="consensus",
+            status="skipped",
+            data={
+                "reason": "randomized policy: the sparse backend evaluates "
+                "deterministic policies only"
+            },
+        )
+    findings: "List[CertFinding]" = []
+    gains: "Dict[str, float]" = {}
+    errors: "Dict[str, str]" = {}
+    for backend in CONSENSUS_BACKENDS:
+        try:
+            evaluation = evaluate_policy(
+                policy, backend=backend, compute_stationary=False
+            )
+            gains[backend] = float(evaluation.gain)
+        except Exception as exc:  # one dead backend is itself a finding
+            errors[backend] = f"{type(exc).__name__}: {exc}"
+    data: "Dict[str, Any]" = {
+        "backends": list(CONSENSUS_BACKENDS),
+        "gains": dict(gains),
+        "kron": "skipped: SYS models are built dense, not Kronecker-factored",
+    }
+    if errors:
+        data["errors"] = errors
+        for backend, message in errors.items():
+            findings.append(
+                CertFinding(
+                    code="backend-disagreement",
+                    message=f"backend {backend!r} failed to evaluate the "
+                    f"policy: {message}",
+                )
+            )
+    if len(gains) >= 2:
+        median = float(np.median(list(gains.values())))
+        data["median_gain"] = median
+        data["max_spread"] = float(
+            max(gains.values()) - min(gains.values())
+        )
+        for backend, gain in sorted(gains.items()):
+            deviation = abs(gain - median)
+            if deviation > tolerance * scale:
+                findings.append(
+                    CertFinding(
+                        code="backend-disagreement",
+                        message=f"backend {backend!r} reports gain "
+                        f"{gain:.12g}, {deviation:.3e} from the "
+                        f"{len(gains)}-backend median {median:.12g}",
+                        value=deviation,
+                    )
+                )
+    elif not errors:
+        # Fewer than two live backends cannot form a consensus.
+        findings.append(
+            CertFinding(
+                code="backend-disagreement",
+                message=f"only {len(gains)} backend(s) produced a gain; "
+                "consensus needs at least two",
+            )
+        )
+    status = "failed" if findings else "passed"
+    return CheckResult(
+        name="consensus", status=status, findings=findings, data=data
+    )

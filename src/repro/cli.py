@@ -64,6 +64,7 @@ EXIT_CODES = (
     (errors.SimulationError, 6),
     (errors.CheckpointError, 7),
     (errors.ArtifactError, 12),
+    (errors.CertificationError, 14),
     (errors.ServeRequestError, 3),
     (errors.InvalidGeneratorError, 3),
     (errors.NotIrreducibleError, 3),
@@ -88,6 +89,12 @@ EXIT_ARTIFACT = 12
 #: ``serve``: the run ended below the fresh rung of the degradation
 #: ladder -- answering from a stale artifact or the N-policy heuristic.
 EXIT_SERVING_DEGRADED = 13
+
+#: ``certify``: the solved policy failed independent certification
+#: (Bellman gap, LP duality gap, exact-arithmetic mismatch, or backend
+#: disagreement); also the exit code of the
+#: :class:`repro.errors.CertificationError` family.
+EXIT_CERTIFICATION = 14
 
 
 def exit_code_for(exc: Exception) -> int:
@@ -369,8 +376,24 @@ def cmd_validate(args: argparse.Namespace) -> int:
         model, level=args.level, weight=args.weight, raise_on_reject=False,
         backend=args.backend,
     )
+    unichain_report = None
+    if args.unichain:
+        from repro.dpm.verification import verify_model
+
+        unichain_report = verify_model(
+            model, sample_budget=args.unichain_budget
+        )
     if args.json:
-        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        doc = report.to_dict()
+        if unichain_report is not None:
+            doc["unichain"] = {
+                "ok": unichain_report.ok,
+                "n_policies_total": unichain_report.n_policies_total,
+                "n_policies_checked": unichain_report.n_policies_checked,
+                "exhaustive": unichain_report.exhaustive,
+                "n_violations": len(unichain_report.violations),
+            }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(f"verdict: {report.verdict} (level: {report.level})")
         diag_rows = sorted(
@@ -390,6 +413,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
             ))
         if report.remediation:
             print("remediation:", _json.dumps(report.remediation, sort_keys=True))
+        if unichain_report is not None:
+            sweep = "exhaustive" if unichain_report.exhaustive else "sampled"
+            print(
+                f"unichain: {'ok' if unichain_report.ok else 'VIOLATED'} "
+                f"({unichain_report.n_policies_checked}/"
+                f"{unichain_report.n_policies_total} policies, {sweep})"
+            )
+            for assignment in unichain_report.violations[:5]:
+                print(f"  multichain policy: {assignment}")
     if args.report_out:
         from repro.obs.export import run_manifest, write_admission_report
 
@@ -401,9 +433,78 @@ def cmd_validate(args: argparse.Namespace) -> int:
             print(f"report written to {args.report_out}")
     if report.verdict == "rejected":
         return 3
+    if unichain_report is not None and not unichain_report.ok:
+        return 3
     if report.verdict == "repaired":
         return EXIT_REPAIRED
     return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.certify import certify_artifact, certify_result
+
+    model = _build_model(args)
+    checks = tuple(args.checks.split(",")) if args.checks else None
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["tolerance"] = args.tolerance
+    if checks is not None:
+        kwargs["checks"] = checks
+    if args.artifact is not None:
+        from repro.serve.artifact import load_artifact
+
+        artifact = load_artifact(args.artifact)
+        report = certify_artifact(artifact, model, **kwargs)
+    elif args.max_queue_length is not None:
+        result = optimize_constrained(model, args.max_queue_length)
+        report = certify_result(
+            model,
+            result,
+            constraints={"queue_length": args.max_queue_length},
+            **kwargs,
+        )
+    else:
+        result = optimize_weighted(model, args.weight, solver=args.solver)
+        report = certify_result(model, result, **kwargs)
+    if args.cert_out:
+        with open(args.cert_out, "w") as handle:
+            _json.dump(report.to_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(_json.dumps(report.to_document(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"verdict: {report.verdict} (mode: {report.mode}, "
+            f"tolerance: {report.tolerance:g})"
+        )
+        print(format_table(
+            ("check", "status", "evidence"),
+            [(c.name, c.status, _check_evidence(c)) for c in report.checks],
+        ))
+        if report.findings:
+            print(format_table(
+                ("code", "where", "message"),
+                [(f.code, f.state if f.state is not None else "-", f.message)
+                 for f in report.findings],
+            ))
+        if args.cert_out:
+            print(f"certificate written to {args.cert_out}")
+    return 0 if report.certified else EXIT_CERTIFICATION
+
+
+def _check_evidence(check) -> str:
+    """One-line human summary of a check's numeric evidence."""
+    for key in (
+        "suboptimality_gap", "duality_gap", "exact_gain", "max_spread",
+        "reason",
+    ):
+        if key in check.data:
+            value = check.data[key]
+            text = f"{value:.3e}" if isinstance(value, float) else str(value)
+            return f"{key}={text}"
+    return "-"
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -709,8 +810,45 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--report-out", default=None, metavar="PATH",
                           help="also write the report (with a run manifest) "
                                "as JSON to PATH")
+    validate.add_argument("--unichain", action="store_true",
+                          help="also sweep the deterministic policy space "
+                               "for multichain violations (the Section-III "
+                               "connectivity guarantee); violations exit 3")
+    validate.add_argument("--unichain-budget", type=int, default=500,
+                          help="policy-sample budget for the unichain sweep "
+                               "(exhaustive when the space fits; default: 500)")
     _add_backend_argument(validate)
     validate.set_defaults(func=cmd_validate)
+
+    certify = sub.add_parser(
+        "certify",
+        help="solve and independently certify a policy (proof-carrying "
+             "optimality evidence)",
+        parents=[common],
+    )
+    _add_model_arguments(certify)
+    certify.add_argument("--weight", type=float, default=1.0,
+                         help="performance weight w of Eqn. 3.1 (default: 1)")
+    certify.add_argument("--max-queue-length", type=float, default=None,
+                         help="delay bound D_M; switches to constrained mode")
+    certify.add_argument("--solver", default="policy_iteration",
+                         choices=("policy_iteration", "value_iteration",
+                                  "linear_program"),
+                         help="solver under test (default: policy_iteration)")
+    certify.add_argument("--artifact", default=None, metavar="PATH",
+                         help="certify a stored serve artifact instead of "
+                              "solving (uses its own rate/weight/metrics)")
+    certify.add_argument("--tolerance", type=float, default=None,
+                         help="relative certification tolerance "
+                              "(default: 1e-6)")
+    certify.add_argument("--checks", default=None,
+                         help="comma-separated subset of "
+                              "bellman,lp,exact,consensus (default: all)")
+    certify.add_argument("--json", action="store_true",
+                         help="print the certificate document as JSON")
+    certify.add_argument("--cert-out", default=None, metavar="PATH",
+                         help="also write the certificate document to PATH")
+    certify.set_defaults(func=cmd_certify)
 
     profile = sub.add_parser(
         "profile",

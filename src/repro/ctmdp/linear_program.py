@@ -36,6 +36,15 @@ from repro.ctmdp.policy import Policy, RandomizedPolicy
 #: when extracting a policy.
 OCCUPATION_EPS = 1e-10
 
+#: HiGHS termination codes as reported by ``scipy.optimize.linprog``.
+LP_STATUS_NAMES = {
+    0: "optimal",
+    1: "iteration-limit",
+    2: "infeasible",
+    3: "unbounded",
+    4: "numerical",
+}
+
 
 @dataclass(frozen=True)
 class LinearProgramResult:
@@ -55,6 +64,16 @@ class LinearProgramResult:
         :data:`OCCUPATION_EPS`.
     extra_cost_values:
         Average rate of each named extra cost under the optimal measure.
+    status:
+        HiGHS termination status name (:data:`LP_STATUS_NAMES`); always
+        ``"optimal"`` for a returned result -- other statuses raise.
+    diagnostics:
+        Solver evidence: iteration count, the dual objective recovered
+        from the HiGHS multipliers, the primal-dual ``duality_gap``
+        (zero at a true optimum up to round-off), and ``gain_dual`` --
+        the multiplier of the normalization row, which for the
+        average-cost LP is itself the optimal gain by LP duality. These
+        feed the certification engine's duality-gap certificates.
     """
 
     policy: RandomizedPolicy
@@ -62,6 +81,48 @@ class LinearProgramResult:
     gain: float
     occupation: "Dict[Tuple[Hashable, Hashable], float]"
     extra_cost_values: "Dict[str, float]"
+    status: str = "optimal"
+    diagnostics: "Dict[str, object]" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.diagnostics is None:
+            object.__setattr__(self, "diagnostics", {})
+
+
+def _status_name(status: int) -> str:
+    return LP_STATUS_NAMES.get(status, f"unknown({status})")
+
+
+def _lp_diagnostics(result, b_eq, b_ub=None) -> "Dict[str, object]":
+    """Extract duality evidence from a ``linprog`` result.
+
+    HiGHS marginals are derivatives of the objective with respect to
+    the right-hand sides, so the dual objective is
+    ``b_eq . y_eq + b_ub . y_ub`` and must equal the primal objective
+    at an optimum (strong duality). The normalization row's multiplier
+    is the optimal gain itself.
+    """
+    diag: "Dict[str, object]" = {
+        "highs_status": int(result.status),
+        "message": str(result.message),
+        "iterations": int(getattr(result, "nit", 0)),
+    }
+    eqlin = getattr(result, "eqlin", None)
+    if eqlin is not None and getattr(eqlin, "marginals", None) is not None:
+        marginals = np.asarray(eqlin.marginals, dtype=float)
+        dual_objective = float(b_eq @ marginals)
+        if b_ub is not None:
+            ineqlin = getattr(result, "ineqlin", None)
+            if ineqlin is not None and getattr(ineqlin, "marginals", None) is not None:
+                dual_objective += float(
+                    np.asarray(b_ub, dtype=float)
+                    @ np.asarray(ineqlin.marginals, dtype=float)
+                )
+        diag["dual_objective"] = dual_objective
+        diag["gain_dual"] = float(marginals[-1])
+        if result.success:
+            diag["duality_gap"] = float(result.fun) - dual_objective
+    return diag
 
 
 def _build_lp(mdp: CTMDP):
@@ -82,7 +143,12 @@ def _build_lp(mdp: CTMDP):
 
 
 def _extract_result(
-    mdp: CTMDP, pairs, x: np.ndarray, gain: float
+    mdp: CTMDP,
+    pairs,
+    x: np.ndarray,
+    gain: float,
+    status: str = "optimal",
+    diagnostics: "Optional[Dict[str, object]]" = None,
 ) -> LinearProgramResult:
     """Turn an optimal occupation vector into policies and summaries."""
     occupation: Dict[Tuple[Hashable, Hashable], float] = {}
@@ -124,6 +190,8 @@ def _extract_result(
         gain=float(gain),
         occupation=occupation,
         extra_cost_values=extra_values,
+        status=status,
+        diagnostics=dict(diagnostics or {}),
     )
 
 
@@ -131,13 +199,24 @@ def solve_average_cost_lp(mdp: CTMDP) -> LinearProgramResult:
     """Minimize the long-run average cost rate over stationary policies.
 
     For unichain models the optimal basic solution is deterministic and
-    agrees with policy iteration.
+    agrees with policy iteration. The returned result carries the HiGHS
+    termination status and duality diagnostics; non-optimal statuses
+    (iteration limit, infeasibility, numerical trouble) raise
+    :class:`~repro.errors.SolverError` with the same diagnostics
+    attached instead of silently returning a partial answer.
     """
     pairs, costs, a_eq, b_eq = _build_lp(mdp)
     result = linprog(costs, A_eq=a_eq, b_eq=b_eq, bounds=(0, None), method="highs")
+    diagnostics = _lp_diagnostics(result, b_eq)
     if not result.success:
-        raise SolverError(f"average-cost LP failed: {result.message}")
-    return _extract_result(mdp, pairs, result.x, result.fun)
+        raise SolverError(
+            f"average-cost LP failed with status "
+            f"{_status_name(result.status)}: {result.message}",
+            diagnostics=diagnostics,
+        )
+    return _extract_result(
+        mdp, pairs, result.x, result.fun, _status_name(result.status), diagnostics
+    )
 
 
 def solve_constrained_lp(
@@ -186,10 +265,18 @@ def solve_constrained_lp(
         bounds=(0, None),
         method="highs",
     )
+    diagnostics = _lp_diagnostics(result, b_eq, b_ub)
     if result.status == 2:
         raise InfeasibleConstraintError(
-            f"no stationary policy satisfies {dict(constraints)!r}"
+            f"no stationary policy satisfies {dict(constraints)!r}",
+            diagnostics=diagnostics,
         )
     if not result.success:
-        raise SolverError(f"constrained LP failed: {result.message}")
-    return _extract_result(mdp, pairs, result.x, result.fun)
+        raise SolverError(
+            f"constrained LP failed with status "
+            f"{_status_name(result.status)}: {result.message}",
+            diagnostics=diagnostics,
+        )
+    return _extract_result(
+        mdp, pairs, result.x, result.fun, _status_name(result.status), diagnostics
+    )

@@ -155,3 +155,35 @@ class ServeRequestError(ReproError):
     """A decision request named an unknown mode or was otherwise
     malformed. The serving layer answers such requests with a typed
     error payload -- never a traceback, never a guessed action."""
+
+
+class TraceIntegrityError(SimulationError):
+    """A persisted trace or result file is corrupt: checksum mismatch,
+    truncation, or unparseable content. The message always names the
+    offending path (and line, for traces) so operators can locate the
+    damaged file; subclasses :class:`SimulationError` so it maps into
+    the CLI's simulation exit code."""
+
+
+class CertificationError(ReproError):
+    """The certification engine could not run: inconsistent inputs
+    (a constrained solve without its bounds, a model/artifact
+    fingerprint mismatch) or a corrupt certificate document. Distinct
+    from a *failed* certification, which is a successful run whose
+    report says ``verdict == "failed"``."""
+
+
+class CertificationFailedError(CertificationError):
+    """A solved policy failed independent certification.
+
+    Carries the full :class:`repro.certify.CertificationReport` (as
+    ``report``) so callers can inspect the typed findings -- Bellman
+    gap, LP duality gap, exact-arithmetic mismatch, backend
+    disagreement -- programmatically. Raised by
+    :func:`repro.certify.require_certified`; the CLI maps the
+    certification family to its own exit code.
+    """
+
+    def __init__(self, message: str, report: "Optional[Any]" = None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -22,6 +22,13 @@ inadmissible policy:
 - :mod:`repro.serve.chaos` -- seeded fault injection (solver crashes,
   hangs, NaN policies, artifact corruption, drift storms) driving the
   whole loop in tests and the CI chaos job.
+
+Since PR 10 the hot-swap is additionally gated on independent
+certification (:mod:`repro.certify`, DESIGN §14): an admitted re-solve
+must earn a passing certificate -- Bellman residual, LP duality gap,
+exact arithmetic, cross-backend consensus -- before it reaches the
+store or the server, and the certificate is persisted as a
+``policy.cert.json`` sidecar checked again at bootstrap.
 """
 
 from repro.serve.artifact import (

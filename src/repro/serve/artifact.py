@@ -461,10 +461,16 @@ class ArtifactStore:
     """
 
     FILENAME = "policy.json"
+    #: Sidecar holding the current artifact's certification report
+    #: (schema ``repro-cert/v1``); saved after the artifact itself so a
+    #: crash between the two leaves a policy without a certificate --
+    #: which the runtime treats as uncertified -- never the reverse.
+    CERT_FILENAME = "policy.cert.json"
 
     def __init__(self, directory: PathLike) -> None:
         self.directory = Path(directory)
         self.path = self.directory / self.FILENAME
+        self.cert_path = self.directory / self.CERT_FILENAME
         self.crash_point: "Optional[str]" = None
 
     def _maybe_crash(self, point: str) -> None:
@@ -555,6 +561,53 @@ class ArtifactStore:
         if metrics is not None:
             metrics.counter("serve.artifact.loads").inc()
         return artifact
+
+    def save_certificate(self, document: "Dict[str, Any]") -> None:
+        """Atomically persist a certification document beside the policy.
+
+        Same temp-write/fsync/replace dance as :meth:`save`; callers
+        pass ``CertificationReport.to_document()``.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=self.CERT_FILENAME + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.cert_path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def load_certificate(self) -> "Optional[Dict[str, Any]]":
+        """The stored certificate document, ``None`` when absent.
+
+        Returns the raw document; callers parse and integrity-check it
+        with ``CertificationReport.from_document``. An unreadable file
+        raises :class:`~repro.errors.ArtifactIntegrityError` -- like a
+        corrupt artifact, it is kept on disk for forensics.
+        """
+        if not self.cert_path.exists():
+            return None
+        try:
+            document = json.loads(self.cert_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                f"cannot read certificate {self.cert_path}: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ArtifactIntegrityError(
+                f"certificate {self.cert_path} holds "
+                f"{type(document).__name__}, not an object"
+            )
+        return document
 
 
 def save_artifact(artifact: PolicyArtifact, path: PathLike) -> None:

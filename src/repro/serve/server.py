@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.dpm.adaptive import AdaptiveRateEstimator, DriftDetector
 from repro.dpm.service_queue import STABLE, TRANSFER
 from repro.dpm.system import PowerManagedSystemModel
-from repro.errors import ArtifactError, ServeRequestError
+from repro.errors import ArtifactError, ReproError, ServeRequestError
 from repro.obs.runtime import active as obs_active
 from repro.serve.artifact import ArtifactStore, PolicyArtifact, validate_artifact
 from repro.serve.supervisor import CircuitBreaker, ResolveReport, RetryPolicy, Supervisor
@@ -231,6 +231,8 @@ class ServingRuntime:
         attempt_timeout: "Optional[float]" = None,
         solve: "Optional[Callable[..., Any]]" = None,
         admission_level: str = "standard",
+        certify: bool = True,
+        certifier: "Optional[Callable[..., Any]]" = None,
     ) -> None:
         self.base_model = base_model
         self.weight = float(weight)
@@ -253,6 +255,8 @@ class ServingRuntime:
             attempt_timeout=attempt_timeout,
             solve=solve,
             admission_level=admission_level,
+            certify=certify,
+            certifier=certifier,
         )
         self.server = PolicyServer(base_model, heuristic_n=heuristic_n)
         self.bootstrap_source: "Optional[str]" = None
@@ -267,10 +271,11 @@ class ServingRuntime:
         """Recover or establish a serving table; returns the rung.
 
         Order: (1) a stored last-good artifact that still passes the
-        admission gate -- the crash-recovery path, also what makes a
-        SIGKILL mid-swap survivable; (2) a fresh initial solve when
-        *initial_solve*; (3) the heuristic rung. Never raises for
-        artifact or solver trouble.
+        admission gate *and* holds or earns a valid certificate -- the
+        crash-recovery path, also what makes a SIGKILL mid-swap
+        survivable; (2) a fresh initial solve when *initial_solve*;
+        (3) the heuristic rung. Never raises for artifact or solver
+        trouble.
         """
         try:
             stored = self.store.load()
@@ -287,11 +292,12 @@ class ServingRuntime:
             except ArtifactError as exc:
                 self.bootstrap_error = f"{type(exc).__name__}: {exc}"
             else:
-                self.server.install(stored)
-                self.supervisor.last_artifact = stored
-                self.detector.rebase(stored.rate)
-                self.bootstrap_source = "stored"
-                return self.server.source
+                if self._bootstrap_certified(stored):
+                    self.server.install(stored)
+                    self.supervisor.last_artifact = stored
+                    self.detector.rebase(stored.rate)
+                    self.bootstrap_source = "stored"
+                    return self.server.source
         if initial_solve:
             report = self.supervisor.resolve(
                 self.base_model.requestor.rate,
@@ -304,6 +310,48 @@ class ServingRuntime:
             self.bootstrap_error = report.error or report.failure
         self.bootstrap_source = "heuristic"
         return self.server.source
+
+    def _bootstrap_certified(self, stored) -> bool:
+        """Is the stored artifact covered by a valid certificate?
+
+        Accepts the stored sidecar certificate when it parses, is
+        bound to this exact artifact (``artifact_checksum``), and says
+        certified; otherwise re-certifies from scratch and persists the
+        fresh certificate. Returns ``False`` -- sending bootstrap down
+        the initial-solve rung -- when certification fails or errors.
+        """
+        if not self.supervisor.certify:
+            return True
+        from repro.certify import CertificationReport
+
+        try:
+            document = self.store.load_certificate()
+        except ArtifactError:
+            document = None  # corrupt sidecar: fall through to re-certify
+        if document is not None:
+            try:
+                report = CertificationReport.from_document(document)
+            except ReproError:
+                report = None
+            if (
+                report is not None
+                and report.artifact_checksum == stored.checksum
+                and report.certified
+            ):
+                return True
+        try:
+            report = self.supervisor._certifier(stored)
+        except ReproError as exc:
+            self.bootstrap_error = f"{type(exc).__name__}: {exc}"
+            return False
+        if not report.certified:
+            self.bootstrap_error = (
+                "stored artifact failed certification: "
+                + ", ".join(report.finding_codes)
+            )
+            return False
+        self.store.save_certificate(report.to_document())
+        return True
 
     def observe_arrival(self, timestamp: float) -> None:
         self.estimator.observe_arrival(timestamp)

@@ -180,8 +180,10 @@ class ResolveReport:
 
     ``failure`` is ``None`` on success, else one of ``"crash"``
     (solver raised), ``"timeout"`` (attempt exceeded the budget),
-    ``"rejected"`` (result inadmissible -- not retried), or
-    ``"breaker-open"`` (refused without attempting).
+    ``"rejected"`` (result inadmissible -- not retried),
+    ``"uncertified"`` (the solution failed independent certification
+    -- not retried; ``details["certification"]`` holds the finding
+    codes), or ``"breaker-open"`` (refused without attempting).
     """
 
     ok: bool
@@ -228,6 +230,17 @@ class Supervisor:
         for the chaos harness; defaults to the real pipeline.
     admission_level:
         Forwarded to :func:`repro.serve.artifact.validate_artifact`.
+    certify:
+        When true (the default), every admitted solution must also earn
+        an independent certificate (:mod:`repro.certify`) before the
+        hot-swap: Bellman residual, LP duality gap, exact arithmetic,
+        and cross-backend consensus. A failed or crashed certification
+        is a deterministic ``"uncertified"`` failure -- the last-good
+        artifact keeps serving and the breaker records the failure.
+    certifier:
+        Injectable ``(artifact) -> CertificationReport`` for tests and
+        chaos; defaults to
+        :func:`repro.certify.certify_artifact` against ``base_model``.
     """
 
     def __init__(
@@ -242,6 +255,8 @@ class Supervisor:
         attempt_timeout: "Optional[float]" = None,
         solve: "Optional[Callable[..., Any]]" = None,
         admission_level: str = "standard",
+        certify: bool = True,
+        certifier: "Optional[Callable[[PolicyArtifact], Any]]" = None,
     ) -> None:
         self.base_model = base_model
         self.weight = float(weight)
@@ -253,8 +268,17 @@ class Supervisor:
         self.attempt_timeout = attempt_timeout
         self.admission_level = admission_level
         self._solve = solve if solve is not None else self._default_solve
+        self.certify = certify
+        self._certifier = (
+            certifier if certifier is not None else self._default_certifier
+        )
         self.last_artifact: "Optional[PolicyArtifact]" = None
         self.history: "List[ResolveReport]" = []
+
+    def _default_certifier(self, artifact: PolicyArtifact):
+        from repro.certify import certify_artifact
+
+        return certify_artifact(artifact, self.base_model)
 
     def _default_solve(self, rate: float, initial_policy=None):
         return solve_rated(
@@ -380,7 +404,38 @@ class Supervisor:
                 if metrics is not None:
                     metrics.counter("serve.resolve.failures").inc()
                 return report
+            # Independent certification gates the hot-swap: an admitted
+            # but uncertified solution never reaches the store or the
+            # server -- deterministic failure, no retry, last-good
+            # artifact keeps serving.
+            certificate = None
+            if self.certify:
+                try:
+                    cert_report = self._certifier(artifact)
+                except ReproError as exc:
+                    report.failure = "uncertified"
+                    report.error = f"{type(exc).__name__}: {exc}"
+                    self.breaker.record_failure()
+                    if metrics is not None:
+                        metrics.counter("serve.resolve.failures").inc()
+                        metrics.counter("serve.resolve.uncertified").inc()
+                    return report
+                if not cert_report.certified:
+                    codes = cert_report.finding_codes
+                    report.failure = "uncertified"
+                    report.error = (
+                        f"solution failed certification: {', '.join(codes)}"
+                    )
+                    report.details["certification"] = codes
+                    self.breaker.record_failure()
+                    if metrics is not None:
+                        metrics.counter("serve.resolve.failures").inc()
+                        metrics.counter("serve.resolve.uncertified").inc()
+                    return report
+                certificate = cert_report.to_document()
             self.store.save(artifact)
+            if certificate is not None:
+                self.store.save_certificate(certificate)
             if install is not None:
                 install(artifact)
             self.last_artifact = artifact

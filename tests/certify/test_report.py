@@ -1,0 +1,154 @@
+"""Certificate format: verdicts, round-trips, tamper detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify import (
+    CERT_SCHEMA,
+    CertFinding,
+    CertificationReport,
+    CheckResult,
+    policy_table_checksum,
+)
+from repro.dpm.presets import paper_system
+from repro.dpm.optimizer import optimize_weighted
+from repro.errors import CertificationError
+
+
+def make_report(checks):
+    return CertificationReport(
+        mode="weighted",
+        rate=1 / 6,
+        weight=0.5,
+        n_states=23,
+        tolerance=1e-6,
+        claimed={"gain": 10.0},
+        checks=checks,
+        policy_checksum="abc123",
+    )
+
+
+class TestVerdict:
+    def test_all_passed_certifies(self):
+        report = make_report([CheckResult("bellman", "passed")])
+        assert report.certified
+        assert report.verdict == "certified"
+
+    def test_any_failed_fails(self):
+        report = make_report([
+            CheckResult("bellman", "passed"),
+            CheckResult(
+                "lp", "failed",
+                findings=[CertFinding("lp-duality-gap", "gap", value=0.1)],
+            ),
+        ])
+        assert not report.certified
+        assert report.finding_codes == ["lp-duality-gap"]
+
+    def test_all_skipped_certifies_nothing(self):
+        report = make_report([
+            CheckResult("bellman", "skipped"),
+            CheckResult("lp", "skipped"),
+        ])
+        assert not report.certified
+
+    def test_skips_beside_passes_are_fine(self):
+        report = make_report([
+            CheckResult("bellman", "passed"),
+            CheckResult("exact", "skipped"),
+        ])
+        assert report.certified
+
+    def test_invalid_status_typed(self):
+        with pytest.raises(CertificationError, match="status"):
+            CheckResult("bellman", "maybe")
+
+    def test_check_lookup(self):
+        report = make_report([CheckResult("bellman", "passed")])
+        assert report.check("bellman").status == "passed"
+        assert report.check("missing") is None
+
+
+class TestDocumentRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        report = make_report([
+            CheckResult(
+                "bellman", "failed",
+                findings=[CertFinding(
+                    "bellman-gap-exceeded", "gap", state="S", value=0.5,
+                )],
+                data={"gain": 10.0},
+            ),
+        ])
+        doc = report.to_document()
+        assert doc["schema"] == CERT_SCHEMA
+        loaded = CertificationReport.from_document(doc)
+        assert loaded == report
+        assert loaded.findings[0].state == "S"
+
+    def test_checksum_tamper_detected(self):
+        doc = make_report([CheckResult("bellman", "passed")]).to_document()
+        doc["claimed"]["gain"] = 1.0
+        with pytest.raises(CertificationError, match="checksum"):
+            CertificationReport.from_document(doc)
+
+    def test_forged_verdict_detected(self):
+        # Re-checksum a document whose verdict contradicts its checks:
+        # the parser recomputes the verdict and refuses.
+        report = make_report([
+            CheckResult(
+                "lp", "failed",
+                findings=[CertFinding("lp-duality-gap", "gap")],
+            ),
+        ])
+        doc = report.to_document()
+        doc["verdict"] = "certified"
+        from repro.certify.report import _checksum
+
+        doc["checksum"] = _checksum(doc)
+        with pytest.raises(CertificationError, match="verdict"):
+            CertificationReport.from_document(doc)
+
+    def test_unknown_schema_rejected(self):
+        doc = make_report([CheckResult("bellman", "passed")]).to_document()
+        doc["schema"] = "repro-cert/v999"
+        with pytest.raises(CertificationError, match="schema"):
+            CertificationReport.from_document(doc)
+
+    def test_missing_checksum_rejected(self):
+        doc = make_report([CheckResult("bellman", "passed")]).to_document()
+        del doc["checksum"]
+        with pytest.raises(CertificationError, match="checksum"):
+            CertificationReport.from_document(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CertificationError, match="object"):
+            CertificationReport.from_document([1, 2, 3])
+
+
+class TestPolicyChecksum:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        model = paper_system(capacity=3)
+        result = optimize_weighted(model, 0.5)
+        return model.build_ctmdp(0.5), result.policy
+
+    def test_deterministic_and_stable(self, solved):
+        mdp, policy = solved
+        assert policy_table_checksum(mdp, policy) == policy_table_checksum(
+            mdp, policy.as_dict()
+        )
+
+    def test_sensitive_to_one_action(self, solved):
+        mdp, policy = solved
+        table = policy.as_dict()
+        state = next(
+            s for s in mdp.states if len(mdp.actions(s)) > 1
+        )
+        other = next(a for a in mdp.actions(state) if a != table[state])
+        flipped = dict(table)
+        flipped[state] = other
+        assert policy_table_checksum(mdp, table) != policy_table_checksum(
+            mdp, flipped
+        )

@@ -104,3 +104,42 @@ class TestConstrainedLP:
         unconstrained = solve_average_cost_lp(paper_model.build_ctmdp(0.0))
         assert lp.gain >= unconstrained.gain - 1e-9
         assert lp.gain <= 40.0
+
+
+class TestStatusAndDiagnostics:
+    def test_successful_solve_reports_optimal(self):
+        mdp = random_unichain_mdp(0)
+        lp = solve_average_cost_lp(mdp)
+        assert lp.status == "optimal"
+        assert lp.diagnostics["highs_status"] == 0
+        assert lp.diagnostics["iterations"] > 0
+
+    def test_strong_duality_holds_at_the_optimum(self):
+        mdp = random_unichain_mdp(3)
+        lp = solve_average_cost_lp(mdp)
+        scale = max(1.0, abs(lp.gain))
+        assert lp.diagnostics["dual_objective"] == pytest.approx(
+            lp.gain, abs=1e-9 * scale
+        )
+        assert abs(lp.diagnostics["duality_gap"]) < 1e-9 * scale
+        # The normalization row's multiplier *is* the gain (LP duality).
+        assert lp.diagnostics["gain_dual"] == pytest.approx(
+            lp.gain, abs=1e-9 * scale
+        )
+
+    def test_constrained_solve_carries_diagnostics(self):
+        mdp = random_unichain_mdp(2)
+        lp = solve_constrained_lp(mdp, "power", {"delay": 2.0})
+        assert lp.status == "optimal"
+        scale = max(1.0, abs(lp.gain))
+        assert abs(lp.diagnostics["duality_gap"]) < 1e-9 * scale
+
+    def test_infeasible_failure_carries_diagnostics(self):
+        mdp = random_unichain_mdp(5)
+        with pytest.raises(InfeasibleConstraintError) as excinfo:
+            solve_constrained_lp(mdp, "power", {"delay": -1.0})
+        diag = excinfo.value.diagnostics
+        assert diag["highs_status"] == 2
+        assert "message" in diag
+        # No duality_gap claim on a failed solve.
+        assert "duality_gap" not in diag

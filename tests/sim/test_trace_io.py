@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TraceIntegrityError
 from repro.sim.trace_io import load_result, load_trace, save_result, save_trace
 from repro.sim.workload import TraceArrivals
 
@@ -45,6 +45,60 @@ class TestTraceRoundTrip:
             load_trace(path)
 
 
+class TestTraceIntegrity:
+    def write(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace(TraceArrivals([0.5, 1.25, 7.125]), path)
+        return path
+
+    def test_edited_cell_detected(self, tmp_path):
+        path = self.write(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[2] = "1.5"  # hand-edit one timestamp
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            TraceIntegrityError, match="checksum mismatch"
+        ) as excinfo:
+            load_trace(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = self.write(tmp_path)
+        lines = path.read_text().splitlines()
+        del lines[2]  # drop a row, keep the footer
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceIntegrityError, match="truncated"):
+            load_trace(path)
+
+    def test_unparseable_cell_names_path_and_line(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time\n1.0\nnot-a-number\n")
+        with pytest.raises(
+            TraceIntegrityError, match=rf"{path}:3: unparseable"
+        ):
+            load_trace(path)
+
+    def test_malformed_footer_detected(self, tmp_path):
+        path = self.write(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[-1] = "# sha256=abc count=three"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceIntegrityError, match="malformed"):
+            load_trace(path)
+
+    def test_legacy_file_without_footer_loads(self, tmp_path):
+        path = tmp_path / "legacy.csv"
+        path.write_text("time\n1.0\n2.0\n")
+        assert load_trace(path).times == [1.0, 2.0]
+
+    def test_missing_file_is_simulation_error(self, tmp_path):
+        with pytest.raises(SimulationError, match="cannot read"):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_integrity_error_is_a_simulation_error(self):
+        assert issubclass(TraceIntegrityError, SimulationError)
+
+
 class TestResultRoundTrip:
     @pytest.fixture
     def result(self, paper_provider):
@@ -83,3 +137,39 @@ class TestResultRoundTrip:
         path.write_text(json.dumps(payload))
         with pytest.raises(SimulationError, match="missing"):
             load_result(path)
+
+    def test_tampered_value_detected(self, tmp_path, result):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["average_power"] = payload["average_power"] * 1.1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            TraceIntegrityError, match="checksum mismatch"
+        ) as excinfo:
+            load_result(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_json_detected(self, tmp_path, result):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(TraceIntegrityError, match="not valid JSON"):
+            load_result(path)
+
+    def test_legacy_result_without_checksum_loads(self, tmp_path, result):
+        import json
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert load_result(path) == result
+
+    def test_missing_file_is_simulation_error(self, tmp_path):
+        with pytest.raises(SimulationError, match="cannot read"):
+            load_result(tmp_path / "nope.json")

@@ -702,3 +702,106 @@ class TestBackendInCheckpointConfig:
         capsys.readouterr()
         assert main(base + ["--backend", "dense", "--resume"]) == 7
         assert "different configuration" in capsys.readouterr().err
+
+
+class TestCertifyCommand:
+    """The proof-carrying certify subcommand and its exit code."""
+
+    def test_weighted_solve_certifies(self, capsys):
+        assert main(["certify", "--weight", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: certified" in out
+        assert "bellman" in out and "consensus" in out
+
+    def test_constrained_solve_certifies(self, capsys):
+        assert main(["certify", "--max-queue-length", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: certified" in out
+        assert "(mode: constrained" in out
+
+    def test_json_document_round_trips(self, capsys):
+        import json
+
+        from repro.certify import CERT_SCHEMA, CertificationReport
+
+        assert main(["certify", "--weight", "0.5", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == CERT_SCHEMA
+        assert CertificationReport.from_document(doc).certified
+
+    def test_cert_out_writes_certificate(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "policy.cert.json"
+        assert main([
+            "certify", "--weight", "0.5", "--cert-out", str(path),
+        ]) == 0
+        assert f"certificate written to {path}" in capsys.readouterr().out
+        assert json.loads(path.read_text())["verdict"] == "certified"
+
+    def test_checks_subset(self, capsys):
+        assert main([
+            "certify", "--weight", "0.5", "--checks", "bellman,exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bellman" in out and "lp" not in out.splitlines()
+
+    def test_corrupt_artifact_exits_14(self, tmp_path, capsys):
+        import dataclasses
+
+        from repro.cli import EXIT_CERTIFICATION
+        from repro.dpm.optimizer import OptimizationResult, optimize_weighted
+        from repro.dpm.presets import paper_system
+        from repro.serve.artifact import compile_artifact, save_artifact
+
+        model = paper_system(capacity=3)
+        honest = optimize_weighted(model, 1.0)
+        lying = OptimizationResult(
+            policy=honest.policy,
+            metrics=dataclasses.replace(
+                honest.metrics,
+                average_power=honest.metrics.average_power * 1.05,
+            ),
+            weight=honest.weight,
+        )
+        path = tmp_path / "artifact.json"
+        save_artifact(compile_artifact(model, lying, version=1), path)
+        code = main(["certify", "--capacity", "3", "--artifact", str(path)])
+        assert code == EXIT_CERTIFICATION == 14
+        out = capsys.readouterr().out
+        assert "verdict: failed" in out
+        assert "claimed-gain-mismatch" in out
+
+    def test_certification_error_maps_to_14(self):
+        from repro import errors
+        from repro.cli import exit_code_for
+
+        assert exit_code_for(errors.CertificationError("x")) == 14
+        assert exit_code_for(errors.CertificationFailedError("x")) == 14
+        # Still more specific than the family root.
+        assert exit_code_for(errors.ReproError("x")) == 9
+
+
+class TestValidateUnichain:
+    def test_opt_in_sweep_reports_ok(self, capsys):
+        assert main([
+            "validate", "--unichain", "--unichain-budget", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "unichain: ok" in out
+        assert "sampled" in out
+
+    def test_json_carries_unichain_block(self, capsys):
+        import json
+
+        assert main([
+            "validate", "--unichain", "--unichain-budget", "20", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["unichain"]["ok"] is True
+        assert doc["unichain"]["n_policies_checked"] == 20
+        assert doc["unichain"]["exhaustive"] is False
+
+    def test_without_flag_no_sweep(self, capsys):
+        assert main(["validate"]) == 0
+        assert "unichain: " not in capsys.readouterr().out

@@ -11,6 +11,8 @@ from repro.errors import (
     ArtifactIntegrityError,
     ArtifactRejectedError,
     ArtifactSchemaError,
+    CertificationError,
+    CertificationFailedError,
     CheckpointError,
     DomainError,
     InfeasibleConstraintError,
@@ -23,6 +25,7 @@ from repro.errors import (
     ServeRequestError,
     SimulationError,
     SolverError,
+    TraceIntegrityError,
     WorkerFailureError,
 )
 
@@ -43,6 +46,9 @@ ALL_PUBLIC = [
     ArtifactSchemaError,
     ArtifactRejectedError,
     ServeRequestError,
+    TraceIntegrityError,
+    CertificationError,
+    CertificationFailedError,
 ]
 
 
@@ -79,6 +85,16 @@ class TestHierarchy:
             ArtifactRejectedError,
         ):
             assert issubclass(exc, ArtifactError)
+
+    def test_trace_integrity_is_simulation_error(self):
+        # Callers treating corrupt trace files as simulation failures
+        # still work.
+        assert issubclass(TraceIntegrityError, SimulationError)
+
+    def test_certification_failure_is_certification_error(self):
+        # A policy that fails its certificate is catchable alongside
+        # engine errors (bad fingerprint, corrupt certificate document).
+        assert issubclass(CertificationFailedError, CertificationError)
 
     def test_domain_and_rejection_are_invalid_model_errors(self):
         # Callers treating admission rejections and closed-form domain
@@ -170,6 +186,24 @@ class TestRaisedByLibraryPaths:
                 max_retries=0, backoff_s=0.001,
                 validate=lambda rs: False,
             )
+
+    def test_trace_integrity(self, tmp_path):
+        from repro.sim.trace_io import load_trace, save_trace
+        from repro.sim.workload import TraceArrivals
+
+        path = tmp_path / "trace.csv"
+        save_trace(TraceArrivals([1.0, 2.0]), path)
+        lines = path.read_text().splitlines()
+        lines[1] = "1.5"  # hand-edit a timestamp under the checksum
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceIntegrityError):
+            load_trace(path)
+
+    def test_certification_error(self):
+        from repro.certify import CertificationReport
+
+        with pytest.raises(CertificationError):
+            CertificationReport.from_document({"schema": "bogus/v9"})
 
     def test_checkpoint_error(self, tmp_path):
         from repro.robust.checkpoint import Checkpoint
